@@ -1,0 +1,102 @@
+package lodviz
+
+import (
+	"fmt"
+
+	"github.com/lodviz/lodviz/internal/explain"
+	"github.com/lodviz/lodviz/internal/facet"
+	"github.com/lodviz/lodviz/internal/nanocube"
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// User-assistance and WoD-specific index extensions — the "possible
+// directions for the future WoD exploration and visualization systems" of
+// the survey's Section 4, implemented.
+
+type (
+	// FacetSuggestion ranks a facet as the next drill-down step.
+	FacetSuggestion = facet.Suggestion
+	// Nanocube is a spatio-temporal count index (region × time-range
+	// aggregation independent of event count).
+	Nanocube = nanocube.Nanocube
+	// NanocubeOptions configure a Nanocube.
+	NanocubeOptions = nanocube.Options
+	// NanocubeBBox is a spatial query/domain rectangle.
+	NanocubeBBox = nanocube.BBox
+	// ExplainRow is one record of an aggregate view handed to the outlier
+	// explainer.
+	ExplainRow = explain.Row
+	// Explanation is one candidate cause of an outlier.
+	Explanation = explain.Explanation
+)
+
+// NewNanocube creates an empty spatio-temporal count index.
+func NewNanocube(opts NanocubeOptions) (*Nanocube, error) {
+	nc, err := nanocube.New(opts)
+	if err != nil {
+		return nil, fmt.Errorf("lodviz: %w", err)
+	}
+	return nc, nil
+}
+
+// EventCube builds a Nanocube over the dataset's geolocated entities, using
+// the given temporal property (xsd:dateTime/date/gYear) as the event time.
+// Entities without the property are skipped; the time domain is fitted to
+// the data.
+func (d *Dataset) EventCube(timeProp IRI, timeBins, depth int) (*Nanocube, error) {
+	points := d.GeoPoints()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("lodviz: no geolocated entities")
+	}
+	type ev struct {
+		x, y, t float64
+	}
+	var events []ev
+	tMin, tMax := 0.0, 0.0
+	first := true
+	for _, p := range points {
+		d.st.ForEach(store.Pattern{S: p.Entity, P: timeProp}, func(tr Triple) bool {
+			l, ok := tr.O.(rdf.Literal)
+			if !ok {
+				return true
+			}
+			tm, ok := l.Time()
+			if !ok {
+				return true
+			}
+			t := float64(tm.Unix())
+			events = append(events, ev{x: p.Lon, y: p.Lat, t: t})
+			if first || t < tMin {
+				tMin = t
+			}
+			if first || t > tMax {
+				tMax = t
+			}
+			first = false
+			return true
+		})
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("lodviz: no events with temporal property %s", timeProp)
+	}
+	nc, err := nanocube.New(nanocube.Options{
+		World: nanocube.BBox{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90},
+		TMin:  tMin, TMax: tMax + 1,
+		TimeBins: timeBins, Depth: depth,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lodviz: %w", err)
+	}
+	for _, e := range events {
+		nc.Add(e.x, e.y, e.t)
+	}
+	return nc, nil
+}
+
+// ExplainOutliers finds the attribute restrictions that best explain why
+// the flagged groups' aggregates deviate (Scorpion-style). rows carry one
+// entity/group/value record per aggregate input.
+func (d *Dataset) ExplainOutliers(rows []ExplainRow, outlierGroups []string, k int) ([]Explanation, error) {
+	return explain.Outliers(d.st, rows, outlierGroups, k, explain.Options{})
+}

@@ -1,0 +1,53 @@
+// Tablegen regenerates the survey's Table 1 and Table 2 from the
+// machine-readable systems registry (experiments E1 and E2).
+//
+// Usage:
+//
+//	tablegen [-format text|csv] [-table 1|2|all] [-observations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lodviz/lodviz"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text or csv")
+	table := flag.String("table", "all", "which table: 1, 2 or all")
+	observations := flag.Bool("observations", false, "also print the Section-4 aggregate observations")
+	flag.Parse()
+
+	emit := func(n int) {
+		switch *format {
+		case "csv":
+			fmt.Print(lodviz.TableCSV(n))
+		case "text":
+			if n == 1 {
+				fmt.Println(lodviz.Table1())
+			} else {
+				fmt.Println(lodviz.Table2())
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "tablegen: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+	switch *table {
+	case "1":
+		emit(1)
+	case "2":
+		emit(2)
+	case "all":
+		emit(1)
+		emit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "tablegen: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	if *observations {
+		fmt.Println(lodviz.Observations())
+	}
+}

@@ -1,0 +1,84 @@
+// Statcube: CubeViz-style exploration of statistical Linked Data described
+// with the W3C RDF Data Cube vocabulary — discover cubes, inspect the
+// structure, slice by a dimension, pivot into a two-dimensional table, and
+// chart one dimension's totals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lodviz/lodviz"
+)
+
+func main() {
+	// 20 regions × 10 years of population observations.
+	ds, err := lodviz.GenerateDataCube(20, 10, 2016)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d triples\n", ds.Len())
+
+	cubes := ds.Cubes()
+	fmt.Printf("data cubes found: %v\n", cubes)
+	cube, err := ds.LoadCube(cubes[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("structure: %d dimensions, %d measures, %d observations\n",
+		len(cube.Dimensions), len(cube.Measures), len(cube.Observations))
+
+	region := lodviz.GenProp("region")
+	year := lodviz.GenProp("year")
+	population := lodviz.GenProp("population")
+
+	// Slice: one region across all years.
+	regions := cube.DimensionValues(region)
+	slice := cube.Slice(map[lodviz.IRI]lodviz.Term{region: regions[0]})
+	fmt.Printf("\nslice %v: %d observations\n", shortTerm(regions[0]), len(slice))
+
+	// Pivot: regions × years table (top-left 5×5 corner shown).
+	pt, err := cube.Pivot(region, year, population, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npivot table %d rows × %d cols (top-left corner):\n",
+		len(pt.RowKeys), len(pt.ColKeys))
+	fmt.Printf("%-12s", "")
+	for c := 0; c < 5 && c < len(pt.ColKeys); c++ {
+		fmt.Printf("%12v", shortTerm(pt.ColKeys[c]))
+	}
+	fmt.Println()
+	for r := 0; r < 5 && r < len(pt.RowKeys); r++ {
+		fmt.Printf("%-12v", shortTerm(pt.RowKeys[r]))
+		for c := 0; c < 5 && c < len(pt.ColKeys); c++ {
+			fmt.Printf("%12.0f", pt.Cells[r][c])
+		}
+		fmt.Println()
+	}
+
+	// Chart: totals per year as a bar chart.
+	years, totals := cube.Totals(year, population)
+	var pts []lodviz.VisPoint
+	for i, y := range years {
+		pts = append(pts, lodviz.VisPoint{Label: shortTerm(y), Y: totals[i]})
+	}
+	bars := &lodviz.VisSpec{
+		Type:   lodviz.BarChart,
+		Title:  "total population by year",
+		Series: []lodviz.VisSeries{{Name: "population", Points: pts}},
+	}
+	fmt.Println()
+	fmt.Println(lodviz.RenderText(bars))
+	fmt.Printf("SVG rendering: %d bytes\n", len(lodviz.RenderSVG(bars)))
+}
+
+func shortTerm(t lodviz.Term) string {
+	if iri, ok := t.(lodviz.IRI); ok {
+		return iri.LocalName()
+	}
+	if l, ok := t.(lodviz.Literal); ok {
+		return l.Lexical
+	}
+	return t.String()
+}

@@ -1,0 +1,117 @@
+package lodviz
+
+import (
+	"fmt"
+
+	"github.com/lodviz/lodviz/internal/bundling"
+	"github.com/lodviz/lodviz/internal/datacube"
+	"github.com/lodviz/lodviz/internal/geo"
+	"github.com/lodviz/lodviz/internal/graph"
+	"github.com/lodviz/lodviz/internal/layout"
+	"github.com/lodviz/lodviz/internal/ontology"
+	"github.com/lodviz/lodviz/internal/spatial"
+	"github.com/lodviz/lodviz/internal/super"
+)
+
+// Graph-based exploration API (the survey's §3.4 systems).
+
+type (
+	// Graph is the node-link view of a dataset.
+	Graph = graph.Graph
+	// NodeID indexes a node within a Graph.
+	NodeID = graph.NodeID
+	// LayoutPoint is a 2-D node position.
+	LayoutPoint = layout.Point
+	// LayoutOptions tune force-directed layout.
+	LayoutOptions = layout.Options
+	// Hierarchy is a supernode abstraction hierarchy.
+	Hierarchy = super.Hierarchy
+	// HierarchyView is an expandable/collapsible frontier of a Hierarchy.
+	HierarchyView = super.View
+	// TileStore is a disk-backed viewport-query store for laid-out nodes.
+	TileStore = spatial.TileStore
+	// TilePoint is one positioned object in a TileStore.
+	TilePoint = spatial.TilePoint
+	// Rect is an axis-aligned viewport rectangle.
+	Rect = spatial.Rect
+	// Cube is a parsed RDF Data Cube.
+	Cube = datacube.Cube
+	// GeoPoint is a geolocated entity.
+	GeoPoint = geo.Point
+	// ClassHierarchy is the extracted rdfs:subClassOf forest.
+	ClassHierarchy = ontology.Hierarchy
+)
+
+// BuildGraph extracts the resource-to-resource graph of the dataset.
+func (d *Dataset) BuildGraph() *Graph { return graph.FromStore(d.st) }
+
+// ForceLayout computes a force-directed layout for a graph.
+func ForceLayout(g *Graph, opts LayoutOptions) []LayoutPoint {
+	return layout.ForceDirected(g, opts)
+}
+
+// BuildSupernodes builds an ASK-GraphView-style abstraction hierarchy with
+// the given leaf size.
+func BuildSupernodes(g *Graph, maxLeaf int, seed int64) *Hierarchy {
+	return super.Build(g, super.Options{MaxLeafSize: maxLeaf, Seed: seed})
+}
+
+// NewRect builds a viewport rectangle.
+func NewRect(x1, y1, x2, y2 float64) Rect { return spatial.NewRect(x1, y1, x2, y2) }
+
+// NewTileStore creates a disk-backed tile store over a layout world,
+// keeping at most poolPages 4-KiB pages in memory (the graphVizdb
+// architecture).
+func NewTileStore(path string, world Rect, grid, poolPages int) (*TileStore, error) {
+	ts, err := spatial.NewTileStore(path, world, grid, poolPages)
+	if err != nil {
+		return nil, fmt.Errorf("lodviz: %w", err)
+	}
+	return ts, nil
+}
+
+// BundleEdges applies Holten-style hierarchical edge bundling: edges are
+// index pairs into positions, parent describes the cluster tree (-1 root),
+// beta in [0,1] is the bundling strength.
+func BundleEdges(edges [][2]int, parent []int, positions []LayoutPoint, beta float64) [][]LayoutPoint {
+	bEdges := make([]bundling.Edge, len(edges))
+	for i, e := range edges {
+		bEdges[i] = bundling.Edge{From: e[0], To: e[1]}
+	}
+	bPos := make([]bundling.Point, len(positions))
+	for i, p := range positions {
+		bPos[i] = bundling.Point{X: p.X, Y: p.Y}
+	}
+	lines := bundling.HierarchicalBundle(bEdges, parent, bPos, beta)
+	out := make([][]LayoutPoint, len(lines))
+	for i, l := range lines {
+		pts := make([]LayoutPoint, len(l))
+		for j, p := range l {
+			pts[j] = LayoutPoint{X: p.X, Y: p.Y}
+		}
+		out[i] = pts
+	}
+	return out
+}
+
+// Data-cube API (the survey's §3.3 statistical systems).
+
+// Cubes lists the RDF Data Cubes declared in the dataset.
+func (d *Dataset) Cubes() []IRI { return datacube.Discover(d.st) }
+
+// LoadCube parses one cube's structure and observations.
+func (d *Dataset) LoadCube(iri IRI) (*Cube, error) { return datacube.Load(d.st, iri) }
+
+// Geospatial API (the survey's §3.3 geo systems).
+
+// GeoPoints extracts all WGS84-geolocated entities.
+func (d *Dataset) GeoPoints() []GeoPoint { return geo.ExtractPoints(d.st) }
+
+// GeoBins clusters points into zoom-appropriate map markers.
+func GeoBins(points []GeoPoint, zoom int) []geo.MapBin { return geo.BinForZoom(points, zoom) }
+
+// Ontology API (the survey's §3.5 systems).
+
+// ClassHierarchy extracts the dataset's class hierarchy with instance
+// counts.
+func (d *Dataset) ClassHierarchy() *ClassHierarchy { return ontology.Extract(d.st) }

@@ -1,0 +1,355 @@
+// Package aggregate implements the aggregation-based data-reduction family
+// from the survey (Section 2, refs [42,25,74,73,97,138,96]): equal-width,
+// equal-frequency and temporal binning, two-dimensional (heatmap) binning,
+// a generic group-by engine, and M4 — the pixel-perfect min/max/first/last
+// per pixel-column aggregation of Jugel et al. for line charts.
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrBadBins is returned for non-positive bin counts.
+var ErrBadBins = errors.New("aggregate: bin count must be positive")
+
+// Bin is one bucket of a 1-D binning.
+type Bin struct {
+	// Lo and Hi delimit the bin interval [Lo, Hi) (the last bin is closed).
+	Lo, Hi float64
+	// Count is the number of values in the bin.
+	Count int
+	// Sum, Min, Max aggregate the contained values.
+	Sum, Min, Max float64
+}
+
+// Mean returns the bin's mean (0 for an empty bin).
+func (b Bin) Mean() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// EqualWidth bins values into n equal-width intervals spanning [min, max].
+func EqualWidth(values []float64, n int) ([]Bin, error) {
+	if n <= 0 {
+		return nil, ErrBadBins
+	}
+	if len(values) == 0 {
+		return nil, nil
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	bins := make([]Bin, n)
+	width := (hi - lo) / float64(n)
+	for i := range bins {
+		bins[i] = Bin{Lo: lo + float64(i)*width, Hi: lo + float64(i+1)*width, Min: math.Inf(1), Max: math.Inf(-1)}
+	}
+	for _, v := range values {
+		i := int((v - lo) / width)
+		if i >= n {
+			i = n - 1
+		}
+		accumulate(&bins[i], v)
+	}
+	return bins, nil
+}
+
+// EqualFrequency bins sorted values into n buckets of (near-)equal counts —
+// the quantile binning HETree-C style hierarchies use at their leaf level.
+func EqualFrequency(values []float64, n int) ([]Bin, error) {
+	if n <= 0 {
+		return nil, ErrBadBins
+	}
+	if len(values) == 0 {
+		return nil, nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	bins := make([]Bin, 0, n)
+	per := len(sorted) / n
+	extra := len(sorted) % n
+	idx := 0
+	for i := 0; i < n; i++ {
+		cnt := per
+		if i < extra {
+			cnt++
+		}
+		chunk := sorted[idx : idx+cnt]
+		b := Bin{Lo: chunk[0], Hi: chunk[len(chunk)-1], Min: math.Inf(1), Max: math.Inf(-1)}
+		for _, v := range chunk {
+			accumulate(&b, v)
+		}
+		bins = append(bins, b)
+		idx += cnt
+	}
+	return bins, nil
+}
+
+func accumulate(b *Bin, v float64) {
+	b.Count++
+	b.Sum += v
+	b.Min = math.Min(b.Min, v)
+	b.Max = math.Max(b.Max, v)
+}
+
+// TimeUnit selects the calendar granularity of temporal binning.
+type TimeUnit int
+
+// Supported calendar granularities.
+const (
+	ByYear TimeUnit = iota
+	ByMonth
+	ByDay
+	ByHour
+)
+
+// TimeBin is one temporal bucket.
+type TimeBin struct {
+	// Start is the bucket's calendar start.
+	Start time.Time
+	// Label is a human-readable bucket key ("2016", "2016-03", ...).
+	Label string
+	Count int
+	Sum   float64
+}
+
+// ByTime buckets timestamped values at the given granularity, in
+// chronological order — the timeline reduction used by temporal facets.
+func ByTime(ts []time.Time, values []float64, unit TimeUnit) ([]TimeBin, error) {
+	if len(ts) != len(values) && len(values) != 0 {
+		return nil, fmt.Errorf("aggregate: %d timestamps vs %d values", len(ts), len(values))
+	}
+	buckets := map[string]*TimeBin{}
+	var order []string
+	for i, tm := range ts {
+		start, label := truncate(tm, unit)
+		b, ok := buckets[label]
+		if !ok {
+			b = &TimeBin{Start: start, Label: label}
+			buckets[label] = b
+			order = append(order, label)
+		}
+		b.Count++
+		if len(values) > 0 {
+			b.Sum += values[i]
+		}
+	}
+	sort.Strings(order)
+	out := make([]TimeBin, 0, len(order))
+	for _, label := range order {
+		out = append(out, *buckets[label])
+	}
+	return out, nil
+}
+
+func truncate(t time.Time, unit TimeUnit) (time.Time, string) {
+	t = t.UTC()
+	switch unit {
+	case ByYear:
+		s := time.Date(t.Year(), 1, 1, 0, 0, 0, 0, time.UTC)
+		return s, s.Format("2006")
+	case ByMonth:
+		s := time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+		return s, s.Format("2006-01")
+	case ByDay:
+		s := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		return s, s.Format("2006-01-02")
+	default:
+		s := time.Date(t.Year(), t.Month(), t.Day(), t.Hour(), 0, 0, 0, time.UTC)
+		return s, s.Format("2006-01-02T15")
+	}
+}
+
+// Cell2D is one cell of a 2-D (heatmap) binning.
+type Cell2D struct {
+	XBin, YBin int
+	Count      int
+}
+
+// Grid2D is a 2-D binning of points, the imMens/Nanocubes-style reduction
+// for scatter/heat maps.
+type Grid2D struct {
+	XBins, YBins           int
+	MinX, MaxX, MinY, MaxY float64
+	// Cells maps (yBin*XBins + xBin) to counts; empty cells are absent.
+	Cells map[int]int
+}
+
+// Bin2D builds a 2-D count grid over the points.
+func Bin2D(xs, ys []float64, xBins, yBins int) (*Grid2D, error) {
+	if xBins <= 0 || yBins <= 0 {
+		return nil, ErrBadBins
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("aggregate: %d xs vs %d ys", len(xs), len(ys))
+	}
+	g := &Grid2D{XBins: xBins, YBins: yBins, Cells: map[int]int{}}
+	if len(xs) == 0 {
+		return g, nil
+	}
+	g.MinX, g.MaxX = xs[0], xs[0]
+	g.MinY, g.MaxY = ys[0], ys[0]
+	for i := range xs {
+		g.MinX = math.Min(g.MinX, xs[i])
+		g.MaxX = math.Max(g.MaxX, xs[i])
+		g.MinY = math.Min(g.MinY, ys[i])
+		g.MaxY = math.Max(g.MaxY, ys[i])
+	}
+	if g.MaxX == g.MinX {
+		g.MaxX = g.MinX + 1
+	}
+	if g.MaxY == g.MinY {
+		g.MaxY = g.MinY + 1
+	}
+	for i := range xs {
+		xb := int((xs[i] - g.MinX) / (g.MaxX - g.MinX) * float64(xBins))
+		yb := int((ys[i] - g.MinY) / (g.MaxY - g.MinY) * float64(yBins))
+		if xb >= xBins {
+			xb = xBins - 1
+		}
+		if yb >= yBins {
+			yb = yBins - 1
+		}
+		g.Cells[yb*xBins+xb]++
+	}
+	return g, nil
+}
+
+// NonEmpty returns the populated cells sorted by count descending.
+func (g *Grid2D) NonEmpty() []Cell2D {
+	out := make([]Cell2D, 0, len(g.Cells))
+	for k, c := range g.Cells {
+		out = append(out, Cell2D{XBin: k % g.XBins, YBin: k / g.XBins, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		ki := out[i].YBin*g.XBins + out[i].XBin
+		kj := out[j].YBin*g.XBins + out[j].XBin
+		return ki < kj
+	})
+	return out
+}
+
+// Total returns the number of binned points.
+func (g *Grid2D) Total() int {
+	t := 0
+	for _, c := range g.Cells {
+		t += c
+	}
+	return t
+}
+
+// M4Point is a (t, v) sample of a series.
+type M4Point struct {
+	T, V float64
+}
+
+// M4 reduces a time series to at most 4 points per pixel column — min, max,
+// first, last — which renders pixel-identically to the full series on a
+// display of the given width (Jugel et al., PVLDB 2014). Input must be
+// sorted by T.
+func M4(series []M4Point, width int) ([]M4Point, error) {
+	if width <= 0 {
+		return nil, ErrBadBins
+	}
+	if len(series) <= 4*width {
+		return append([]M4Point(nil), series...), nil
+	}
+	lo, hi := series[0].T, series[len(series)-1].T
+	if hi == lo {
+		hi = lo + 1
+	}
+	type colAgg struct {
+		first, last, min, max M4Point
+		seen                  bool
+	}
+	cols := make([]colAgg, width)
+	for _, p := range series {
+		c := int((p.T - lo) / (hi - lo) * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		a := &cols[c]
+		if !a.seen {
+			*a = colAgg{first: p, last: p, min: p, max: p, seen: true}
+			continue
+		}
+		a.last = p
+		if p.V < a.min.V {
+			a.min = p
+		}
+		if p.V > a.max.V {
+			a.max = p
+		}
+	}
+	var out []M4Point
+	for _, a := range cols {
+		if !a.seen {
+			continue
+		}
+		// Emit the column's 4 anchor points in time order, deduplicated.
+		pts := []M4Point{a.first, a.min, a.max, a.last}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+		for i, p := range pts {
+			if i > 0 && p == pts[i-1] {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// GroupResult is one group of a group-by aggregation.
+type GroupResult struct {
+	Key   string
+	Count int
+	Sum   float64
+}
+
+// GroupBy aggregates values by a string key, returning groups sorted by
+// count descending — the workhorse behind facet counts and pie/bar charts.
+func GroupBy[T any](items []T, key func(T) string, value func(T) float64) []GroupResult {
+	groups := map[string]*GroupResult{}
+	var order []string
+	for _, it := range items {
+		k := key(it)
+		g, ok := groups[k]
+		if !ok {
+			g = &GroupResult{Key: k}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.Count++
+		if value != nil {
+			g.Sum += value(it)
+		}
+	}
+	out := make([]GroupResult, 0, len(order))
+	for _, k := range order {
+		out = append(out, *groups[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

@@ -1,0 +1,258 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEqualWidthBasic(t *testing.T) {
+	bins, err := EqualWidth([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	for i, b := range bins {
+		if b.Count != 2 {
+			t.Errorf("bin %d count = %d, want 2", i, b.Count)
+		}
+	}
+	if bins[0].Min != 0 || bins[0].Max != 1 || bins[0].Mean() != 0.5 {
+		t.Errorf("bin 0 = %+v", bins[0])
+	}
+}
+
+func TestEqualWidthEdgeCases(t *testing.T) {
+	if _, err := EqualWidth([]float64{1}, 0); err != ErrBadBins {
+		t.Error("n=0 accepted")
+	}
+	bins, err := EqualWidth(nil, 3)
+	if err != nil || bins != nil {
+		t.Error("empty input should return nil bins")
+	}
+	// Constant input must not divide by zero.
+	bins, err = EqualWidth([]float64{5, 5, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Errorf("constant input lost values: %d", total)
+	}
+}
+
+func TestEqualFrequency(t *testing.T) {
+	// Heavily skewed data: equal-frequency keeps bucket counts balanced.
+	var vals []float64
+	for i := 0; i < 90; i++ {
+		vals = append(vals, float64(i)/100)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 1000+float64(i))
+	}
+	bins, err := EqualFrequency(vals, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	for i, b := range bins {
+		if b.Count != 10 {
+			t.Errorf("bin %d count = %d, want 10", i, b.Count)
+		}
+	}
+}
+
+func TestEqualFrequencyFewerValuesThanBins(t *testing.T) {
+	bins, err := EqualFrequency([]float64{3, 1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 3 {
+		t.Errorf("bins = %d, want 3", len(bins))
+	}
+	if bins[0].Lo != 1 || bins[2].Lo != 3 {
+		t.Errorf("bins not sorted: %+v", bins)
+	}
+}
+
+// Property: binning conserves count and sum.
+func TestBinningConservationProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8, bins8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8)%300 + 1
+		nb := int(bins8)%20 + 1
+		vals := make([]float64, n)
+		var sum float64
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+			sum += vals[i]
+		}
+		for _, f := range []func([]float64, int) ([]Bin, error){EqualWidth, EqualFrequency} {
+			bins, err := f(vals, nb)
+			if err != nil {
+				return false
+			}
+			count, binSum := 0, 0.0
+			for _, b := range bins {
+				count += b.Count
+				binSum += b.Sum
+			}
+			if count != n || math.Abs(binSum-sum) > 1e-6*math.Max(1, math.Abs(sum)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByTime(t *testing.T) {
+	mk := func(y int, m time.Month, d int) time.Time {
+		return time.Date(y, m, d, 12, 0, 0, 0, time.UTC)
+	}
+	ts := []time.Time{mk(2015, 1, 1), mk(2015, 6, 15), mk(2016, 3, 15), mk(2016, 3, 20)}
+	vals := []float64{1, 2, 3, 4}
+
+	byYear, err := ByTime(ts, vals, ByYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byYear) != 2 || byYear[0].Label != "2015" || byYear[0].Count != 2 || byYear[0].Sum != 3 {
+		t.Errorf("byYear = %+v", byYear)
+	}
+	byMonth, _ := ByTime(ts, vals, ByMonth)
+	if len(byMonth) != 3 || byMonth[2].Label != "2016-03" || byMonth[2].Count != 2 {
+		t.Errorf("byMonth = %+v", byMonth)
+	}
+	byDay, _ := ByTime(ts, nil, ByDay)
+	if len(byDay) != 4 {
+		t.Errorf("byDay = %+v", byDay)
+	}
+	byHour, _ := ByTime(ts[:1], nil, ByHour)
+	if byHour[0].Label != "2015-01-01T12" {
+		t.Errorf("byHour label = %q", byHour[0].Label)
+	}
+}
+
+func TestByTimeLengthMismatch(t *testing.T) {
+	if _, err := ByTime([]time.Time{time.Now()}, []float64{1, 2}, ByYear); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestBin2D(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 0.1}
+	ys := []float64{0, 1, 2, 3, 0.1}
+	g, err := Bin2D(xs, ys, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 5 {
+		t.Errorf("Total = %d", g.Total())
+	}
+	cells := g.NonEmpty()
+	if len(cells) != 2 {
+		t.Fatalf("non-empty cells = %d, want 2 (diagonal)", len(cells))
+	}
+	if cells[0].Count != 3 { // 0, 0.1, 1 in lower-left... (1 maps to bin 0? 1/3*2=0.66 -> 0)
+		t.Errorf("densest cell = %+v", cells[0])
+	}
+}
+
+func TestBin2DEdgeCases(t *testing.T) {
+	if _, err := Bin2D(nil, nil, 0, 2); err != ErrBadBins {
+		t.Error("0 bins accepted")
+	}
+	if _, err := Bin2D([]float64{1}, nil, 2, 2); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	g, err := Bin2D(nil, nil, 2, 2)
+	if err != nil || g.Total() != 0 {
+		t.Error("empty input should give empty grid")
+	}
+}
+
+func TestM4ReducesAndKeepsExtremes(t *testing.T) {
+	// A long series with one extreme spike: M4 must retain the spike.
+	var series []M4Point
+	for i := 0; i < 10000; i++ {
+		v := math.Sin(float64(i) / 100)
+		if i == 5555 {
+			v = 99
+		}
+		series = append(series, M4Point{T: float64(i), V: v})
+	}
+	out, err := M4(series, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) > 4*100 {
+		t.Errorf("M4 output %d > 4*width", len(out))
+	}
+	foundSpike := false
+	for _, p := range out {
+		if p.V == 99 {
+			foundSpike = true
+		}
+	}
+	if !foundSpike {
+		t.Error("M4 lost the spike (max of its pixel column)")
+	}
+	// Output must remain sorted by T within tolerance of column ordering.
+	for i := 1; i < len(out); i++ {
+		if out[i].T < out[i-1].T {
+			t.Errorf("M4 output unsorted at %d", i)
+			break
+		}
+	}
+}
+
+func TestM4SmallSeriesPassThrough(t *testing.T) {
+	series := []M4Point{{0, 1}, {1, 2}, {2, 3}}
+	out, err := M4(series, 100)
+	if err != nil || len(out) != 3 {
+		t.Errorf("small series should pass through: %v %v", out, err)
+	}
+	if _, err := M4(series, 0); err != ErrBadBins {
+		t.Error("width=0 accepted")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	type rec struct {
+		class string
+		val   float64
+	}
+	items := []rec{{"a", 1}, {"b", 2}, {"a", 3}, {"c", 4}, {"a", 5}}
+	groups := GroupBy(items, func(r rec) string { return r.class }, func(r rec) float64 { return r.val })
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Key != "a" || groups[0].Count != 3 || groups[0].Sum != 9 {
+		t.Errorf("top group = %+v", groups[0])
+	}
+	// nil value function counts only.
+	counts := GroupBy(items, func(r rec) string { return r.class }, nil)
+	if counts[0].Sum != 0 {
+		t.Error("nil value fn should not sum")
+	}
+}
+
+func TestGroupByDeterministicTieBreak(t *testing.T) {
+	items := []string{"b", "a"}
+	groups := GroupBy(items, func(s string) string { return s }, nil)
+	if groups[0].Key != "a" || groups[1].Key != "b" {
+		t.Errorf("tie-break not lexicographic: %+v", groups)
+	}
+}

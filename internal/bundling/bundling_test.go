@@ -1,0 +1,160 @@
+package bundling
+
+import (
+	"math"
+	"testing"
+)
+
+// starTree builds a 2-level hierarchy: root 0, two cluster nodes 1 and 2,
+// leaves 3,4 under 1 and 5,6 under 2.
+func starTree() (parent []int, pos []Point) {
+	parent = []int{-1, 0, 0, 1, 1, 2, 2}
+	pos = []Point{
+		{50, 50},           // root
+		{20, 50}, {80, 50}, // clusters
+		{10, 30}, {10, 70}, // leaves left
+		{90, 30}, {90, 70}, // leaves right
+	}
+	return
+}
+
+func TestHierarchicalBundleFullBeta(t *testing.T) {
+	parent, pos := starTree()
+	edges := []Edge{{3, 5}, {4, 6}}
+	lines := HierarchicalBundle(edges, parent, pos, 1.0)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// With beta=1 the path must route via cluster centroids and the root:
+	// 3 → 1 → 0 → 2 → 5 = 5 points.
+	if len(lines[0]) != 5 {
+		t.Fatalf("path length = %d, want 5: %v", len(lines[0]), lines[0])
+	}
+	if lines[0][2] != (Point{50, 50}) {
+		t.Errorf("midpoint should be the root: %v", lines[0][2])
+	}
+	// Endpoints preserved.
+	if lines[0][0] != pos[3] || lines[0][4] != pos[5] {
+		t.Error("endpoints moved")
+	}
+}
+
+func TestHierarchicalBundleZeroBetaIsStraight(t *testing.T) {
+	parent, pos := starTree()
+	edges := []Edge{{3, 5}}
+	lines := HierarchicalBundle(edges, parent, pos, 0)
+	// All control points must lie on the straight segment.
+	a, b := pos[3], pos[5]
+	for _, p := range lines[0] {
+		// Collinearity: cross product ~ 0.
+		cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+		if math.Abs(cross) > 1e-6 {
+			t.Errorf("point %v off the straight line", p)
+		}
+	}
+}
+
+func TestHierarchicalBundleSameCluster(t *testing.T) {
+	parent, pos := starTree()
+	edges := []Edge{{3, 4}} // same cluster: path 3 → 1 → 4
+	lines := HierarchicalBundle(edges, parent, pos, 1)
+	if len(lines[0]) != 3 {
+		t.Errorf("intra-cluster path = %d points, want 3", len(lines[0]))
+	}
+}
+
+func TestHierarchicalBundleBetaClamped(t *testing.T) {
+	parent, pos := starTree()
+	edges := []Edge{{3, 5}}
+	for _, beta := range []float64{-0.5, 1.5} {
+		lines := HierarchicalBundle(edges, parent, pos, beta)
+		if len(lines) != 1 || len(lines[0]) < 2 {
+			t.Errorf("beta=%g produced %v", beta, lines)
+		}
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	p := Polyline{{0, 0}, {3, 4}, {3, 8}}
+	if p.Length() != 9 {
+		t.Errorf("Length = %g, want 9", p.Length())
+	}
+}
+
+func TestFDEBAttractsParallelEdges(t *testing.T) {
+	// Two parallel horizontal edges close together must be pulled toward
+	// each other's midlines.
+	pos := []Point{{0, 0}, {100, 0}, {0, 10}, {100, 10}}
+	edges := []Edge{{0, 1}, {2, 3}}
+	lines := FDEB(edges, pos, FDEBOptions{Subdivisions: 8, Iterations: 40})
+	mid0 := lines[0][4]
+	mid1 := lines[1][4]
+	gap := math.Abs(mid0.Y - mid1.Y)
+	if gap >= 10 {
+		t.Errorf("midpoint gap = %g, want < 10 (attracted)", gap)
+	}
+	// Endpoints must not move.
+	if lines[0][0] != pos[0] || lines[0][8] != pos[1] {
+		t.Error("endpoints moved")
+	}
+}
+
+func TestFDEBIncompatibleEdgesUnmoved(t *testing.T) {
+	// Perpendicular distant edges should stay nearly straight.
+	pos := []Point{{0, 0}, {100, 0}, {500, 500}, {500, 600}}
+	edges := []Edge{{0, 1}, {2, 3}}
+	lines := FDEB(edges, pos, FDEBOptions{Subdivisions: 8, Iterations: 40})
+	for _, p := range lines[0] {
+		if math.Abs(p.Y) > 1 {
+			t.Errorf("incompatible edge bent: %v", p)
+		}
+	}
+}
+
+func TestFDEBSingleEdge(t *testing.T) {
+	pos := []Point{{0, 0}, {10, 10}}
+	lines := FDEB([]Edge{{0, 1}}, pos, FDEBOptions{})
+	if len(lines) != 1 || len(lines[0]) != 17 {
+		t.Errorf("single edge: %d lines, %d points", len(lines), len(lines[0]))
+	}
+}
+
+func TestInkRatioBundledSavesInk(t *testing.T) {
+	// Many parallel edges: bundled through a shared spine should touch
+	// fewer cells than straight lines fanned out.
+	var straight, bundled []Polyline
+	for i := 0; i < 20; i++ {
+		y := float64(i * 5)
+		straight = append(straight, Polyline{{0, y}, {100, 50}})
+		// Bundled: route via a shared spine.
+		bundled = append(bundled, Polyline{{0, y}, {50, 50}, {100, 50}})
+	}
+	ratio := InkRatio(straight, bundled, 128)
+	if ratio >= 1 {
+		t.Errorf("InkRatio = %g, want < 1", ratio)
+	}
+}
+
+func TestInkRatioIdentical(t *testing.T) {
+	lines := []Polyline{{{0, 0}, {10, 10}}}
+	if r := InkRatio(lines, lines, 64); math.Abs(r-1) > 1e-9 {
+		t.Errorf("identical drawings ratio = %g", r)
+	}
+}
+
+func TestEdgeCompatibilityRange(t *testing.T) {
+	// Parallel identical edges: compatibility 1.
+	c := edgeCompatibility(Point{0, 0}, Point{10, 0}, Point{0, 1}, Point{10, 1})
+	if c < 0.8 || c > 1 {
+		t.Errorf("parallel compatibility = %g", c)
+	}
+	// Perpendicular edges: low angle compatibility.
+	c = edgeCompatibility(Point{0, 0}, Point{10, 0}, Point{5, -5}, Point{5, 5})
+	if c > 0.3 {
+		t.Errorf("perpendicular compatibility = %g", c)
+	}
+	// Degenerate edge.
+	if edgeCompatibility(Point{0, 0}, Point{0, 0}, Point{1, 1}, Point{2, 2}) != 0 {
+		t.Error("degenerate edge compatibility != 0")
+	}
+}

@@ -1,0 +1,395 @@
+// Package cluster implements the clustering techniques the survey's systems
+// use for abstraction: k-means for numeric attributes (Trisolda-style node
+// merging), agglomerative clustering for small sets, and graph clustering —
+// label propagation and greedy modularity (Louvain-style) — which the
+// hierarchical graph-abstraction systems [1,8,9,93] build their layers from.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadK is returned when k is out of range.
+var ErrBadK = errors.New("cluster: k must be in 1..len(points)")
+
+// KMeansResult holds a k-means clustering.
+type KMeansResult struct {
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Iterations is how many Lloyd iterations ran.
+	Iterations int
+	// Inertia is the total within-cluster squared distance.
+	Inertia float64
+}
+
+// KMeans clusters d-dimensional points with Lloyd's algorithm and k-means++
+// seeding. Deterministic for a given seed.
+func KMeans(points [][]float64, k int, seed int64, maxIter int) (*KMeansResult, error) {
+	if k <= 0 || k > len(points) {
+		return nil, ErrBadK
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		dim := len(points[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := range p {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the farthest point.
+				centroids[c] = points[farthestPoint(points, centroids, rng)]
+				continue
+			}
+			for d := range sums[c] {
+				sums[c][d] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+	}
+	for i, p := range points {
+		res.Inertia += sqDist(p, centroids[assign[i]])
+	}
+	res.Centroids = centroids
+	res.Assign = assign
+	return res, nil
+}
+
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))])
+	for len(centroids) < k {
+		// Choose next center with probability proportional to D².
+		dists := make([]float64, len(points))
+		total := 0.0
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				d = math.Min(d, sqDist(p, c))
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			centroids = append(centroids, points[rng.Intn(len(points))])
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		chosen := len(points) - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= r {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, points[chosen])
+	}
+	return centroids
+}
+
+func farthestPoint(points [][]float64, centroids [][]float64, rng *rand.Rand) int {
+	best, bestD := rng.Intn(len(points)), -1.0
+	for i, p := range points {
+		d := math.Inf(1)
+		for _, c := range centroids {
+			d = math.Min(d, sqDist(p, c))
+		}
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Agglomerative performs average-linkage hierarchical clustering of 1-D
+// values down to k clusters, returning the assignment. Intended for the
+// small candidate sets visualization front-ends cluster (legend grouping,
+// color assignment), so the O(n³) simplicity is acceptable; callers should
+// reduce first for large n.
+func Agglomerative(values []float64, k int) ([]int, error) {
+	n := len(values)
+	if k <= 0 || k > n {
+		return nil, ErrBadK
+	}
+	// Start with singleton clusters.
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	mean := func(c []int) float64 {
+		s := 0.0
+		for _, i := range c {
+			s += values[i]
+		}
+		return s / float64(len(c))
+	}
+	for len(clusters) > k {
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				d := math.Abs(mean(clusters[i]) - mean(clusters[j]))
+				if d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	assign := make([]int, n)
+	for ci, c := range clusters {
+		for _, i := range c {
+			assign[i] = ci
+		}
+	}
+	return assign, nil
+}
+
+// Graph is an undirected graph in adjacency-list form for community
+// detection. Nodes are 0..N-1.
+type Graph struct {
+	N   int
+	Adj [][]int
+}
+
+// NewGraph builds an undirected graph from edge pairs (self-loops kept,
+// duplicates allowed).
+func NewGraph(n int, edges [][2]int) *Graph {
+	g := &Graph{N: n, Adj: make([][]int, n)}
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			continue
+		}
+		g.Adj[e[0]] = append(g.Adj[e[0]], e[1])
+		if e[0] != e[1] {
+			g.Adj[e[1]] = append(g.Adj[e[1]], e[0])
+		}
+	}
+	return g
+}
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	m := 0
+	for u, nbrs := range g.Adj {
+		for _, v := range nbrs {
+			if v >= u {
+				m++
+			}
+		}
+	}
+	return m
+}
+
+// LabelPropagation detects communities by iteratively adopting each node's
+// most frequent neighbor label. Deterministic given the seed. Returns a
+// dense community id per node.
+func LabelPropagation(g *Graph, seed int64, maxRounds int) []int {
+	if maxRounds <= 0 {
+		maxRounds = 20
+	}
+	labels := make([]int, g.N)
+	for i := range labels {
+		labels[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(g.N)
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, u := range order {
+			if len(g.Adj[u]) == 0 {
+				continue
+			}
+			counts := map[int]int{}
+			for _, v := range g.Adj[u] {
+				counts[labels[v]]++
+			}
+			best, bestC := labels[u], counts[labels[u]]
+			// Deterministic tie-break: smallest label among the most frequent.
+			keys := make([]int, 0, len(counts))
+			for l := range counts {
+				keys = append(keys, l)
+			}
+			sort.Ints(keys)
+			for _, l := range keys {
+				if counts[l] > bestC {
+					best, bestC = l, counts[l]
+				}
+			}
+			if best != labels[u] {
+				labels[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return renumber(labels)
+}
+
+// Modularity computes Newman modularity Q of a community assignment.
+func Modularity(g *Graph, comm []int) float64 {
+	m := float64(g.Edges())
+	if m == 0 {
+		return 0
+	}
+	deg := make([]float64, g.N)
+	for u := range g.Adj {
+		deg[u] = float64(len(g.Adj[u]))
+	}
+	// Sum of degrees per community, and intra-community edge count.
+	commDeg := map[int]float64{}
+	intra := map[int]float64{}
+	for u, nbrs := range g.Adj {
+		commDeg[comm[u]] += deg[u]
+		for _, v := range nbrs {
+			if v >= u && comm[u] == comm[v] {
+				intra[comm[u]]++
+			}
+		}
+	}
+	q := 0.0
+	for c, e := range intra {
+		q += e/m - (commDeg[c]/(2*m))*(commDeg[c]/(2*m))
+	}
+	for c, d := range commDeg {
+		if _, ok := intra[c]; !ok {
+			q -= (d / (2 * m)) * (d / (2 * m))
+		}
+	}
+	return q
+}
+
+// GreedyModularity runs one level of Louvain-style local moving: each node
+// greedily joins the neighboring community with the best modularity gain
+// until no move improves Q. Returns the community assignment.
+func GreedyModularity(g *Graph, seed int64) []int {
+	m2 := float64(2 * g.Edges())
+	if m2 == 0 {
+		return renumber(make([]int, g.N))
+	}
+	comm := make([]int, g.N)
+	deg := make([]float64, g.N)
+	commTot := make([]float64, g.N) // sum of degrees in community
+	for i := range comm {
+		comm[i] = i
+		deg[i] = float64(len(g.Adj[i]))
+		commTot[i] = deg[i]
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(g.N)
+	improved := true
+	for rounds := 0; improved && rounds < 50; rounds++ {
+		improved = false
+		for _, u := range order {
+			cu := comm[u]
+			// Count links from u to each neighboring community.
+			links := map[int]float64{}
+			for _, v := range g.Adj[u] {
+				if v != u {
+					links[comm[v]]++
+				}
+			}
+			// Remove u from its community.
+			commTot[cu] -= deg[u]
+			bestC, bestGain := cu, 0.0
+			cands := make([]int, 0, len(links))
+			for c := range links {
+				cands = append(cands, c)
+			}
+			sort.Ints(cands)
+			for _, c := range cands {
+				gain := links[c]/m2*2 - deg[u]*commTot[c]*2/(m2*m2)
+				base := links[cu]/m2*2 - deg[u]*commTot[cu]*2/(m2*m2)
+				if gain-base > bestGain+1e-12 {
+					bestGain = gain - base
+					bestC = c
+				}
+			}
+			commTot[bestC] += deg[u]
+			if bestC != cu {
+				comm[u] = bestC
+				improved = true
+			}
+		}
+	}
+	return renumber(comm)
+}
+
+// renumber maps arbitrary labels to dense 0..k-1 ids in first-seen order.
+func renumber(labels []int) []int {
+	next := 0
+	seen := map[int]int{}
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		id, ok := seen[l]
+		if !ok {
+			id = next
+			seen[l] = id
+			next++
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// NumCommunities returns the number of distinct communities in a dense
+// assignment.
+func NumCommunities(comm []int) int {
+	max := -1
+	for _, c := range comm {
+		if c > max {
+			max = c
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var points [][]float64
+	// Three well-separated blobs.
+	for c := 0; c < 3; c++ {
+		cx, cy := float64(c*100), float64(c*100)
+		for i := 0; i < 50; i++ {
+			points = append(points, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+		}
+	}
+	res, err := KMeans(points, 3, 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every blob must be pure: same assignment within each block of 50.
+	for c := 0; c < 3; c++ {
+		first := res.Assign[c*50]
+		for i := 1; i < 50; i++ {
+			if res.Assign[c*50+i] != first {
+				t.Fatalf("blob %d split across clusters", c)
+			}
+		}
+	}
+	if res.Inertia > 1000 {
+		t.Errorf("inertia = %g, too high for separated blobs", res.Inertia)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, 1, 10); err != ErrBadK {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(pts, 3, 1, 10); err != ErrBadK {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := [][]float64{{0}, {10}, {20}}
+	res, err := KMeans(pts, 3, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n should give singleton clusters, got %v", res.Assign)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("inertia = %g, want 0", res.Inertia)
+	}
+}
+
+// Property: k-means assignment indexes are always within range and inertia
+// is non-negative.
+func TestKMeansBoundsProperty(t *testing.T) {
+	f := func(seed int64, n8, k8 uint8) bool {
+		n := int(n8)%50 + 2
+		k := int(k8)%n + 1
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		res, err := KMeans(pts, k, seed, 30)
+		if err != nil {
+			return false
+		}
+		if res.Inertia < 0 || len(res.Assign) != n || len(res.Centroids) != k {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgglomerative(t *testing.T) {
+	values := []float64{1, 1.1, 1.2, 50, 50.5, 100}
+	assign, err := Agglomerative(values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Errorf("low values split: %v", assign)
+	}
+	if assign[3] != assign[4] {
+		t.Errorf("mid values split: %v", assign)
+	}
+	if assign[5] == assign[0] || assign[5] == assign[3] {
+		t.Errorf("outlier merged: %v", assign)
+	}
+}
+
+func TestAgglomerativeErrors(t *testing.T) {
+	if _, err := Agglomerative([]float64{1}, 0); err != ErrBadK {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Agglomerative([]float64{1}, 2); err != ErrBadK {
+		t.Error("k>n accepted")
+	}
+}
+
+// twoCliques builds two K5 cliques joined by a single bridge edge.
+func twoCliques() *Graph {
+	var edges [][2]int
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]int{i, j})
+			edges = append(edges, [2]int{i + 5, j + 5})
+		}
+	}
+	edges = append(edges, [2]int{4, 5})
+	return NewGraph(10, edges)
+}
+
+func TestLabelPropagationFindsCliques(t *testing.T) {
+	g := twoCliques()
+	comm := LabelPropagation(g, 3, 30)
+	if NumCommunities(comm) < 1 || NumCommunities(comm) > 3 {
+		t.Fatalf("communities = %d", NumCommunities(comm))
+	}
+	// Nodes within each clique should agree (allow the bridge endpoints to
+	// flip, but the clique cores must be uniform).
+	for c := 0; c < 2; c++ {
+		base := comm[c*5+1]
+		for i := 1; i < 4; i++ {
+			if comm[c*5+i] != base {
+				t.Errorf("clique %d core split: %v", c, comm)
+			}
+		}
+	}
+}
+
+func TestGreedyModularityImprovesQ(t *testing.T) {
+	g := twoCliques()
+	trivial := make([]int, g.N)
+	for i := range trivial {
+		trivial[i] = i
+	}
+	qTrivial := Modularity(g, trivial)
+	comm := GreedyModularity(g, 5)
+	qFound := Modularity(g, comm)
+	if qFound <= qTrivial {
+		t.Errorf("greedy Q=%g not better than singleton Q=%g", qFound, qTrivial)
+	}
+	// The ideal partition has Q ≈ 0.45 for two cliques with one bridge.
+	ideal := make([]int, 10)
+	for i := 5; i < 10; i++ {
+		ideal[i] = 1
+	}
+	qIdeal := Modularity(g, ideal)
+	if qFound < qIdeal-0.2 {
+		t.Errorf("greedy Q=%g far from ideal %g", qFound, qIdeal)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g := NewGraph(3, nil)
+	if q := Modularity(g, []int{0, 1, 2}); q != 0 {
+		t.Errorf("empty graph Q = %g", q)
+	}
+	comm := GreedyModularity(g, 1)
+	if len(comm) != 3 {
+		t.Errorf("assignment length = %d", len(comm))
+	}
+}
+
+func TestNewGraphIgnoresOutOfRange(t *testing.T) {
+	g := NewGraph(2, [][2]int{{0, 1}, {0, 5}, {-1, 0}})
+	if g.Edges() != 1 {
+		t.Errorf("Edges = %d, want 1", g.Edges())
+	}
+}
+
+func TestRenumberDense(t *testing.T) {
+	out := renumber([]int{7, 7, 3, 7, 3, 9})
+	want := []int{0, 0, 1, 0, 1, 2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("renumber = %v, want %v", out, want)
+		}
+	}
+}
+
+// Property: modularity of any assignment is in [-1, 1].
+func TestModularityRangeProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8)%30 + 2
+		rng := rand.New(rand.NewSource(seed))
+		var edges [][2]int
+		for i := 0; i < n*2; i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		g := NewGraph(n, edges)
+		comm := make([]int, n)
+		for i := range comm {
+			comm[i] = rng.Intn(3)
+		}
+		q := Modularity(g, comm)
+		return q >= -1.000001 && q <= 1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

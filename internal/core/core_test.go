@@ -1,0 +1,221 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/sampling"
+	"github.com/lodviz/lodviz/internal/vis"
+)
+
+func miniExplorer() *Explorer {
+	return NewExplorer(gen.MiniLODStore(), DefaultPreferences())
+}
+
+func TestOverview(t *testing.T) {
+	e := miniExplorer()
+	o := e.Overview()
+	if o.Triples == 0 || o.Terms == 0 {
+		t.Fatalf("overview = %+v", o)
+	}
+	if len(o.Classes) == 0 {
+		t.Fatal("no classes in overview")
+	}
+	// City (5 instances) should rank above Country (3).
+	var cityIdx, countryIdx int = -1, -1
+	for i, c := range o.Classes {
+		switch c.Key {
+		case "City":
+			cityIdx = i
+		case "Country":
+			countryIdx = i
+		}
+	}
+	if cityIdx < 0 || countryIdx < 0 || cityIdx > countryIdx {
+		t.Errorf("class ranking: %v", o.Classes)
+	}
+}
+
+func TestQueryThroughExplorer(t *testing.T) {
+	e := miniExplorer()
+	res, err := e.Query(`
+PREFIX ex: <http://lodviz.example.org/mini/>
+SELECT ?c WHERE { ?c a ex:City }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("cities = %d", len(res.Rows))
+	}
+}
+
+func TestSearchAndDetails(t *testing.T) {
+	e := miniExplorer()
+	hits := e.Search("Athens", 5)
+	if len(hits) == 0 {
+		t.Fatal("no hits for Athens")
+	}
+	d := e.Details(hits[0].Entity)
+	if d.Label != "Athens" {
+		t.Errorf("label = %q", d.Label)
+	}
+	if len(d.Outgoing) == 0 {
+		t.Error("no outgoing statements")
+	}
+	// Athens is the object of livesIn statements.
+	if len(d.Incoming) == 0 {
+		t.Error("no incoming statements")
+	}
+}
+
+func TestFacetsIntegration(t *testing.T) {
+	e := miniExplorer()
+	s := e.Facets()
+	if s.Count() == 0 {
+		t.Fatal("empty facet session")
+	}
+}
+
+func TestNumericHierarchyAndOverview(t *testing.T) {
+	e := miniExplorer()
+	prop := rdf.IRI("http://lodviz.example.org/mini/population")
+	tree, err := e.NumericHierarchy(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 8 { // 5 cities + 3 countries
+		t.Errorf("tree items = %d", tree.Len())
+	}
+	// Cached on second call.
+	tree2, _ := e.NumericHierarchy(prop)
+	if tree != tree2 {
+		t.Error("hierarchy not cached")
+	}
+	spec, err := e.NumericOverview(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Type != vis.Histogram || spec.PointCount() == 0 {
+		t.Errorf("overview spec = %+v", spec)
+	}
+}
+
+func TestNumericHierarchyErrors(t *testing.T) {
+	e := miniExplorer()
+	if _, err := e.NumericHierarchy("http://lodviz.example.org/mini/nope"); err == nil {
+		t.Error("missing property accepted")
+	}
+}
+
+func TestZoomNumeric(t *testing.T) {
+	e := miniExplorer()
+	prop := rdf.IRI("http://lodviz.example.org/mini/population")
+	nodes, err := e.ZoomNumeric(prop, 0, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, n := range nodes {
+		count += n.Count
+	}
+	if count < 3 { // at least the cities under 1M
+		t.Errorf("zoom covered %d items", count)
+	}
+}
+
+func TestSetPreferencesAdaptsTrees(t *testing.T) {
+	e := miniExplorer()
+	prop := rdf.IRI("http://lodviz.example.org/mini/population")
+	if _, err := e.NumericHierarchy(prop); err != nil {
+		t.Fatal(err)
+	}
+	p := e.Preferences()
+	p.TreeDegree = 8
+	p.LeafCapacity = 2
+	if err := e.SetPreferences(p); err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := e.NumericHierarchy(prop)
+	if tree.MaterializedNodes() != 1 {
+		t.Errorf("tree not reset by adaptation: %d nodes", tree.MaterializedNodes())
+	}
+	// Invalid preference propagates an error.
+	p.TreeDegree = 1
+	if err := e.SetPreferences(p); err == nil {
+		t.Error("invalid degree accepted")
+	}
+}
+
+func TestReducePointsStrategies(t *testing.T) {
+	prefs := DefaultPreferences()
+	prefs.PixelBudget = vis.PixelBudget{Width: 100, Height: 100} // budget = 100 points
+	st := gen.MiniLODStore()
+
+	var pts []sampling.Point
+	for i := 0; i < 5000; i++ {
+		pts = append(pts, sampling.Point{X: float64(i % 70), Y: float64(i / 70)})
+	}
+
+	for _, tc := range []struct {
+		red  Reduction
+		want string
+	}{
+		{Auto, "aggregation"},
+		{PreferAggregation, "aggregation"},
+		{PreferSampling, "sampling"},
+		{NoReduction, "none"},
+	} {
+		prefs.Reduction = tc.red
+		e := NewExplorer(st, prefs)
+		out, how := e.ReducePoints(pts)
+		if how != tc.want {
+			t.Errorf("reduction %v: how = %s, want %s", tc.red, how, tc.want)
+		}
+		if tc.red != NoReduction && len(out) > 150 {
+			t.Errorf("reduction %v: %d points remain", tc.red, len(out))
+		}
+		if tc.red == NoReduction && len(out) != len(pts) {
+			t.Error("NoReduction changed the data")
+		}
+	}
+}
+
+func TestReduceSmallInputPassesThrough(t *testing.T) {
+	e := miniExplorer()
+	pts := []sampling.Point{{X: 1, Y: 1}}
+	out, how := e.ReducePoints(pts)
+	if how != "none" || len(out) != 1 {
+		t.Errorf("small input reduced: %s %d", how, len(out))
+	}
+}
+
+func TestRecommendForAndVisualize(t *testing.T) {
+	e := miniExplorer()
+	q := `
+PREFIX ex: <http://lodviz.example.org/mini/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT ?label ?population WHERE { ?c a ex:City ; rdfs:label ?label ; ex:population ?population . }`
+	recs, abs, err := e.RecommendFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(abs.Rows) != 5 {
+		t.Fatalf("recs=%d rows=%d", len(recs), len(abs.Rows))
+	}
+	spec, svg, err := e.Visualize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.PointCount() == 0 || !strings.HasPrefix(svg, "<svg") {
+		t.Error("visualization pipeline produced nothing")
+	}
+}
+
+func TestZeroPreferencesGetDefaults(t *testing.T) {
+	e := NewExplorer(gen.MiniLODStore(), Preferences{})
+	if e.Preferences().PixelBudget.Pixels() == 0 {
+		t.Error("zero preferences not defaulted")
+	}
+}

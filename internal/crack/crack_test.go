@@ -1,0 +1,186 @@
+package crack
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomValues(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	return vals
+}
+
+func TestNewEmpty(t *testing.T) {
+	if _, err := New(nil); err != ErrEmptyColumn {
+		t.Errorf("err = %v, want ErrEmptyColumn", err)
+	}
+}
+
+func TestRangeMatchesScan(t *testing.T) {
+	vals := randomValues(1, 5000)
+	c, err := New(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := NewScan(vals)
+	queries := [][2]float64{{100, 200}, {0, 1000}, {500, 501}, {900, 1200}, {-10, 50}, {200, 100}}
+	for _, q := range queries {
+		lo, hi := q[0], q[1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := c.Count(q[0], q[1])
+		want := scan.Count(lo, hi)
+		if got != want {
+			t.Errorf("Count(%g,%g) = %d, want %d", q[0], q[1], got, want)
+		}
+	}
+	if !c.CheckInvariant() {
+		t.Error("invariant violated after queries")
+	}
+}
+
+func TestSumMatchesScan(t *testing.T) {
+	vals := randomValues(2, 1000)
+	c, _ := New(vals)
+	scan := NewScan(vals)
+	var want float64
+	for _, v := range scan.Range(100, 400) {
+		want += v
+	}
+	got := c.Sum(100, 400)
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}
+
+func TestPiecesGrowWithQueries(t *testing.T) {
+	c, _ := New(randomValues(3, 10000))
+	if c.Pieces() != 1 {
+		t.Errorf("initial pieces = %d", c.Pieces())
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		lo := rng.Float64() * 900
+		c.Range(lo, lo+50)
+	}
+	if c.Pieces() < 20 {
+		t.Errorf("pieces after 50 queries = %d, expected index to accumulate", c.Pieces())
+	}
+	if !c.CheckInvariant() {
+		t.Error("invariant violated")
+	}
+}
+
+func TestRepeatedQueryIsStable(t *testing.T) {
+	c, _ := New(randomValues(5, 2000))
+	first := c.Count(250, 750)
+	swapsAfterFirst := c.Swaps()
+	for i := 0; i < 10; i++ {
+		if got := c.Count(250, 750); got != first {
+			t.Fatalf("repeat query changed answer: %d != %d", got, first)
+		}
+	}
+	if c.Swaps() != swapsAfterFirst {
+		t.Errorf("repeated identical query did %d extra swaps", c.Swaps()-swapsAfterFirst)
+	}
+}
+
+func TestCrackingConvergesTowardSorted(t *testing.T) {
+	vals := randomValues(6, 4000)
+	c, _ := New(vals)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		lo := rng.Float64() * 1000
+		c.Range(lo, lo+rng.Float64()*100)
+	}
+	// After many cracks, pieces are small; count strictly-descending
+	// adjacent pairs as a sortedness proxy.
+	inversions := 0
+	for i := 1; i < len(c.vals); i++ {
+		if c.vals[i] < c.vals[i-1] {
+			inversions++
+		}
+	}
+	if inversions > len(c.vals)/2 {
+		t.Errorf("inversions = %d of %d — column not converging", inversions, len(c.vals))
+	}
+}
+
+// Property: cracking answers every query sequence exactly like the scan and
+// sorted baselines, and preserves the multiset of values.
+func TestCrackEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, q8 uint8) bool {
+		vals := randomValues(seed, 300)
+		c, err := New(vals)
+		if err != nil {
+			return false
+		}
+		scan := NewScan(vals)
+		sorted := NewSorted(vals)
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		for i := 0; i < int(q8)%20+1; i++ {
+			lo := rng.Float64() * 1000
+			hi := lo + rng.Float64()*200
+			if c.Count(lo, hi) != scan.Count(lo, hi) || scan.Count(lo, hi) != sorted.Count(lo, hi) {
+				return false
+			}
+		}
+		if !c.CheckInvariant() {
+			return false
+		}
+		// Multiset preservation.
+		a := append([]float64(nil), c.vals...)
+		b := append([]float64(nil), vals...)
+		sort.Float64s(a)
+		sort.Float64s(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	scan := NewScan(vals)
+	if got := scan.Count(2, 5); got != 3 {
+		t.Errorf("scan Count = %d, want 3 (2,3,4)", got)
+	}
+	sorted := NewSorted(vals)
+	if got := sorted.Count(2, 5); got != 3 {
+		t.Errorf("sorted Count = %d", got)
+	}
+	r := sorted.Range(2, 5)
+	if len(r) != 3 || r[0] != 2 || r[2] != 4 {
+		t.Errorf("sorted Range = %v", r)
+	}
+}
+
+func TestDuplicateHeavyColumn(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i % 5)
+	}
+	c, _ := New(vals)
+	scan := NewScan(vals)
+	for lo := 0.0; lo < 5; lo++ {
+		if c.Count(lo, lo+1) != scan.Count(lo, lo+1) {
+			t.Errorf("dup Count(%g) mismatch", lo)
+		}
+	}
+	if !c.CheckInvariant() {
+		t.Error("invariant violated with duplicates")
+	}
+}

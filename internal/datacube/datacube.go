@@ -1,0 +1,272 @@
+// Package datacube supports the W3C RDF Data Cube vocabulary, the substrate
+// of the survey's statistical Linked Data systems (§3.3: CubeViz, Payola
+// Data Cube, OpenCube, LDCE, [106]): it parses data structure definitions,
+// extracts observations, slices cubes by dimension bindings, and pivots
+// slices into the two-dimensional tables those browsers render.
+package datacube
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Component is one dimension or measure of a cube.
+type Component struct {
+	Property rdf.IRI
+	// IsMeasure distinguishes measures from dimensions.
+	IsMeasure bool
+}
+
+// Cube is a parsed RDF data cube.
+type Cube struct {
+	// IRI identifies the qb:DataSet.
+	IRI rdf.IRI
+	// Dimensions and Measures, in discovery order.
+	Dimensions []rdf.IRI
+	Measures   []rdf.IRI
+	// Observations hold one value per component.
+	Observations []Observation
+}
+
+// Observation is one qb:Observation's bindings.
+type Observation struct {
+	// Dims maps dimension property → value.
+	Dims map[rdf.IRI]rdf.Term
+	// Values maps measure property → numeric value.
+	Values map[rdf.IRI]float64
+}
+
+// ErrNoCube is returned when the store declares no qb:DataSet.
+var ErrNoCube = errors.New("datacube: no qb:DataSet found")
+
+// Discover lists the qb:DataSet IRIs in the store.
+func Discover(st *store.Store) []rdf.IRI {
+	var out []rdf.IRI
+	for _, s := range st.Subjects(rdf.RDFType, rdf.QBDataSet) {
+		if iri, ok := s.(rdf.IRI); ok {
+			out = append(out, iri)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Load parses one cube: its structure definition and observations.
+func Load(st *store.Store, dataset rdf.IRI) (*Cube, error) {
+	if !st.Contains(rdf.Triple{S: dataset, P: rdf.RDFType, O: rdf.QBDataSet}) {
+		return nil, fmt.Errorf("datacube: %s: %w", dataset, ErrNoCube)
+	}
+	c := &Cube{IRI: dataset}
+	// Structure: dataset qb:structure ?dsd . ?dsd qb:component ?c .
+	// ?c qb:dimension|qb:measure ?prop .
+	for _, dsd := range st.Objects(dataset, rdf.QBStructure) {
+		for _, comp := range st.Objects(dsd, rdf.QBComponent) {
+			for _, d := range st.Objects(comp, rdf.QBDimension) {
+				if iri, ok := d.(rdf.IRI); ok {
+					c.Dimensions = append(c.Dimensions, iri)
+				}
+			}
+			for _, m := range st.Objects(comp, rdf.QBMeasure) {
+				if iri, ok := m.(rdf.IRI); ok {
+					c.Measures = append(c.Measures, iri)
+				}
+			}
+		}
+	}
+	sort.Slice(c.Dimensions, func(i, j int) bool { return c.Dimensions[i] < c.Dimensions[j] })
+	sort.Slice(c.Measures, func(i, j int) bool { return c.Measures[i] < c.Measures[j] })
+	if len(c.Dimensions) == 0 || len(c.Measures) == 0 {
+		return nil, fmt.Errorf("datacube: %s: structure has %d dimensions, %d measures",
+			dataset, len(c.Dimensions), len(c.Measures))
+	}
+	// Observations.
+	dimSet := map[rdf.IRI]bool{}
+	for _, d := range c.Dimensions {
+		dimSet[d] = true
+	}
+	measSet := map[rdf.IRI]bool{}
+	for _, m := range c.Measures {
+		measSet[m] = true
+	}
+	for _, obsT := range st.Subjects(rdf.QBDataSetProp, dataset) {
+		obs := Observation{Dims: map[rdf.IRI]rdf.Term{}, Values: map[rdf.IRI]float64{}}
+		complete := true
+		st.ForEach(store.Pattern{S: obsT}, func(t rdf.Triple) bool {
+			switch {
+			case dimSet[t.P]:
+				obs.Dims[t.P] = t.O
+			case measSet[t.P]:
+				if l, ok := t.O.(rdf.Literal); ok {
+					if v, ok := l.Float(); ok {
+						obs.Values[t.P] = v
+					}
+				}
+			}
+			return true
+		})
+		for _, d := range c.Dimensions {
+			if _, ok := obs.Dims[d]; !ok {
+				complete = false
+			}
+		}
+		if complete && len(obs.Values) > 0 {
+			c.Observations = append(c.Observations, obs)
+		}
+	}
+	return c, nil
+}
+
+// DimensionValues returns the distinct values of a dimension, sorted.
+func (c *Cube) DimensionValues(dim rdf.IRI) []rdf.Term {
+	seen := map[rdf.Term]struct{}{}
+	var out []rdf.Term
+	for _, o := range c.Observations {
+		if v, ok := o.Dims[dim]; ok {
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Slice fixes some dimensions to values and returns the matching
+// observations — qb:Slice materialized on demand.
+func (c *Cube) Slice(fixed map[rdf.IRI]rdf.Term) []Observation {
+	var out []Observation
+	for _, o := range c.Observations {
+		match := true
+		for d, v := range fixed {
+			if o.Dims[d] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// PivotTable is a 2-D aggregation of a cube: rows × columns of summed
+// measure values — what CubeViz and the OpenCube Browser render.
+type PivotTable struct {
+	RowDim, ColDim rdf.IRI
+	Measure        rdf.IRI
+	RowKeys        []rdf.Term
+	ColKeys        []rdf.Term
+	// Cells[r][c] is the summed measure for RowKeys[r] × ColKeys[c].
+	Cells [][]float64
+}
+
+// Pivot builds a two-dimensional table over rowDim × colDim for one
+// measure, with remaining dimensions optionally fixed.
+func (c *Cube) Pivot(rowDim, colDim, measure rdf.IRI, fixed map[rdf.IRI]rdf.Term) (*PivotTable, error) {
+	if !c.hasDimension(rowDim) || !c.hasDimension(colDim) {
+		return nil, fmt.Errorf("datacube: unknown dimension in pivot (%s × %s)", rowDim, colDim)
+	}
+	if !c.hasMeasure(measure) {
+		return nil, fmt.Errorf("datacube: unknown measure %s", measure)
+	}
+	obs := c.Slice(fixed)
+	pt := &PivotTable{RowDim: rowDim, ColDim: colDim, Measure: measure}
+	rowIdx := map[rdf.Term]int{}
+	colIdx := map[rdf.Term]int{}
+	for _, o := range obs {
+		r, rok := o.Dims[rowDim]
+		cl, cok := o.Dims[colDim]
+		if !rok || !cok {
+			continue
+		}
+		if _, ok := rowIdx[r]; !ok {
+			rowIdx[r] = len(pt.RowKeys)
+			pt.RowKeys = append(pt.RowKeys, r)
+		}
+		if _, ok := colIdx[cl]; !ok {
+			colIdx[cl] = len(pt.ColKeys)
+			pt.ColKeys = append(pt.ColKeys, cl)
+		}
+	}
+	sortTerms(pt.RowKeys, rowIdx)
+	sortTerms(pt.ColKeys, colIdx)
+	pt.Cells = make([][]float64, len(pt.RowKeys))
+	for i := range pt.Cells {
+		pt.Cells[i] = make([]float64, len(pt.ColKeys))
+	}
+	for _, o := range obs {
+		r, rok := o.Dims[rowDim]
+		cl, cok := o.Dims[colDim]
+		if !rok || !cok {
+			continue
+		}
+		pt.Cells[rowIdx[r]][colIdx[cl]] += o.Values[measure]
+	}
+	return pt, nil
+}
+
+func sortTerms(keys []rdf.Term, idx map[rdf.Term]int) {
+	sort.Slice(keys, func(i, j int) bool { return rdf.Compare(keys[i], keys[j]) < 0 })
+	for i, k := range keys {
+		idx[k] = i
+	}
+}
+
+func (c *Cube) hasDimension(d rdf.IRI) bool {
+	for _, x := range c.Dimensions {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cube) hasMeasure(m rdf.IRI) bool {
+	for _, x := range c.Measures {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Totals sums a measure grouped by one dimension — the series behind
+// CubeViz's bar/line/pie charts.
+func (c *Cube) Totals(dim, measure rdf.IRI) ([]rdf.Term, []float64) {
+	idx := map[rdf.Term]int{}
+	var keys []rdf.Term
+	var vals []float64
+	for _, o := range c.Observations {
+		d, ok := o.Dims[dim]
+		if !ok {
+			continue
+		}
+		i, ok := idx[d]
+		if !ok {
+			i = len(keys)
+			idx[d] = i
+			keys = append(keys, d)
+			vals = append(vals, 0)
+		}
+		vals[i] += o.Values[measure]
+	}
+	// Sort by key for stable output.
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rdf.Compare(keys[order[a]], keys[order[b]]) < 0 })
+	outK := make([]rdf.Term, len(keys))
+	outV := make([]float64, len(keys))
+	for i, o := range order {
+		outK[i] = keys[o]
+		outV[i] = vals[o]
+	}
+	return outK, outV
+}

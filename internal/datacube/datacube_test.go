@@ -1,0 +1,158 @@
+package datacube
+
+import (
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+	"github.com/lodviz/lodviz/internal/turtle"
+)
+
+// demographics is a small qb dataset: population by (region, year).
+const demographics = `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix ex: <http://example.org/> .
+
+ex:pop a qb:DataSet ; qb:structure ex:dsd .
+ex:dsd a qb:DataStructureDefinition ;
+  qb:component [ qb:dimension ex:region ] ;
+  qb:component [ qb:dimension ex:year ] ;
+  qb:component [ qb:measure ex:population ] .
+
+ex:o1 qb:dataSet ex:pop ; ex:region ex:attica ; ex:year 2010 ; ex:population 3800000 .
+ex:o2 qb:dataSet ex:pop ; ex:region ex:attica ; ex:year 2015 ; ex:population 3750000 .
+ex:o3 qb:dataSet ex:pop ; ex:region ex:crete  ; ex:year 2010 ; ex:population 620000 .
+ex:o4 qb:dataSet ex:pop ; ex:region ex:crete  ; ex:year 2015 ; ex:population 630000 .
+ex:incomplete qb:dataSet ex:pop ; ex:region ex:crete ; ex:population 1 .
+`
+
+func ex(s string) rdf.IRI { return rdf.IRI("http://example.org/" + s) }
+
+func cubeStore(t *testing.T) *store.Store {
+	t.Helper()
+	ts, err := turtle.ParseString(demographics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Load(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDiscover(t *testing.T) {
+	st := cubeStore(t)
+	cubes := Discover(st)
+	if len(cubes) != 1 || cubes[0] != ex("pop") {
+		t.Errorf("Discover = %v", cubes)
+	}
+}
+
+func TestLoadStructure(t *testing.T) {
+	st := cubeStore(t)
+	c, err := Load(st, ex("pop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Dimensions) != 2 || len(c.Measures) != 1 {
+		t.Fatalf("structure = %d dims, %d measures", len(c.Dimensions), len(c.Measures))
+	}
+	// Incomplete observation (missing year) must be dropped.
+	if len(c.Observations) != 4 {
+		t.Errorf("observations = %d, want 4", len(c.Observations))
+	}
+}
+
+func TestLoadMissingCube(t *testing.T) {
+	st := cubeStore(t)
+	if _, err := Load(st, ex("nope")); err == nil {
+		t.Error("missing cube accepted")
+	}
+}
+
+func TestDimensionValues(t *testing.T) {
+	st := cubeStore(t)
+	c, _ := Load(st, ex("pop"))
+	regions := c.DimensionValues(ex("region"))
+	if len(regions) != 2 {
+		t.Errorf("regions = %v", regions)
+	}
+	years := c.DimensionValues(ex("year"))
+	if len(years) != 2 {
+		t.Errorf("years = %v", years)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	st := cubeStore(t)
+	c, _ := Load(st, ex("pop"))
+	attica := c.Slice(map[rdf.IRI]rdf.Term{ex("region"): ex("attica")})
+	if len(attica) != 2 {
+		t.Errorf("attica slice = %d obs", len(attica))
+	}
+	empty := c.Slice(map[rdf.IRI]rdf.Term{ex("region"): ex("mars")})
+	if len(empty) != 0 {
+		t.Errorf("mars slice = %d obs", len(empty))
+	}
+	all := c.Slice(nil)
+	if len(all) != 4 {
+		t.Errorf("unfixed slice = %d obs", len(all))
+	}
+}
+
+func TestPivot(t *testing.T) {
+	st := cubeStore(t)
+	c, _ := Load(st, ex("pop"))
+	pt, err := c.Pivot(ex("region"), ex("year"), ex("population"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.RowKeys) != 2 || len(pt.ColKeys) != 2 {
+		t.Fatalf("pivot = %d×%d", len(pt.RowKeys), len(pt.ColKeys))
+	}
+	// attica sorts before crete; 2010 before 2015.
+	if pt.Cells[0][0] != 3800000 {
+		t.Errorf("cell[0][0] = %g", pt.Cells[0][0])
+	}
+	if pt.Cells[1][1] != 630000 {
+		t.Errorf("cell[1][1] = %g", pt.Cells[1][1])
+	}
+}
+
+func TestPivotErrors(t *testing.T) {
+	st := cubeStore(t)
+	c, _ := Load(st, ex("pop"))
+	if _, err := c.Pivot(ex("nope"), ex("year"), ex("population"), nil); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+	if _, err := c.Pivot(ex("region"), ex("year"), ex("nope"), nil); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	st := cubeStore(t)
+	c, _ := Load(st, ex("pop"))
+	keys, vals := c.Totals(ex("region"), ex("population"))
+	if len(keys) != 2 {
+		t.Fatalf("totals keys = %v", keys)
+	}
+	// attica: 3.8M + 3.75M; crete: 0.62M + 0.63M.
+	if vals[0] != 7550000 || vals[1] != 1250000 {
+		t.Errorf("totals = %v", vals)
+	}
+}
+
+func TestLoadRejectsEmptyStructure(t *testing.T) {
+	src := `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix ex: <http://example.org/> .
+ex:broken a qb:DataSet .
+`
+	ts, _ := turtle.ParseString(src)
+	st, _ := store.Load(ts)
+	if _, err := Load(st, ex("broken")); err == nil {
+		t.Error("structure-less cube accepted")
+	}
+}

@@ -1,0 +1,238 @@
+package disk
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func newStore(t *testing.T) *PageStore {
+	t.Helper()
+	ps, err := Open(filepath.Join(t.TempDir(), "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ps.Close() })
+	return ps
+}
+
+func TestPageStoreRoundTrip(t *testing.T) {
+	ps := newStore(t)
+	id, err := ps.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page [PageSize]byte
+	copy(page[:], "hello pages")
+	if err := ps.Write(id, page[:]); err != nil {
+		t.Fatal(err)
+	}
+	var got [PageSize]byte
+	if err := ps.Read(id, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:], page[:]) {
+		t.Error("page content mismatch")
+	}
+	if ps.NumPages() != 1 {
+		t.Errorf("NumPages = %d", ps.NumPages())
+	}
+}
+
+func TestPageStoreBounds(t *testing.T) {
+	ps := newStore(t)
+	var buf [PageSize]byte
+	if err := ps.Read(0, buf[:]); err != ErrPageBounds {
+		t.Errorf("read OOB err = %v", err)
+	}
+	if err := ps.Write(5, buf[:]); err != ErrPageBounds {
+		t.Errorf("write OOB err = %v", err)
+	}
+}
+
+func TestAllocZeroes(t *testing.T) {
+	ps := newStore(t)
+	id, _ := ps.Alloc()
+	var buf [PageSize]byte
+	buf[0] = 0xFF
+	if err := ps.Read(id, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Error("fresh page not zeroed")
+	}
+}
+
+func TestBufferPoolHitAndMiss(t *testing.T) {
+	ps := newStore(t)
+	id, _ := ps.Alloc()
+	bp := NewBufferPool(ps, 4)
+
+	if _, err := bp.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, false)
+	if bp.Misses != 1 || bp.Hits != 0 {
+		t.Errorf("after first get: hits=%d misses=%d", bp.Hits, bp.Misses)
+	}
+	if _, err := bp.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, false)
+	if bp.Hits != 1 {
+		t.Errorf("second get not a hit: hits=%d", bp.Hits)
+	}
+	if bp.HitRate() != 0.5 {
+		t.Errorf("HitRate = %g", bp.HitRate())
+	}
+}
+
+func TestBufferPoolEviction(t *testing.T) {
+	ps := newStore(t)
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		id, _ := ps.Alloc()
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(ps, 3)
+	for _, id := range ids {
+		if _, err := bp.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(id, false)
+	}
+	if bp.Resident() != 3 {
+		t.Errorf("Resident = %d, want 3", bp.Resident())
+	}
+	if bp.Evictions != 7 {
+		t.Errorf("Evictions = %d, want 7", bp.Evictions)
+	}
+}
+
+func TestBufferPoolWriteBack(t *testing.T) {
+	ps := newStore(t)
+	id, _ := ps.Alloc()
+	bp := NewBufferPool(ps, 2)
+
+	data, err := bp.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "dirty data")
+	bp.Unpin(id, true)
+
+	// Force eviction by filling the pool.
+	for i := 0; i < 2; i++ {
+		nid, _ := ps.Alloc()
+		if _, err := bp.Get(nid); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(nid, false)
+	}
+	var buf [PageSize]byte
+	if err := ps.Read(id, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:10]) != "dirty data" {
+		t.Error("dirty page not written back on eviction")
+	}
+}
+
+func TestBufferPoolFlush(t *testing.T) {
+	ps := newStore(t)
+	id, _ := ps.Alloc()
+	bp := NewBufferPool(ps, 2)
+	data, _ := bp.Get(id)
+	copy(data, "flushed")
+	bp.Unpin(id, true)
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var buf [PageSize]byte
+	ps.Read(id, buf[:])
+	if string(buf[:7]) != "flushed" {
+		t.Error("Flush did not persist dirty page")
+	}
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	ps := newStore(t)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, _ := ps.Alloc()
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(ps, 2)
+	// Pin two pages without unpinning.
+	bp.Get(ids[0])
+	bp.Get(ids[1])
+	if _, err := bp.Get(ids[2]); err != ErrPoolFull {
+		t.Errorf("err = %v, want ErrPoolFull", err)
+	}
+	bp.Unpin(ids[0], false)
+	if _, err := bp.Get(ids[2]); err != nil {
+		t.Errorf("after unpin: %v", err)
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	ps := newStore(t)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, _ := ps.Alloc()
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(ps, 2)
+	bp.Get(ids[0])
+	bp.Unpin(ids[0], false)
+	bp.Get(ids[1])
+	bp.Unpin(ids[1], false)
+	// Touch page 0 so page 1 becomes LRU.
+	bp.Get(ids[0])
+	bp.Unpin(ids[0], false)
+	// Loading page 2 must evict page 1, not page 0.
+	bp.Get(ids[2])
+	bp.Unpin(ids[2], false)
+	bp.mu.Lock()
+	_, has0 := bp.frames[ids[0]]
+	_, has1 := bp.frames[ids[1]]
+	bp.mu.Unlock()
+	if !has0 || has1 {
+		t.Errorf("LRU eviction wrong: has0=%v has1=%v", has0, has1)
+	}
+}
+
+func TestUnpinUnknownPageIsNoop(t *testing.T) {
+	ps := newStore(t)
+	bp := NewBufferPool(ps, 2)
+	bp.Unpin(99, true) // must not panic
+}
+
+func TestManyPagesStress(t *testing.T) {
+	ps := newStore(t)
+	bp := NewBufferPool(ps, 8)
+	var ids []PageID
+	for i := 0; i < 100; i++ {
+		id, _ := ps.Alloc()
+		ids = append(ids, id)
+		data, err := bp.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = byte(i)
+		bp.Unpin(id, true)
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		data, err := bp.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != byte(i) {
+			t.Fatalf("page %d content = %d, want %d", id, data[0], i)
+		}
+		bp.Unpin(id, false)
+	}
+}

@@ -1,0 +1,183 @@
+// Package explain implements a Scorpion-style outlier explainer (Wu &
+// Madden, PVLDB 2013 — ref [141] in the survey): given an aggregate view
+// with user-flagged outlier groups, it searches for the predicate=value
+// restriction whose removal best normalizes the outliers while leaving the
+// normal groups intact — the "explanations regarding data trends and
+// anomalies" capability the survey asks of modern systems.
+package explain
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Row is one input record of the aggregate view: an entity, the group it
+// belongs to, and its contribution to the group's aggregate.
+type Row struct {
+	Entity rdf.Term
+	Group  string
+	Value  float64
+}
+
+// Explanation is one candidate predicate=value restriction.
+type Explanation struct {
+	Predicate rdf.IRI
+	Value     rdf.Term
+	// Influence is Scorpion's objective: how much removing the matching
+	// rows moves outlier-group aggregates toward the normal-group mean,
+	// penalized by damage to normal groups. Higher = better explanation.
+	Influence float64
+	// OutlierRows and NormalRows count the matching rows in each class.
+	OutlierRows int
+	NormalRows  int
+}
+
+// Options tune the search.
+type Options struct {
+	// MaxCandidates bounds the predicate=value pairs scored (default 1000).
+	MaxCandidates int
+	// MinSupport is the minimum share of outlier rows a candidate must
+	// cover to be considered (default 0.05).
+	MinSupport float64
+}
+
+func (o *Options) normalize() {
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 1000
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 0.05
+	}
+}
+
+// Outliers finds the top-k explanations for why the outlier groups'
+// aggregates (here: mean of Value) deviate from the rest. st supplies the
+// entities' attributes (candidate predicates are every predicate of the
+// involved entities).
+func Outliers(st *store.Store, rows []Row, outlierGroups []string, k int, opts Options) ([]Explanation, error) {
+	opts.normalize()
+	if k <= 0 {
+		k = 3
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("explain: no rows")
+	}
+	isOutlier := map[string]bool{}
+	for _, g := range outlierGroups {
+		isOutlier[g] = true
+	}
+	var outlier, normal []Row
+	for _, r := range rows {
+		if isOutlier[r.Group] {
+			outlier = append(outlier, r)
+		} else {
+			normal = append(normal, r)
+		}
+	}
+	if len(outlier) == 0 || len(normal) == 0 {
+		return nil, fmt.Errorf("explain: need both outlier and normal rows (%d/%d)", len(outlier), len(normal))
+	}
+	normalMean := mean(normal, nil)
+	outlierMean := mean(outlier, nil)
+
+	// Candidate predicates/values over the involved entities.
+	type cand struct {
+		p rdf.IRI
+		v rdf.Term
+	}
+	matches := map[cand]map[rdf.Term]bool{}
+	for _, r := range rows {
+		st.ForEach(store.Pattern{S: r.Entity}, func(t rdf.Triple) bool {
+			c := cand{t.P, t.O}
+			m := matches[c]
+			if m == nil {
+				if len(matches) >= opts.MaxCandidates {
+					return true
+				}
+				m = map[rdf.Term]bool{}
+				matches[c] = m
+			}
+			m[r.Entity] = true
+			return true
+		})
+	}
+
+	var out []Explanation
+	for c, entities := range matches {
+		// Partition rows by whether the candidate holds.
+		outHit, normHit := 0, 0
+		for _, r := range outlier {
+			if entities[r.Entity] {
+				outHit++
+			}
+		}
+		for _, r := range normal {
+			if entities[r.Entity] {
+				normHit++
+			}
+		}
+		if float64(outHit) < opts.MinSupport*float64(len(outlier)) {
+			continue
+		}
+		if outHit == len(outlier) {
+			continue // removing everything explains nothing
+		}
+		// Aggregates after removing matching rows.
+		newOutlier := mean(outlier, func(r Row) bool { return !entities[r.Entity] })
+		newNormalMean := mean(normal, func(r Row) bool { return !entities[r.Entity] })
+		// Influence: improvement of outlier deviation minus damage to
+		// normal groups (both relative to the normal mean scale).
+		improvement := abs(outlierMean-normalMean) - abs(newOutlier-normalMean)
+		damage := abs(newNormalMean - normalMean)
+		inf := improvement - damage
+		if inf <= 0 {
+			continue
+		}
+		out = append(out, Explanation{
+			Predicate:   c.p,
+			Value:       c.v,
+			Influence:   inf,
+			OutlierRows: outHit,
+			NormalRows:  normHit,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Influence != out[j].Influence {
+			return out[i].Influence > out[j].Influence
+		}
+		if out[i].Predicate != out[j].Predicate {
+			return out[i].Predicate < out[j].Predicate
+		}
+		return rdf.Compare(out[i].Value, out[j].Value) < 0
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// mean averages the Value of rows passing keep (nil = all). Empty
+// selections return 0.
+func mean(rows []Row, keep func(Row) bool) float64 {
+	sum, n := 0.0, 0
+	for _, r := range rows {
+		if keep == nil || keep(r) {
+			sum += r.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

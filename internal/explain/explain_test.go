@@ -1,0 +1,120 @@
+package explain
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+func ex(s string) rdf.IRI { return rdf.IRI("http://example.org/" + s) }
+
+// buildScenario: sensor readings grouped by hour. Hour "h2" is an outlier
+// because sensors from vendor "acme" malfunction and report huge values.
+func buildScenario() (*store.Store, []Row) {
+	st := store.New()
+	var rows []Row
+	id := 0
+	addReading := func(group, vendor string, value float64) {
+		e := ex(fmt.Sprintf("reading%d", id))
+		id++
+		st.Add(rdf.T(e, ex("vendor"), rdf.NewLiteral(vendor)))
+		st.Add(rdf.T(e, ex("unit"), rdf.NewLiteral("celsius")))
+		rows = append(rows, Row{Entity: e, Group: group, Value: value})
+	}
+	for _, hour := range []string{"h0", "h1", "h3"} {
+		for i := 0; i < 10; i++ {
+			vendor := "good"
+			if i%2 == 0 {
+				vendor = "acme"
+			}
+			addReading(hour, vendor, 20+float64(i%3))
+		}
+	}
+	// Outlier hour: acme readings explode, good readings stay normal.
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			addReading("h2", "acme", 500)
+		} else {
+			addReading("h2", "good", 21)
+		}
+	}
+	return st, rows
+}
+
+func TestOutliersFindsCulprit(t *testing.T) {
+	st, rows := buildScenario()
+	exps, err := Outliers(st, rows, []string{"h2"}, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) == 0 {
+		t.Fatal("no explanations")
+	}
+	top := exps[0]
+	if top.Predicate != ex("vendor") || top.Value != rdf.NewLiteral("acme") {
+		t.Errorf("top explanation = %v=%v, want vendor=acme (all: %+v)", top.Predicate, top.Value, exps)
+	}
+	if top.Influence <= 0 {
+		t.Errorf("influence = %g", top.Influence)
+	}
+	if top.OutlierRows != 5 {
+		t.Errorf("outlier rows = %d, want 5", top.OutlierRows)
+	}
+}
+
+func TestUniversalAttributeNotAnExplanation(t *testing.T) {
+	st, rows := buildScenario()
+	exps, err := Outliers(st, rows, []string{"h2"}, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exps {
+		if e.Predicate == ex("unit") {
+			t.Errorf("universal attribute ranked as explanation: %+v", e)
+		}
+	}
+}
+
+func TestOutliersErrors(t *testing.T) {
+	st, rows := buildScenario()
+	if _, err := Outliers(st, nil, []string{"h2"}, 3, Options{}); err == nil {
+		t.Error("empty rows accepted")
+	}
+	if _, err := Outliers(st, rows, []string{"nonexistent"}, 3, Options{}); err == nil {
+		t.Error("no outlier rows accepted")
+	}
+	all := []string{"h0", "h1", "h2", "h3"}
+	if _, err := Outliers(st, rows, all, 3, Options{}); err == nil {
+		t.Error("all-outlier accepted")
+	}
+}
+
+func TestMinSupportFilters(t *testing.T) {
+	st, rows := buildScenario()
+	// A single odd row with a unique attribute must not dominate.
+	e := ex("lonely")
+	st.Add(rdf.T(e, ex("vendor"), rdf.NewLiteral("unique-vendor")))
+	rows = append(rows, Row{Entity: e, Group: "h2", Value: 400})
+	exps, err := Outliers(st, rows, []string{"h2"}, 5, Options{MinSupport: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range exps {
+		if x.Value == rdf.NewLiteral("unique-vendor") {
+			t.Errorf("low-support candidate survived MinSupport: %+v", x)
+		}
+	}
+}
+
+func TestTopKBound(t *testing.T) {
+	st, rows := buildScenario()
+	exps, err := Outliers(st, rows, []string{"h2"}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) > 1 {
+		t.Errorf("k=1 returned %d", len(exps))
+	}
+}

@@ -1,0 +1,195 @@
+// Package facet implements faceted browsing over RDF — the navigation
+// paradigm of /facet, gFacet, Humboldt and Explorator (survey §3.1): facets
+// are extracted from the dataset's predicates, values carry counts that
+// refine as filters are applied conjunctively, and a pivot operation
+// re-roots the browsing session on a related entity set.
+package facet
+
+import (
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Value is one facet value with its count under the current filter.
+type Value struct {
+	Term  rdf.Term
+	Count int
+}
+
+// Facet is one filterable dimension (a predicate) with its value
+// distribution.
+type Facet struct {
+	Predicate rdf.IRI
+	// Values are sorted by count descending (ties lexicographically).
+	Values []Value
+	// Total is the number of entities having the predicate.
+	Total int
+}
+
+// Filter is a conjunctive predicate=value restriction.
+type Filter struct {
+	Predicate rdf.IRI
+	Value     rdf.Term
+}
+
+// Session is a faceted-browsing session over a store: a current entity set
+// (initially all subjects of rdf:type, or all subjects) plus active filters.
+type Session struct {
+	st      *store.Store
+	base    []rdf.Term
+	filters []Filter
+	// MaxValuesPerFacet caps the values listed per facet (0 = unlimited).
+	MaxValuesPerFacet int
+}
+
+// NewSession starts a session over all entities with an rdf:type; when the
+// dataset declares no types, all subjects become the base set.
+func NewSession(st *store.Store) *Session {
+	base := st.Subjects(rdf.RDFType, nil)
+	if len(base) == 0 {
+		base = st.Subjects(nil, nil)
+	}
+	sortTerms(base)
+	return &Session{st: st, base: base}
+}
+
+// NewSessionOver starts a session over an explicit entity set (the pivot
+// path).
+func NewSessionOver(st *store.Store, entities []rdf.Term) *Session {
+	base := append([]rdf.Term(nil), entities...)
+	sortTerms(base)
+	return &Session{st: st, base: base}
+}
+
+func sortTerms(ts []rdf.Term) {
+	sort.Slice(ts, func(i, j int) bool { return rdf.Compare(ts[i], ts[j]) < 0 })
+}
+
+// Apply adds a conjunctive filter.
+func (s *Session) Apply(f Filter) {
+	s.filters = append(s.filters, f)
+}
+
+// Remove drops the most recent filter matching the predicate; it reports
+// whether one was removed.
+func (s *Session) Remove(pred rdf.IRI) bool {
+	for i := len(s.filters) - 1; i >= 0; i-- {
+		if s.filters[i].Predicate == pred {
+			s.filters = append(s.filters[:i], s.filters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears all filters.
+func (s *Session) Reset() { s.filters = nil }
+
+// Filters returns the active filters.
+func (s *Session) Filters() []Filter {
+	return append([]Filter(nil), s.filters...)
+}
+
+// Matches returns the current entity set under all filters.
+func (s *Session) Matches() []rdf.Term {
+	out := make([]rdf.Term, 0, len(s.base))
+	for _, e := range s.base {
+		if s.matches(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns the size of the current entity set.
+func (s *Session) Count() int {
+	n := 0
+	for _, e := range s.base {
+		if s.matches(e) {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Session) matches(e rdf.Term) bool {
+	for _, f := range s.filters {
+		if !s.st.Contains(rdf.Triple{S: e, P: f.Predicate, O: f.Value}) {
+			return false
+		}
+	}
+	return true
+}
+
+// Facets computes the facet distributions over the current entity set —
+// the counts shown beside each facet value, which refine after every click.
+func (s *Session) Facets() []Facet {
+	matches := s.Matches()
+	type agg struct {
+		counts map[rdf.Term]int
+		total  int
+	}
+	per := map[rdf.IRI]*agg{}
+	for _, e := range matches {
+		seenPred := map[rdf.IRI]bool{}
+		s.st.ForEach(store.Pattern{S: e}, func(t rdf.Triple) bool {
+			a := per[t.P]
+			if a == nil {
+				a = &agg{counts: map[rdf.Term]int{}}
+				per[t.P] = a
+			}
+			a.counts[t.O]++
+			if !seenPred[t.P] {
+				seenPred[t.P] = true
+				a.total++
+			}
+			return true
+		})
+	}
+	out := make([]Facet, 0, len(per))
+	for p, a := range per {
+		f := Facet{Predicate: p, Total: a.total}
+		for term, c := range a.counts {
+			f.Values = append(f.Values, Value{Term: term, Count: c})
+		}
+		sort.Slice(f.Values, func(i, j int) bool {
+			if f.Values[i].Count != f.Values[j].Count {
+				return f.Values[i].Count > f.Values[j].Count
+			}
+			return rdf.Compare(f.Values[i].Term, f.Values[j].Term) < 0
+		})
+		if s.MaxValuesPerFacet > 0 && len(f.Values) > s.MaxValuesPerFacet {
+			f.Values = f.Values[:s.MaxValuesPerFacet]
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Predicate < out[j].Predicate
+	})
+	return out
+}
+
+// Pivot re-roots the session on the values of a predicate across the current
+// matches — Visor/Humboldt's "connect points of interest" operation. E.g.
+// from films filtered to comedies, pivot on "director" to browse directors.
+func (s *Session) Pivot(pred rdf.IRI) *Session {
+	seen := map[rdf.Term]struct{}{}
+	var next []rdf.Term
+	for _, e := range s.Matches() {
+		s.st.ForEach(store.Pattern{S: e, P: pred}, func(t rdf.Triple) bool {
+			if t.O.Kind() != rdf.KindLiteral {
+				if _, dup := seen[t.O]; !dup {
+					seen[t.O] = struct{}{}
+					next = append(next, t.O)
+				}
+			}
+			return true
+		})
+	}
+	return NewSessionOver(s.st, next)
+}

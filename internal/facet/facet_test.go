@@ -1,0 +1,168 @@
+package facet
+
+import (
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+	"github.com/lodviz/lodviz/internal/turtle"
+)
+
+const movies = `
+@prefix ex: <http://example.org/> .
+ex:film1 a ex:Film ; ex:genre "comedy" ; ex:year 1995 ; ex:director ex:allen .
+ex:film2 a ex:Film ; ex:genre "comedy" ; ex:year 2001 ; ex:director ex:allen .
+ex:film3 a ex:Film ; ex:genre "drama"  ; ex:year 1995 ; ex:director ex:lee .
+ex:film4 a ex:Film ; ex:genre "drama"  ; ex:year 2001 ; ex:director ex:kubrick .
+ex:film5 a ex:Film ; ex:genre "horror" ; ex:year 2001 ; ex:director ex:lee .
+ex:allen a ex:Director ; ex:country "US" .
+ex:lee a ex:Director ; ex:country "US" .
+ex:kubrick a ex:Director ; ex:country "UK" .
+`
+
+func movieStore(t *testing.T) *store.Store {
+	t.Helper()
+	ts, err := turtle.ParseString(movies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Load(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func ex(s string) rdf.IRI { return rdf.IRI("http://example.org/" + s) }
+
+func TestSessionBaseSet(t *testing.T) {
+	st := movieStore(t)
+	s := NewSession(st)
+	if s.Count() != 8 { // 5 films + 3 directors have rdf:type
+		t.Errorf("base count = %d, want 8", s.Count())
+	}
+}
+
+func TestApplyFilterRefinesCounts(t *testing.T) {
+	st := movieStore(t)
+	s := NewSession(st)
+	s.Apply(Filter{Predicate: rdf.RDFType, Value: ex("Film")})
+	if s.Count() != 5 {
+		t.Fatalf("films = %d, want 5", s.Count())
+	}
+	s.Apply(Filter{Predicate: ex("genre"), Value: rdf.NewLiteral("comedy")})
+	if s.Count() != 2 {
+		t.Errorf("comedies = %d, want 2", s.Count())
+	}
+	// Facet counts must reflect the filtered set.
+	for _, f := range s.Facets() {
+		if f.Predicate == ex("director") {
+			if len(f.Values) != 1 || f.Values[0].Term != ex("allen") || f.Values[0].Count != 2 {
+				t.Errorf("director facet under comedy = %+v", f.Values)
+			}
+		}
+	}
+}
+
+func TestConjunctiveFilters(t *testing.T) {
+	st := movieStore(t)
+	s := NewSession(st)
+	s.Apply(Filter{Predicate: ex("genre"), Value: rdf.NewLiteral("drama")})
+	s.Apply(Filter{Predicate: ex("year"), Value: rdf.NewTypedLiteral("2001", rdf.XSDInteger)})
+	m := s.Matches()
+	if len(m) != 1 || m[0] != ex("film4") {
+		t.Errorf("matches = %v, want film4", m)
+	}
+}
+
+func TestRemoveAndReset(t *testing.T) {
+	st := movieStore(t)
+	s := NewSession(st)
+	s.Apply(Filter{Predicate: ex("genre"), Value: rdf.NewLiteral("comedy")})
+	s.Apply(Filter{Predicate: ex("year"), Value: rdf.NewTypedLiteral("1995", rdf.XSDInteger)})
+	if !s.Remove(ex("year")) {
+		t.Error("Remove returned false")
+	}
+	if len(s.Filters()) != 1 {
+		t.Errorf("filters = %d", len(s.Filters()))
+	}
+	if s.Remove(ex("nope")) {
+		t.Error("Remove invented a filter")
+	}
+	s.Reset()
+	if len(s.Filters()) != 0 || s.Count() != 8 {
+		t.Error("Reset did not restore base")
+	}
+}
+
+func TestFacetsSortedByCoverage(t *testing.T) {
+	st := movieStore(t)
+	s := NewSession(st)
+	facets := s.Facets()
+	if len(facets) == 0 {
+		t.Fatal("no facets")
+	}
+	// rdf:type covers all 8 entities and must come first.
+	if facets[0].Predicate != rdf.RDFType || facets[0].Total != 8 {
+		t.Errorf("top facet = %+v", facets[0])
+	}
+	for i := 1; i < len(facets); i++ {
+		if facets[i].Total > facets[i-1].Total {
+			t.Error("facets not sorted by coverage")
+		}
+	}
+}
+
+func TestMaxValuesPerFacet(t *testing.T) {
+	st := movieStore(t)
+	s := NewSession(st)
+	s.MaxValuesPerFacet = 1
+	for _, f := range s.Facets() {
+		if len(f.Values) > 1 {
+			t.Errorf("facet %v has %d values", f.Predicate, len(f.Values))
+		}
+	}
+}
+
+func TestPivot(t *testing.T) {
+	st := movieStore(t)
+	s := NewSession(st)
+	s.Apply(Filter{Predicate: ex("genre"), Value: rdf.NewLiteral("drama")})
+	// Pivot from drama films to their directors.
+	directors := s.Pivot(ex("director"))
+	if directors.Count() != 2 { // lee, kubrick
+		t.Fatalf("pivoted count = %d, want 2", directors.Count())
+	}
+	// Facets on the pivoted set work.
+	directors.Apply(Filter{Predicate: ex("country"), Value: rdf.NewLiteral("UK")})
+	m := directors.Matches()
+	if len(m) != 1 || m[0] != ex("kubrick") {
+		t.Errorf("UK drama directors = %v", m)
+	}
+}
+
+func TestPivotSkipsLiterals(t *testing.T) {
+	st := movieStore(t)
+	s := NewSession(st)
+	genres := s.Pivot(ex("genre")) // all objects are literals
+	if genres.Count() != 0 {
+		t.Errorf("literal pivot count = %d, want 0", genres.Count())
+	}
+}
+
+func TestSessionOverEmptyDataset(t *testing.T) {
+	st := store.New()
+	s := NewSession(st)
+	if s.Count() != 0 || len(s.Facets()) != 0 {
+		t.Error("empty dataset should have empty session")
+	}
+}
+
+func TestUntypedDatasetFallsBackToSubjects(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.T(ex("a"), ex("p"), ex("b")))
+	s := NewSession(st)
+	if s.Count() != 1 {
+		t.Errorf("untyped base = %d, want 1 subject", s.Count())
+	}
+}

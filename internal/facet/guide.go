@@ -1,0 +1,83 @@
+package facet
+
+import (
+	"math"
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// Suggestion ranks a facet as the next drill-down step.
+type Suggestion struct {
+	Predicate rdf.IRI
+	// Score combines coverage and split balance; higher = better next step.
+	Score float64
+	// Entropy is the Shannon entropy (bits) of the facet's value
+	// distribution over the current entity set.
+	Entropy float64
+	// Coverage is the fraction of current entities carrying the facet.
+	Coverage float64
+}
+
+// SuggestNext ranks the facets most useful to drill into next, implementing
+// the survey's "assist the user / guide her to interesting data parts"
+// requirement (Section 2, ref [37]) with an information-theoretic policy:
+// a good next facet covers most of the current entities (filtering on it
+// keeps the session meaningful) and splits them evenly (high entropy —
+// each click removes the most uncertainty). Facets with a single value
+// (entropy 0) cannot refine anything and rank last.
+func (s *Session) SuggestNext(limit int) []Suggestion {
+	if limit <= 0 {
+		limit = 5
+	}
+	matches := s.Matches()
+	if len(matches) == 0 {
+		return nil
+	}
+	applied := map[rdf.IRI]bool{}
+	for _, f := range s.filters {
+		applied[f.Predicate] = true
+	}
+	var out []Suggestion
+	for _, f := range s.Facets() {
+		if applied[f.Predicate] {
+			continue // already filtered on; re-suggesting it is useless
+		}
+		total := 0
+		for _, v := range f.Values {
+			total += v.Count
+		}
+		if total == 0 || len(f.Values) < 2 {
+			continue
+		}
+		entropy := 0.0
+		for _, v := range f.Values {
+			p := float64(v.Count) / float64(total)
+			entropy -= p * math.Log2(p)
+		}
+		coverage := float64(f.Total) / float64(len(matches))
+		if coverage > 1 {
+			coverage = 1
+		}
+		// Normalized entropy keeps many-valued facets comparable to
+		// few-valued ones; coverage dominates (a perfectly balanced facet
+		// on 1% of entities is a bad next step).
+		norm := entropy / math.Log2(float64(len(f.Values)))
+		out = append(out, Suggestion{
+			Predicate: f.Predicate,
+			Score:     coverage * norm,
+			Entropy:   entropy,
+			Coverage:  coverage,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Predicate < out[j].Predicate
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package facet
+
+import (
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// guideStore: 100 entities; "balanced" splits them evenly into 4 values,
+// "skewed" puts 97% in one value, "constant" has a single value, "sparse"
+// covers only 5 entities.
+func guideStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	for i := 0; i < 100; i++ {
+		e := ex("e" + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+		st.Add(rdf.T(e, rdf.RDFType, ex("Thing")))
+		st.Add(rdf.T(e, ex("balanced"), rdf.NewLiteral([]string{"a", "b", "c", "d"}[i%4])))
+		skew := "common"
+		if i >= 97 {
+			skew = "rare"
+		}
+		st.Add(rdf.T(e, ex("skewed"), rdf.NewLiteral(skew)))
+		st.Add(rdf.T(e, ex("constant"), rdf.NewLiteral("same")))
+		if i < 5 {
+			st.Add(rdf.T(e, ex("sparse"), rdf.NewLiteral([]string{"x", "y"}[i%2])))
+		}
+	}
+	return st
+}
+
+func TestSuggestNextPrefersBalancedCoveringFacet(t *testing.T) {
+	s := NewSession(guideStore(t))
+	sugg := s.SuggestNext(10)
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugg[0].Predicate != ex("balanced") {
+		t.Errorf("top suggestion = %v, want balanced (all: %+v)", sugg[0].Predicate, sugg)
+	}
+	// Constant facet (entropy 0, <2 values) must be absent.
+	for _, g := range sugg {
+		if g.Predicate == ex("constant") {
+			t.Error("constant facet suggested")
+		}
+	}
+	// Sparse facet scores below balanced despite being balanced itself.
+	var sparse, balanced float64
+	for _, g := range sugg {
+		switch g.Predicate {
+		case ex("sparse"):
+			sparse = g.Score
+		case ex("balanced"):
+			balanced = g.Score
+		}
+	}
+	if sparse >= balanced {
+		t.Errorf("sparse %g >= balanced %g", sparse, balanced)
+	}
+}
+
+func TestSuggestNextSkipsAppliedFacets(t *testing.T) {
+	s := NewSession(guideStore(t))
+	s.Apply(Filter{Predicate: ex("balanced"), Value: rdf.NewLiteral("a")})
+	for _, g := range s.SuggestNext(10) {
+		if g.Predicate == ex("balanced") {
+			t.Error("already-applied facet suggested again")
+		}
+	}
+}
+
+func TestSuggestNextLimitsAndEmpty(t *testing.T) {
+	s := NewSession(guideStore(t))
+	if got := s.SuggestNext(1); len(got) > 1 {
+		t.Errorf("limit ignored: %d", len(got))
+	}
+	// Default limit when <= 0.
+	if got := s.SuggestNext(0); len(got) > 5 {
+		t.Errorf("default limit: %d", len(got))
+	}
+	// Session filtered to nothing yields no suggestions.
+	s.Apply(Filter{Predicate: ex("skewed"), Value: rdf.NewLiteral("nope")})
+	if got := s.SuggestNext(5); got != nil {
+		t.Errorf("empty session suggested %v", got)
+	}
+}
+
+func TestSuggestEntropyValues(t *testing.T) {
+	s := NewSession(guideStore(t))
+	for _, g := range s.SuggestNext(10) {
+		if g.Predicate == ex("balanced") {
+			// 4 even values → entropy 2 bits.
+			if g.Entropy < 1.99 || g.Entropy > 2.01 {
+				t.Errorf("balanced entropy = %g, want ~2", g.Entropy)
+			}
+			if g.Coverage < 0.99 {
+				t.Errorf("balanced coverage = %g", g.Coverage)
+			}
+		}
+		if g.Predicate == ex("skewed") && g.Entropy > 0.5 {
+			t.Errorf("skewed entropy = %g, too high", g.Entropy)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"github.com/lodviz/lodviz/internal/store"
+	"github.com/lodviz/lodviz/internal/turtle"
+)
+
+// MiniLOD is a small, hand-written Linked-Data excerpt in Turtle used by the
+// quickstart example and documentation: cities, countries, people and a tiny
+// ontology, shaped like the DBpedia fragments the surveyed browsers
+// demonstrate on.
+const MiniLOD = `
+@prefix rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl:  <http://www.w3.org/2002/07/owl#> .
+@prefix xsd:  <http://www.w3.org/2001/XMLSchema#> .
+@prefix geo:  <http://www.w3.org/2003/01/geo/wgs84_pos#> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex:   <http://lodviz.example.org/mini/> .
+
+# --- tiny ontology -------------------------------------------------------
+ex:Place a owl:Class ; rdfs:label "Place" .
+ex:City a owl:Class ; rdfs:subClassOf ex:Place ; rdfs:label "City" .
+ex:Country a owl:Class ; rdfs:subClassOf ex:Place ; rdfs:label "Country" .
+ex:Agent a owl:Class ; rdfs:label "Agent" .
+ex:Person a owl:Class ; rdfs:subClassOf ex:Agent ; rdfs:label "Person" .
+
+# --- countries -----------------------------------------------------------
+ex:greece a ex:Country ; rdfs:label "Greece"@en ; ex:population 10768000 .
+ex:france a ex:Country ; rdfs:label "France"@en ; ex:population 66990000 .
+ex:australia a ex:Country ; rdfs:label "Australia"@en ; ex:population 23470000 .
+
+# --- cities --------------------------------------------------------------
+ex:athens a ex:City ; rdfs:label "Athens"@en ;
+    ex:population 664046 ; ex:foundedIn "1834-09-18"^^xsd:date ;
+    ex:country ex:greece ;
+    geo:lat "37.9838"^^xsd:double ; geo:long "23.7275"^^xsd:double .
+ex:thessaloniki a ex:City ; rdfs:label "Thessaloniki"@en ;
+    ex:population 325182 ; ex:country ex:greece ;
+    geo:lat "40.6401"^^xsd:double ; geo:long "22.9444"^^xsd:double .
+ex:bordeaux a ex:City ; rdfs:label "Bordeaux"@en ;
+    ex:population 252040 ; ex:foundedIn "1790-03-04"^^xsd:date ;
+    ex:country ex:france ;
+    geo:lat "44.8378"^^xsd:double ; geo:long "-0.5792"^^xsd:double .
+ex:paris a ex:City ; rdfs:label "Paris"@en ;
+    ex:population 2140526 ; ex:country ex:france ;
+    geo:lat "48.8566"^^xsd:double ; geo:long "2.3522"^^xsd:double .
+ex:melbourne a ex:City ; rdfs:label "Melbourne"@en ;
+    ex:population 4936349 ; ex:country ex:australia ;
+    geo:lat "-37.8136"^^xsd:double ; geo:long "144.9631"^^xsd:double .
+
+# --- people --------------------------------------------------------------
+ex:nikos a ex:Person ; foaf:name "Nikos" ; ex:livesIn ex:athens ;
+    foaf:age 34 ; foaf:knows ex:timos .
+ex:timos a ex:Person ; foaf:name "Timos" ; ex:livesIn ex:melbourne ;
+    foaf:age 62 ; foaf:knows ex:nikos, ex:maria .
+ex:maria a ex:Person ; foaf:name "Maria" ; ex:livesIn ex:thessaloniki ;
+    foaf:age 29 ; foaf:knows ex:nikos .
+ex:jean a ex:Person ; foaf:name "Jean" ; ex:livesIn ex:bordeaux ;
+    foaf:age 41 ; foaf:knows ex:timos .
+`
+
+// MiniLODStore parses the embedded mini dataset into a store.
+func MiniLODStore() *store.Store {
+	triples, err := turtle.ParseString(MiniLOD)
+	if err != nil {
+		panic("gen: embedded MiniLOD does not parse: " + err.Error())
+	}
+	st, err := store.Load(triples)
+	if err != nil {
+		panic("gen: embedded MiniLOD does not load: " + err.Error())
+	}
+	return st
+}
+
+// MiniNS is the namespace of the embedded mini dataset.
+const MiniNS = "http://lodviz.example.org/mini/"

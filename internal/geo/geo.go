@@ -1,0 +1,232 @@
+// Package geo supports the geospatial Linked Data systems of the survey's
+// §3.3 (map4rdf, Facete, SexTant, LinkedGeoData browser, DBpedia Atlas):
+// WGS84 point extraction from RDF, a point quadtree for viewport queries,
+// and map binning for clutter-free rendering at low zoom.
+package geo
+
+import (
+	"math"
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Point is a geolocated entity.
+type Point struct {
+	Entity   rdf.Term
+	Lat, Lon float64
+}
+
+// ExtractPoints finds all entities with geo:lat and geo:long literals.
+func ExtractPoints(st *store.Store) []Point {
+	lats := map[rdf.Term]float64{}
+	st.ForEach(store.Pattern{P: rdf.GeoLat}, func(t rdf.Triple) bool {
+		if l, ok := t.O.(rdf.Literal); ok {
+			if v, ok := l.Float(); ok {
+				lats[t.S] = v
+			}
+		}
+		return true
+	})
+	var out []Point
+	st.ForEach(store.Pattern{P: rdf.GeoLong}, func(t rdf.Triple) bool {
+		if lat, ok := lats[t.S]; ok {
+			if l, ok := t.O.(rdf.Literal); ok {
+				if lon, ok := l.Float(); ok {
+					out = append(out, Point{Entity: t.S, Lat: lat, Lon: lon})
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return rdf.Compare(out[i].Entity, out[j].Entity) < 0 })
+	return out
+}
+
+// BBox is a lat/lon bounding box.
+type BBox struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// Contains reports whether the box contains the point.
+func (b BBox) Contains(lat, lon float64) bool {
+	return lat >= b.MinLat && lat <= b.MaxLat && lon >= b.MinLon && lon <= b.MaxLon
+}
+
+func (b BBox) intersects(o BBox) bool {
+	return b.MinLat <= o.MaxLat && o.MinLat <= b.MaxLat &&
+		b.MinLon <= o.MaxLon && o.MinLon <= b.MaxLon
+}
+
+// quadMax is the leaf capacity of the quadtree.
+const quadMax = 32
+
+// Quadtree indexes points for viewport (bounding-box) queries.
+type Quadtree struct {
+	bounds   BBox
+	points   []Point
+	children *[4]*Quadtree
+	size     int
+}
+
+// NewQuadtree creates a quadtree over the given bounds.
+func NewQuadtree(bounds BBox) *Quadtree {
+	return &Quadtree{bounds: bounds}
+}
+
+// WorldQuadtree covers the whole WGS84 domain.
+func WorldQuadtree() *Quadtree {
+	return NewQuadtree(BBox{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180})
+}
+
+// Len returns the number of indexed points.
+func (q *Quadtree) Len() int { return q.size }
+
+// Insert adds a point (points outside the bounds are clamped in).
+func (q *Quadtree) Insert(p Point) {
+	p.Lat = math.Max(q.bounds.MinLat, math.Min(q.bounds.MaxLat, p.Lat))
+	p.Lon = math.Max(q.bounds.MinLon, math.Min(q.bounds.MaxLon, p.Lon))
+	q.insert(p)
+}
+
+func (q *Quadtree) insert(p Point) {
+	q.size++
+	if q.children == nil {
+		q.points = append(q.points, p)
+		if len(q.points) > quadMax && q.splittable() {
+			q.split()
+		}
+		return
+	}
+	q.children[q.quadrant(p.Lat, p.Lon)].insert(p)
+}
+
+// splittable guards against infinite splitting when many points share a
+// coordinate.
+func (q *Quadtree) splittable() bool {
+	return q.bounds.MaxLat-q.bounds.MinLat > 1e-9 && q.bounds.MaxLon-q.bounds.MinLon > 1e-9
+}
+
+func (q *Quadtree) split() {
+	midLat := (q.bounds.MinLat + q.bounds.MaxLat) / 2
+	midLon := (q.bounds.MinLon + q.bounds.MaxLon) / 2
+	q.children = &[4]*Quadtree{
+		NewQuadtree(BBox{q.bounds.MinLat, q.bounds.MinLon, midLat, midLon}),
+		NewQuadtree(BBox{q.bounds.MinLat, midLon, midLat, q.bounds.MaxLon}),
+		NewQuadtree(BBox{midLat, q.bounds.MinLon, q.bounds.MaxLat, midLon}),
+		NewQuadtree(BBox{midLat, midLon, q.bounds.MaxLat, q.bounds.MaxLon}),
+	}
+	pts := q.points
+	q.points = nil
+	// Redistribute into children; q.size already counts these points, and
+	// child.insert only increments the child's own counter.
+	for _, p := range pts {
+		q.children[q.quadrant(p.Lat, p.Lon)].insert(p)
+	}
+}
+
+func (q *Quadtree) quadrant(lat, lon float64) int {
+	midLat := (q.bounds.MinLat + q.bounds.MaxLat) / 2
+	midLon := (q.bounds.MinLon + q.bounds.MaxLon) / 2
+	i := 0
+	if lat >= midLat {
+		i += 2
+	}
+	if lon >= midLon {
+		i++
+	}
+	return i
+}
+
+// Query returns all points within the box.
+func (q *Quadtree) Query(box BBox) []Point {
+	var out []Point
+	q.query(box, &out)
+	return out
+}
+
+func (q *Quadtree) query(box BBox, out *[]Point) {
+	if !q.bounds.intersects(box) {
+		return
+	}
+	for _, p := range q.points {
+		if box.Contains(p.Lat, p.Lon) {
+			*out = append(*out, p)
+		}
+	}
+	if q.children != nil {
+		for _, c := range q.children {
+			c.query(box, out)
+		}
+	}
+}
+
+// MapBin is one cluster marker for low-zoom rendering.
+type MapBin struct {
+	// CenterLat/CenterLon is the centroid of the binned points.
+	CenterLat, CenterLon float64
+	Count                int
+}
+
+// BinForZoom clusters points into a grid whose resolution doubles per zoom
+// level (OSM-style), producing the aggregated markers map4rdf-like tools
+// show instead of thousands of overlapping pins.
+func BinForZoom(points []Point, zoom int) []MapBin {
+	if zoom < 0 {
+		zoom = 0
+	}
+	if zoom > 18 {
+		zoom = 18
+	}
+	cells := 1 << uint(zoom+2)
+	type agg struct {
+		lat, lon float64
+		n        int
+	}
+	grid := map[int]*agg{}
+	var keys []int
+	for _, p := range points {
+		cx := int((p.Lon + 180) / 360 * float64(cells))
+		cy := int((p.Lat + 90) / 180 * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		key := cy*cells + cx
+		a := grid[key]
+		if a == nil {
+			a = &agg{}
+			grid[key] = a
+			keys = append(keys, key)
+		}
+		a.lat += p.Lat
+		a.lon += p.Lon
+		a.n++
+	}
+	sort.Ints(keys)
+	out := make([]MapBin, 0, len(keys))
+	for _, k := range keys {
+		a := grid[k]
+		out = append(out, MapBin{
+			CenterLat: a.lat / float64(a.n),
+			CenterLon: a.lon / float64(a.n),
+			Count:     a.n,
+		})
+	}
+	return out
+}
+
+// Haversine returns the great-circle distance between two points in
+// kilometres.
+func Haversine(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371
+	rad := func(d float64) float64 { return d * math.Pi / 180 }
+	dLat := rad(lat2 - lat1)
+	dLon := rad(lon2 - lon1)
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(rad(lat1))*math.Cos(rad(lat2))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(a))
+}

@@ -1,0 +1,179 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+func ex(s string) rdf.IRI { return rdf.IRI("http://example.org/" + s) }
+
+func TestExtractPoints(t *testing.T) {
+	st := store.New()
+	st.AddAll([]rdf.Triple{
+		rdf.T(ex("athens"), rdf.GeoLat, rdf.NewDouble(37.98)),
+		rdf.T(ex("athens"), rdf.GeoLong, rdf.NewDouble(23.73)),
+		rdf.T(ex("bordeaux"), rdf.GeoLat, rdf.NewDouble(44.84)),
+		rdf.T(ex("bordeaux"), rdf.GeoLong, rdf.NewDouble(-0.58)),
+		rdf.T(ex("nolat"), rdf.GeoLong, rdf.NewDouble(10)),
+		rdf.T(ex("badlat"), rdf.GeoLat, rdf.NewLiteral("not-a-number")),
+		rdf.T(ex("badlat"), rdf.GeoLong, rdf.NewDouble(5)),
+	})
+	pts := ExtractPoints(st)
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].Entity != ex("athens") || pts[0].Lat != 37.98 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+}
+
+func TestQuadtreeQueryMatchesBruteForce(t *testing.T) {
+	q := WorldQuadtree()
+	rng := rand.New(rand.NewSource(1))
+	var pts []Point
+	for i := 0; i < 2000; i++ {
+		p := Point{
+			Entity: ex(fmt.Sprintf("p%d", i)),
+			Lat:    rng.Float64()*180 - 90,
+			Lon:    rng.Float64()*360 - 180,
+		}
+		pts = append(pts, p)
+		q.Insert(p)
+	}
+	if q.Len() != 2000 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for trial := 0; trial < 10; trial++ {
+		box := BBox{
+			MinLat: rng.Float64()*160 - 90,
+			MinLon: rng.Float64()*320 - 180,
+		}
+		box.MaxLat = box.MinLat + rng.Float64()*30
+		box.MaxLon = box.MinLon + rng.Float64()*60
+		got := q.Query(box)
+		want := 0
+		for _, p := range pts {
+			if box.Contains(p.Lat, p.Lon) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Errorf("box %+v: got %d, want %d", box, len(got), want)
+		}
+	}
+}
+
+func TestQuadtreeDuplicatePointsNoInfiniteSplit(t *testing.T) {
+	q := WorldQuadtree()
+	for i := 0; i < 500; i++ {
+		q.Insert(Point{Entity: ex("same"), Lat: 10, Lon: 10})
+	}
+	if q.Len() != 500 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	got := q.Query(BBox{MinLat: 9, MinLon: 9, MaxLat: 11, MaxLon: 11})
+	if len(got) != 500 {
+		t.Errorf("query = %d", len(got))
+	}
+}
+
+func TestQuadtreeClampsOutOfRange(t *testing.T) {
+	q := WorldQuadtree()
+	q.Insert(Point{Entity: ex("x"), Lat: 999, Lon: -999})
+	got := q.Query(BBox{MinLat: 89, MinLon: -180, MaxLat: 90, MaxLon: -179})
+	if len(got) != 1 {
+		t.Errorf("clamped point lost: %v", got)
+	}
+}
+
+// Property: every inserted point is findable in a box around it.
+func TestQuadtreePointFindableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := WorldQuadtree()
+		var pts []Point
+		for i := 0; i < 100; i++ {
+			p := Point{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+			pts = append(pts, p)
+			q.Insert(p)
+		}
+		for _, p := range pts {
+			got := q.Query(BBox{
+				MinLat: p.Lat - 1e-6, MinLon: p.Lon - 1e-6,
+				MaxLat: p.Lat + 1e-6, MaxLon: p.Lon + 1e-6,
+			})
+			found := false
+			for _, g := range got {
+				if g.Lat == p.Lat && g.Lon == p.Lon {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinForZoomAggregates(t *testing.T) {
+	var pts []Point
+	// Two clusters far apart.
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point{Lat: 38 + float64(i)*1e-4, Lon: 23})
+		pts = append(pts, Point{Lat: -33, Lon: 151 + float64(i)*1e-4})
+	}
+	bins := BinForZoom(pts, 0)
+	if len(bins) != 2 {
+		t.Fatalf("zoom-0 bins = %d, want 2", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 200 {
+		t.Errorf("binned %d points", total)
+	}
+	// Higher zoom — at least as many bins.
+	if len(BinForZoom(pts, 10)) < 2 {
+		t.Error("zoom-10 should keep clusters separate")
+	}
+}
+
+func TestBinForZoomCentroids(t *testing.T) {
+	pts := []Point{{Lat: 10, Lon: 20}, {Lat: 12, Lon: 22}}
+	bins := BinForZoom(pts, 0)
+	if len(bins) != 1 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if math.Abs(bins[0].CenterLat-11) > 1e-9 || math.Abs(bins[0].CenterLon-21) > 1e-9 {
+		t.Errorf("centroid = %+v", bins[0])
+	}
+}
+
+func TestBinForZoomClampsZoom(t *testing.T) {
+	pts := []Point{{Lat: 0, Lon: 0}}
+	if len(BinForZoom(pts, -5)) != 1 || len(BinForZoom(pts, 99)) != 1 {
+		t.Error("zoom clamping broken")
+	}
+}
+
+func TestHaversine(t *testing.T) {
+	// Athens to Bordeaux is roughly 2130 km.
+	d := Haversine(37.98, 23.73, 44.84, -0.58)
+	if d < 2000 || d > 2300 {
+		t.Errorf("Athens-Bordeaux = %g km", d)
+	}
+	if Haversine(10, 20, 10, 20) != 0 {
+		t.Error("zero distance broken")
+	}
+}

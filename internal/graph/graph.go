@@ -1,0 +1,239 @@
+// Package graph extracts and represents the node-link structure of an RDF
+// dataset — the view every system in the survey's Section 3.4 ("graph-based
+// visualization") starts from. Nodes are RDF resources; edges are the
+// object-property statements between them (literal-valued statements become
+// node attributes, not edges).
+package graph
+
+import (
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// NodeID is a dense node index in a Graph.
+type NodeID int
+
+// Edge is a directed, labeled edge.
+type Edge struct {
+	From, To NodeID
+	Label    rdf.IRI
+}
+
+// Graph is a directed multigraph over RDF resources.
+type Graph struct {
+	// Terms maps NodeID to the RDF term it stands for.
+	Terms []rdf.Term
+	// Edges lists all edges.
+	Edges []Edge
+	// Out and In are adjacency lists (edge indexes).
+	Out, In [][]int
+
+	index map[rdf.Term]NodeID
+}
+
+// New creates an empty graph.
+func New() *Graph {
+	return &Graph{index: map[rdf.Term]NodeID{}}
+}
+
+// FromStore builds the graph of all resource-to-resource statements in the
+// store, skipping literal objects.
+func FromStore(st *store.Store) *Graph {
+	g := New()
+	st.ForEach(store.Pattern{}, func(t rdf.Triple) bool {
+		if t.O.Kind() == rdf.KindLiteral {
+			return true
+		}
+		g.AddEdge(t.S, t.O, t.P)
+		return true
+	})
+	return g
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Terms) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Node interns a term as a node and returns its id.
+func (g *Graph) Node(t rdf.Term) NodeID {
+	if id, ok := g.index[t]; ok {
+		return id
+	}
+	id := NodeID(len(g.Terms))
+	g.index[t] = id
+	g.Terms = append(g.Terms, t)
+	g.Out = append(g.Out, nil)
+	g.In = append(g.In, nil)
+	return id
+}
+
+// Lookup returns the node for a term, if present.
+func (g *Graph) Lookup(t rdf.Term) (NodeID, bool) {
+	id, ok := g.index[t]
+	return id, ok
+}
+
+// AddEdge adds a labeled edge between two terms, interning them as needed.
+func (g *Graph) AddEdge(from, to rdf.Term, label rdf.IRI) {
+	f, t := g.Node(from), g.Node(to)
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{From: f, To: t, Label: label})
+	g.Out[f] = append(g.Out[f], idx)
+	g.In[t] = append(g.In[t], idx)
+}
+
+// Degree returns the total (in+out) degree of a node.
+func (g *Graph) Degree(n NodeID) int { return len(g.Out[n]) + len(g.In[n]) }
+
+// Neighbors returns the distinct neighbor ids of n (either direction).
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	seen := map[NodeID]struct{}{}
+	var out []NodeID
+	add := func(id NodeID) {
+		if id == n {
+			return
+		}
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	for _, e := range g.Out[n] {
+		add(g.Edges[e].To)
+	}
+	for _, e := range g.In[n] {
+		add(g.Edges[e].From)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BFS visits nodes in breadth-first order from start, calling fn with each
+// node and its depth; fn returning false stops the traversal.
+func (g *Graph) BFS(start NodeID, fn func(n NodeID, depth int) bool) {
+	if int(start) >= g.NumNodes() {
+		return
+	}
+	visited := make([]bool, g.NumNodes())
+	type qe struct {
+		n NodeID
+		d int
+	}
+	queue := []qe{{start, 0}}
+	visited[start] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !fn(cur.n, cur.d) {
+			return
+		}
+		for _, nb := range g.Neighbors(cur.n) {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, qe{nb, cur.d + 1})
+			}
+		}
+	}
+}
+
+// Neighborhood returns all nodes within the given number of hops of start
+// (including start) — the expansion primitive of Lodlive/Fenfire-style
+// link-following browsers.
+func (g *Graph) Neighborhood(start NodeID, hops int) []NodeID {
+	var out []NodeID
+	g.BFS(start, func(n NodeID, d int) bool {
+		if d > hops {
+			return false
+		}
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// ConnectedComponents returns a component id per node (treating edges as
+// undirected) and the number of components.
+func (g *Graph) ConnectedComponents() ([]int, int) {
+	comp := make([]int, g.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		// BFS labeling.
+		queue := []NodeID{NodeID(v)}
+		comp[v] = next
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, nb := range g.Neighbors(n) {
+				if comp[nb] == -1 {
+					comp[nb] = next
+					queue = append(queue, nb)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// KCore returns the maximal subgraph node set in which every node has
+// (undirected) degree >= k — the density filter large-graph visualizers use
+// to find the "interesting" core.
+func (g *Graph) KCore(k int) []NodeID {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = len(g.Neighbors(NodeID(v)))
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < k {
+				removed[v] = true
+				changed = true
+				for _, nb := range g.Neighbors(NodeID(v)) {
+					if !removed[nb] {
+						deg[nb]--
+					}
+				}
+			}
+		}
+	}
+	var out []NodeID
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// UndirectedEdgePairs returns the distinct undirected node pairs with at
+// least one edge, as index pairs — the form clustering and layout consume.
+func (g *Graph) UndirectedEdgePairs() [][2]int {
+	seen := map[[2]int]struct{}{}
+	var out [][2]int
+	for _, e := range g.Edges {
+		a, b := int(e.From), int(e.To)
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if _, dup := seen[key]; !dup {
+			seen[key] = struct{}{}
+			out = append(out, key)
+		}
+	}
+	return out
+}

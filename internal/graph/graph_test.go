@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+func iri(s string) rdf.IRI { return rdf.IRI("http://e/" + s) }
+
+func chainGraph(n int) *Graph {
+	g := New()
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(iri(fmt.Sprintf("n%d", i)), iri(fmt.Sprintf("n%d", i+1)), "http://e/next")
+	}
+	return g
+}
+
+func TestFromStoreSkipsLiterals(t *testing.T) {
+	st := store.New()
+	st.AddAll([]rdf.Triple{
+		rdf.T(iri("a"), "http://e/knows", iri("b")),
+		rdf.T(iri("a"), "http://e/name", rdf.NewLiteral("Alice")),
+		rdf.T(iri("b"), "http://e/knows", iri("c")),
+	})
+	g := FromStore(st)
+	if g.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestNodeInterning(t *testing.T) {
+	g := New()
+	a1 := g.Node(iri("a"))
+	a2 := g.Node(iri("a"))
+	if a1 != a2 {
+		t.Error("same term interned twice")
+	}
+	if _, ok := g.Lookup(iri("a")); !ok {
+		t.Error("Lookup failed")
+	}
+	if _, ok := g.Lookup(iri("zzz")); ok {
+		t.Error("Lookup invented a node")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New()
+	g.AddEdge(iri("hub"), iri("a"), "http://e/p")
+	g.AddEdge(iri("hub"), iri("b"), "http://e/p")
+	g.AddEdge(iri("c"), iri("hub"), "http://e/p")
+	hub, _ := g.Lookup(iri("hub"))
+	if g.Degree(hub) != 3 {
+		t.Errorf("degree = %d, want 3", g.Degree(hub))
+	}
+	nbrs := g.Neighbors(hub)
+	if len(nbrs) != 3 {
+		t.Errorf("neighbors = %d, want 3", len(nbrs))
+	}
+}
+
+func TestNeighborsDeduplicated(t *testing.T) {
+	g := New()
+	g.AddEdge(iri("a"), iri("b"), "http://e/p")
+	g.AddEdge(iri("a"), iri("b"), "http://e/q") // parallel edge
+	g.AddEdge(iri("b"), iri("a"), "http://e/r") // reverse edge
+	a, _ := g.Lookup(iri("a"))
+	if n := g.Neighbors(a); len(n) != 1 {
+		t.Errorf("neighbors = %d, want 1", len(n))
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	g := chainGraph(5)
+	start, _ := g.Lookup(iri("n0"))
+	depths := map[int]int{}
+	g.BFS(start, func(n NodeID, d int) bool {
+		depths[d]++
+		return true
+	})
+	for d := 0; d < 5; d++ {
+		if depths[d] != 1 {
+			t.Errorf("depth %d count = %d", d, depths[d])
+		}
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g := chainGraph(10)
+	start, _ := g.Lookup(iri("n0"))
+	hood := g.Neighborhood(start, 3)
+	if len(hood) != 4 { // n0..n3
+		t.Errorf("neighborhood = %d nodes, want 4", len(hood))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New()
+	g.AddEdge(iri("a"), iri("b"), "http://e/p")
+	g.AddEdge(iri("c"), iri("d"), "http://e/p")
+	g.Node(iri("lonely"))
+	comp, n := g.ConnectedComponents()
+	if n != 3 {
+		t.Errorf("components = %d, want 3", n)
+	}
+	a, _ := g.Lookup(iri("a"))
+	b, _ := g.Lookup(iri("b"))
+	if comp[a] != comp[b] {
+		t.Error("a and b in different components")
+	}
+}
+
+func TestKCore(t *testing.T) {
+	g := New()
+	// K4 clique plus a pendant.
+	nodes := []string{"a", "b", "c", "d"}
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			g.AddEdge(iri(nodes[i]), iri(nodes[j]), "http://e/p")
+		}
+	}
+	g.AddEdge(iri("pendant"), iri("a"), "http://e/p")
+	core := g.KCore(3)
+	if len(core) != 4 {
+		t.Errorf("3-core = %d nodes, want 4", len(core))
+	}
+	if len(g.KCore(10)) != 0 {
+		t.Error("10-core should be empty")
+	}
+}
+
+func TestUndirectedEdgePairs(t *testing.T) {
+	g := New()
+	g.AddEdge(iri("a"), iri("b"), "http://e/p")
+	g.AddEdge(iri("b"), iri("a"), "http://e/q") // same undirected pair
+	g.AddEdge(iri("a"), iri("c"), "http://e/p")
+	if pairs := g.UndirectedEdgePairs(); len(pairs) != 2 {
+		t.Errorf("pairs = %d, want 2", len(pairs))
+	}
+}
+
+func TestBFSInvalidStart(t *testing.T) {
+	g := New()
+	g.BFS(99, func(NodeID, int) bool { t.Fatal("must not visit"); return false })
+}

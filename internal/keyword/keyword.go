@@ -1,0 +1,194 @@
+// Package keyword implements the keyword-search capability of Table 2
+// (VisiNav, RDF graph visualizer, Gephi, ...): an inverted index over the
+// literals and local names of a dataset, with TF-IDF ranking and prefix
+// completion — the "find a starting node" primitive of node-centric WoD
+// exploration.
+package keyword
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Hit is one search result.
+type Hit struct {
+	// Entity is the matched resource.
+	Entity rdf.Term
+	// Score is the TF-IDF relevance.
+	Score float64
+	// Snippet is the text that matched.
+	Snippet string
+}
+
+// Index is an inverted index from tokens to entities.
+type Index struct {
+	// postings maps token → entity ordinal → term frequency.
+	postings map[string]map[int]int
+	// entities and texts are parallel: ordinal → entity / indexed text.
+	entities []rdf.Term
+	texts    []string
+	ordinals map[rdf.Term]int
+	// docLen[i] is the token count of document i.
+	docLen []int
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{
+		postings: map[string]map[int]int{},
+		ordinals: map[rdf.Term]int{},
+	}
+}
+
+// BuildIndex indexes every literal object (as text of its subject) plus
+// every IRI subject's local name.
+func BuildIndex(st *store.Store) *Index {
+	idx := NewIndex()
+	seenSubject := map[rdf.Term]bool{}
+	st.ForEach(store.Pattern{}, func(t rdf.Triple) bool {
+		if l, ok := t.O.(rdf.Literal); ok {
+			idx.Add(t.S, l.Lexical)
+		}
+		if !seenSubject[t.S] {
+			seenSubject[t.S] = true
+			if iri, ok := t.S.(rdf.IRI); ok {
+				idx.Add(t.S, humanize(iri.LocalName()))
+			}
+		}
+		return true
+	})
+	return idx
+}
+
+// humanize splits camelCase and underscores into words.
+func humanize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 && unicode.IsUpper(r) {
+			b.WriteByte(' ')
+		}
+		if r == '_' || r == '-' {
+			b.WriteByte(' ')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Add indexes text under an entity.
+func (idx *Index) Add(entity rdf.Term, text string) {
+	ord, ok := idx.ordinals[entity]
+	if !ok {
+		ord = len(idx.entities)
+		idx.ordinals[entity] = ord
+		idx.entities = append(idx.entities, entity)
+		idx.texts = append(idx.texts, "")
+		idx.docLen = append(idx.docLen, 0)
+	}
+	if idx.texts[ord] == "" {
+		idx.texts[ord] = text
+	} else {
+		idx.texts[ord] += " " + text
+	}
+	for _, tok := range Tokenize(text) {
+		m := idx.postings[tok]
+		if m == nil {
+			m = map[int]int{}
+			idx.postings[tok] = m
+		}
+		m[ord]++
+		idx.docLen[ord]++
+	}
+}
+
+// Len returns the number of indexed entities.
+func (idx *Index) Len() int { return len(idx.entities) }
+
+// Tokenize lowercases and splits text on non-alphanumeric runes.
+func Tokenize(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Search ranks entities by TF-IDF over the query tokens, returning at most
+// limit hits.
+func (idx *Index) Search(query string, limit int) []Hit {
+	if limit <= 0 {
+		limit = 10
+	}
+	tokens := Tokenize(query)
+	if len(tokens) == 0 {
+		return nil
+	}
+	n := float64(len(idx.entities))
+	scores := map[int]float64{}
+	for _, tok := range tokens {
+		posting := idx.postings[tok]
+		if len(posting) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(posting)))
+		for ord, tf := range posting {
+			dl := idx.docLen[ord]
+			if dl == 0 {
+				dl = 1
+			}
+			scores[ord] += float64(tf) / float64(dl) * idf
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for ord, sc := range scores {
+		hits = append(hits, Hit{Entity: idx.entities[ord], Score: sc, Snippet: idx.texts[ord]})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return rdf.Compare(hits[i].Entity, hits[j].Entity) < 0
+	})
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// Complete returns up to limit indexed tokens beginning with prefix — the
+// type-ahead primitive.
+func (idx *Index) Complete(prefix string, limit int) []string {
+	if limit <= 0 {
+		limit = 10
+	}
+	prefix = strings.ToLower(prefix)
+	var out []string
+	for tok := range idx.postings {
+		if strings.HasPrefix(tok, prefix) {
+			out = append(out, tok)
+		}
+	}
+	sort.Strings(out)
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

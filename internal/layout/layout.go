@@ -1,0 +1,307 @@
+// Package layout computes 2-D positions for graph nodes: grid-accelerated
+// Fruchterman–Reingold force-directed layout (the default of Gephi, IsaViz,
+// RDF-Gravity and most of the survey's Section 3.4 systems), plus circular,
+// grid, and radial-tree layouts for structured views.
+//
+// Layouts are deterministic for a given seed.
+package layout
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/lodviz/lodviz/internal/graph"
+)
+
+// Point is a node position.
+type Point struct{ X, Y float64 }
+
+// Options tune the force-directed layout.
+type Options struct {
+	// Iterations of simulated annealing (default 50).
+	Iterations int
+	// Width and Height of the layout area (default 1000×1000).
+	Width, Height float64
+	// Seed for the initial random placement.
+	Seed int64
+}
+
+func (o *Options) normalize() {
+	if o.Iterations <= 0 {
+		o.Iterations = 50
+	}
+	if o.Width <= 0 {
+		o.Width = 1000
+	}
+	if o.Height <= 0 {
+		o.Height = 1000
+	}
+}
+
+// ForceDirected computes a Fruchterman–Reingold layout. Repulsion is
+// approximated with a uniform grid so each node only interacts with nearby
+// cells, keeping iterations near-linear — the optimization large-graph tools
+// need once node counts pass a few thousand.
+func ForceDirected(g *graph.Graph, opts Options) []Point {
+	opts.normalize()
+	n := g.NumNodes()
+	pos := make([]Point, n)
+	if n == 0 {
+		return pos
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := range pos {
+		pos[i] = Point{X: rng.Float64() * opts.Width, Y: rng.Float64() * opts.Height}
+	}
+	if n == 1 {
+		pos[0] = Point{X: opts.Width / 2, Y: opts.Height / 2}
+		return pos
+	}
+	area := opts.Width * opts.Height
+	k := math.Sqrt(area / float64(n)) // ideal edge length
+	pairs := g.UndirectedEdgePairs()
+
+	disp := make([]Point, n)
+	temp := opts.Width / 10
+	cool := temp / float64(opts.Iterations+1)
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		for i := range disp {
+			disp[i] = Point{}
+		}
+		// Repulsive forces via grid binning: only cells within one cell
+		// radius interact, beyond that repulsion is negligible.
+		cell := k * 2
+		gridW := int(opts.Width/cell) + 1
+		gridH := int(opts.Height/cell) + 1
+		grid := make(map[int][]int)
+		cellOf := func(p Point) (int, int) {
+			cx := int(p.X / cell)
+			cy := int(p.Y / cell)
+			if cx < 0 {
+				cx = 0
+			}
+			if cy < 0 {
+				cy = 0
+			}
+			if cx >= gridW {
+				cx = gridW - 1
+			}
+			if cy >= gridH {
+				cy = gridH - 1
+			}
+			return cx, cy
+		}
+		for i := 0; i < n; i++ {
+			cx, cy := cellOf(pos[i])
+			grid[cy*gridW+cx] = append(grid[cy*gridW+cx], i)
+		}
+		for i := 0; i < n; i++ {
+			cx, cy := cellOf(pos[i])
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := cx+dx, cy+dy
+					if nx < 0 || ny < 0 || nx >= gridW || ny >= gridH {
+						continue
+					}
+					for _, j := range grid[ny*gridW+nx] {
+						if i == j {
+							continue
+						}
+						dxv := pos[i].X - pos[j].X
+						dyv := pos[i].Y - pos[j].Y
+						d := math.Hypot(dxv, dyv)
+						if d < 1e-9 {
+							dxv, dyv, d = rng.Float64()-0.5, rng.Float64()-0.5, 1
+						}
+						f := k * k / d
+						disp[i].X += dxv / d * f
+						disp[i].Y += dyv / d * f
+					}
+				}
+			}
+		}
+		// Attractive forces along edges.
+		for _, e := range pairs {
+			i, j := e[0], e[1]
+			dxv := pos[i].X - pos[j].X
+			dyv := pos[i].Y - pos[j].Y
+			d := math.Hypot(dxv, dyv)
+			if d < 1e-9 {
+				continue
+			}
+			f := d * d / k
+			fx, fy := dxv/d*f, dyv/d*f
+			disp[i].X -= fx
+			disp[i].Y -= fy
+			disp[j].X += fx
+			disp[j].Y += fy
+		}
+		// Apply displacement limited by temperature; keep inside the frame.
+		for i := 0; i < n; i++ {
+			d := math.Hypot(disp[i].X, disp[i].Y)
+			if d < 1e-9 {
+				continue
+			}
+			lim := math.Min(d, temp)
+			pos[i].X += disp[i].X / d * lim
+			pos[i].Y += disp[i].Y / d * lim
+			pos[i].X = math.Max(0, math.Min(opts.Width, pos[i].X))
+			pos[i].Y = math.Max(0, math.Min(opts.Height, pos[i].Y))
+		}
+		temp -= cool
+	}
+	return pos
+}
+
+// Circular places nodes evenly on a circle (the fallback layout of many WoD
+// browsers for medium neighborhoods).
+func Circular(n int, width, height float64) []Point {
+	pos := make([]Point, n)
+	if n == 0 {
+		return pos
+	}
+	cx, cy := width/2, height/2
+	r := math.Min(width, height) * 0.4
+	for i := range pos {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pos[i] = Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)}
+	}
+	return pos
+}
+
+// Grid places nodes row-major on a regular grid.
+func Grid(n int, width, height float64) []Point {
+	pos := make([]Point, n)
+	if n == 0 {
+		return pos
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	for i := range pos {
+		c, r := i%cols, i/cols
+		pos[i] = Point{
+			X: (float64(c) + 0.5) * width / float64(cols),
+			Y: (float64(r) + 0.5) * height / float64(rows),
+		}
+	}
+	return pos
+}
+
+// RadialTree lays out a rooted tree with the root at the center and each
+// depth ring at increasing radius — the classic ontology-visualization
+// arrangement (KC-Viz, OntoGraf).
+//
+// children[i] lists the child indexes of node i; the forest is laid out from
+// root. Nodes unreachable from root are placed on the outermost ring.
+func RadialTree(n int, root int, children [][]int, width, height float64) []Point {
+	pos := make([]Point, n)
+	if n == 0 || root < 0 || root >= n {
+		return pos
+	}
+	cx, cy := width/2, height/2
+	// Compute depth and subtree leaf counts.
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var maxDepth int
+	var count func(v, d int) int
+	leaves := make([]int, n)
+	count = func(v, d int) int {
+		depth[v] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+		if len(children[v]) == 0 {
+			leaves[v] = 1
+			return 1
+		}
+		total := 0
+		for _, c := range children[v] {
+			if depth[c] == -1 {
+				total += count(c, d+1)
+			}
+		}
+		if total == 0 {
+			total = 1
+		}
+		leaves[v] = total
+		return total
+	}
+	count(root, 0)
+	ringGap := math.Min(width, height) * 0.45 / float64(maxDepth+1)
+
+	// Assign angular wedges proportional to leaf counts.
+	var place func(v int, a0, a1 float64)
+	place = func(v int, a0, a1 float64) {
+		r := float64(depth[v]) * ringGap
+		mid := (a0 + a1) / 2
+		pos[v] = Point{X: cx + r*math.Cos(mid), Y: cy + r*math.Sin(mid)}
+		a := a0
+		for _, c := range children[v] {
+			if depth[c] != depth[v]+1 {
+				continue
+			}
+			span := (a1 - a0) * float64(leaves[c]) / float64(leaves[v])
+			place(c, a, a+span)
+			a += span
+		}
+	}
+	place(root, 0, 2*math.Pi)
+	// Unreached nodes to the outer ring.
+	unplaced := 0
+	for v := 0; v < n; v++ {
+		if depth[v] == -1 {
+			unplaced++
+		}
+	}
+	i := 0
+	for v := 0; v < n; v++ {
+		if depth[v] == -1 {
+			a := 2 * math.Pi * float64(i) / float64(unplaced)
+			r := float64(maxDepth+1) * ringGap
+			pos[v] = Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)}
+			i++
+		}
+	}
+	return pos
+}
+
+// Quality metrics for experiments.
+
+// MeanEdgeLength returns the average Euclidean edge length of the layout.
+func MeanEdgeLength(g *graph.Graph, pos []Point) float64 {
+	pairs := g.UndirectedEdgePairs()
+	if len(pairs) == 0 {
+		return 0
+	}
+	var total float64
+	for _, e := range pairs {
+		total += math.Hypot(pos[e[0]].X-pos[e[1]].X, pos[e[0]].Y-pos[e[1]].Y)
+	}
+	return total / float64(len(pairs))
+}
+
+// MinNodeDistance returns the smallest pairwise node distance (sampled for
+// large n) — a proxy for overlap/clutter.
+func MinNodeDistance(pos []Point) float64 {
+	n := len(pos)
+	if n < 2 {
+		return 0
+	}
+	step := 1
+	if n > 2000 {
+		step = n / 2000
+	}
+	best := math.Inf(1)
+	for i := 0; i < n; i += step {
+		for j := i + step; j < n; j += step {
+			d := math.Hypot(pos[i].X-pos[j].X, pos[i].Y-pos[j].Y)
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,172 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/graph"
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+func iri(s string) rdf.IRI { return rdf.IRI("http://e/" + s) }
+
+func ringGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddEdge(iri(fmt.Sprintf("n%d", i)), iri(fmt.Sprintf("n%d", (i+1)%n)), "http://e/next")
+	}
+	return g
+}
+
+func TestForceDirectedBounds(t *testing.T) {
+	g := ringGraph(50)
+	pos := ForceDirected(g, Options{Iterations: 30, Width: 500, Height: 400, Seed: 1})
+	if len(pos) != 50 {
+		t.Fatalf("positions = %d", len(pos))
+	}
+	for i, p := range pos {
+		if p.X < 0 || p.X > 500 || p.Y < 0 || p.Y > 400 {
+			t.Errorf("node %d out of bounds: %+v", i, p)
+		}
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatalf("node %d NaN position", i)
+		}
+	}
+}
+
+func TestForceDirectedDeterministic(t *testing.T) {
+	g := ringGraph(20)
+	a := ForceDirected(g, Options{Seed: 7})
+	b := ForceDirected(g, Options{Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("layout not deterministic for same seed")
+		}
+	}
+}
+
+func TestForceDirectedSeparatesNodes(t *testing.T) {
+	g := ringGraph(30)
+	pos := ForceDirected(g, Options{Iterations: 80, Seed: 3})
+	if d := MinNodeDistance(pos); d < 1 {
+		t.Errorf("min node distance = %g — nodes collapsed", d)
+	}
+}
+
+func TestForceDirectedImprovesOverRandom(t *testing.T) {
+	// On a ring, FR should make edge lengths much more uniform than the
+	// random initial placement: compare stddev of edge lengths.
+	g := ringGraph(40)
+	random := ForceDirected(g, Options{Iterations: 1, Seed: 5})
+	settled := ForceDirected(g, Options{Iterations: 150, Seed: 5})
+	if sd(edgeLengths(g, settled)) >= sd(edgeLengths(g, random)) {
+		t.Error("layout did not regularize edge lengths on a ring")
+	}
+}
+
+func edgeLengths(g *graph.Graph, pos []Point) []float64 {
+	var out []float64
+	for _, e := range g.UndirectedEdgePairs() {
+		out = append(out, math.Hypot(pos[e[0]].X-pos[e[1]].X, pos[e[0]].Y-pos[e[1]].Y))
+	}
+	return out
+}
+
+func sd(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+func TestForceDirectedEmptyAndSingle(t *testing.T) {
+	g := graph.New()
+	if pos := ForceDirected(g, Options{}); len(pos) != 0 {
+		t.Error("empty graph should produce no positions")
+	}
+	g.Node(iri("only"))
+	pos := ForceDirected(g, Options{Width: 100, Height: 100})
+	if pos[0].X != 50 || pos[0].Y != 50 {
+		t.Errorf("single node not centered: %+v", pos[0])
+	}
+}
+
+func TestCircular(t *testing.T) {
+	pos := Circular(4, 100, 100)
+	if len(pos) != 4 {
+		t.Fatalf("positions = %d", len(pos))
+	}
+	// All on a circle of radius 40 around (50,50).
+	for i, p := range pos {
+		r := math.Hypot(p.X-50, p.Y-50)
+		if math.Abs(r-40) > 1e-9 {
+			t.Errorf("node %d radius = %g", i, r)
+		}
+	}
+	if len(Circular(0, 10, 10)) != 0 {
+		t.Error("n=0 should be empty")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	pos := Grid(9, 90, 90)
+	if len(pos) != 9 {
+		t.Fatalf("positions = %d", len(pos))
+	}
+	// 3x3 grid: first cell center at (15,15).
+	if pos[0].X != 15 || pos[0].Y != 15 {
+		t.Errorf("first cell = %+v", pos[0])
+	}
+	if pos[8].X != 75 || pos[8].Y != 75 {
+		t.Errorf("last cell = %+v", pos[8])
+	}
+}
+
+func TestRadialTree(t *testing.T) {
+	// Root with two children, one grandchild.
+	children := [][]int{{1, 2}, {3}, {}, {}}
+	pos := RadialTree(4, 0, children, 200, 200)
+	// Root at center.
+	if pos[0].X != 100 || pos[0].Y != 100 {
+		t.Errorf("root = %+v", pos[0])
+	}
+	// Children at ring 1 — equal radius.
+	r1 := math.Hypot(pos[1].X-100, pos[1].Y-100)
+	r2 := math.Hypot(pos[2].X-100, pos[2].Y-100)
+	if math.Abs(r1-r2) > 1e-9 || r1 == 0 {
+		t.Errorf("ring radii: %g vs %g", r1, r2)
+	}
+	// Grandchild farther out.
+	r3 := math.Hypot(pos[3].X-100, pos[3].Y-100)
+	if r3 <= r1 {
+		t.Errorf("grandchild radius %g <= child %g", r3, r1)
+	}
+}
+
+func TestRadialTreeUnreachableNodes(t *testing.T) {
+	children := [][]int{{1}, {}, {}} // node 2 unreachable
+	pos := RadialTree(3, 0, children, 100, 100)
+	r2 := math.Hypot(pos[2].X-50, pos[2].Y-50)
+	r1 := math.Hypot(pos[1].X-50, pos[1].Y-50)
+	if r2 <= r1 {
+		t.Errorf("unreachable node should sit on the outer ring: %g <= %g", r2, r1)
+	}
+}
+
+func TestMeanEdgeLength(t *testing.T) {
+	g := ringGraph(4)
+	pos := []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}
+	if m := MeanEdgeLength(g, pos); m != 10 {
+		t.Errorf("MeanEdgeLength = %g, want 10", m)
+	}
+	if MeanEdgeLength(graph.New(), nil) != 0 {
+		t.Error("empty graph mean != 0")
+	}
+}

@@ -1,0 +1,135 @@
+package ldvm
+
+import (
+	"fmt"
+
+	"github.com/lodviz/lodviz/internal/aggregate"
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/recommend"
+	"github.com/lodviz/lodviz/internal/vis"
+)
+
+// BindSpec materializes a recommendation into a renderable spec by binding
+// the abstraction's columns onto the visualization's channels.
+func BindSpec(a *Analytical, rec recommend.Recommendation) (*vis.Spec, error) {
+	spec := &vis.Spec{Type: rec.Type, Title: fmt.Sprintf("%v", rec.Type)}
+	col := func(channel string) string { return rec.Bindings[channel] }
+	num := func(row map[string]rdf.Term, c string) (float64, bool) {
+		t, ok := row[c]
+		if !ok {
+			return 0, false
+		}
+		l, ok := t.(rdf.Literal)
+		if !ok {
+			return 0, false
+		}
+		if v, ok := l.Float(); ok {
+			return v, true
+		}
+		if tm, ok := l.Time(); ok {
+			return float64(tm.Unix()), true
+		}
+		return 0, false
+	}
+	label := func(row map[string]rdf.Term, c string) string {
+		t, ok := row[c]
+		if !ok {
+			return ""
+		}
+		switch tt := t.(type) {
+		case rdf.Literal:
+			return tt.Lexical
+		case rdf.IRI:
+			return tt.LocalName()
+		default:
+			return t.String()
+		}
+	}
+
+	switch rec.Type {
+	case vis.Scatter, vis.Bubble, vis.LineChart:
+		var pts []vis.DataPoint
+		for _, row := range a.Rows {
+			x, okX := num(row, col("x"))
+			y, okY := num(row, col("y"))
+			if !okX || !okY {
+				continue
+			}
+			p := vis.DataPoint{X: x, Y: y}
+			if sc := col("size"); sc != "" {
+				p.Size, _ = num(row, sc)
+			}
+			pts = append(pts, p)
+		}
+		spec.Series = []vis.Series{{Name: col("y"), Points: pts}}
+		spec.XLabel, spec.YLabel = col("x"), col("y")
+	case vis.BarChart, vis.PieChart:
+		xCol := col("x")
+		if xCol == "" {
+			xCol = col("color")
+		}
+		yCol := col("y")
+		type rowT = map[string]rdf.Term
+		rows := make([]rowT, len(a.Rows))
+		for i, r := range a.Rows {
+			rows[i] = r
+		}
+		groups := aggregate.GroupBy(rows,
+			func(r rowT) string { return label(r, xCol) },
+			func(r rowT) float64 { v, _ := num(r, yCol); return v })
+		var pts []vis.DataPoint
+		for _, g := range groups {
+			v := g.Sum
+			if yCol == "" {
+				v = float64(g.Count)
+			}
+			pts = append(pts, vis.DataPoint{Label: g.Key, Y: v})
+		}
+		spec.Series = []vis.Series{{Name: xCol, Points: pts}}
+		spec.XLabel, spec.YLabel = xCol, yCol
+	case vis.Histogram:
+		xCol := col("x")
+		var vals []float64
+		for _, row := range a.Rows {
+			if v, ok := num(row, xCol); ok {
+				vals = append(vals, v)
+			}
+		}
+		bins, err := aggregate.EqualWidth(vals, 20)
+		if err != nil && len(vals) > 0 {
+			return nil, fmt.Errorf("ldvm: histogram: %w", err)
+		}
+		var pts []vis.DataPoint
+		for _, b := range bins {
+			pts = append(pts, vis.DataPoint{
+				Label: fmt.Sprintf("[%.3g,%.3g)", b.Lo, b.Hi),
+				X:     (b.Lo + b.Hi) / 2,
+				Y:     float64(b.Count),
+			})
+		}
+		spec.Series = []vis.Series{{Name: xCol, Points: pts}}
+		spec.XLabel, spec.YLabel = xCol, "count"
+	case vis.Timeline:
+		xCol := col("x")
+		var pts []vis.DataPoint
+		for _, row := range a.Rows {
+			if v, ok := num(row, xCol); ok {
+				pts = append(pts, vis.DataPoint{X: v, Y: 1, Label: label(row, xCol)})
+			}
+		}
+		spec.Series = []vis.Series{{Name: xCol, Points: pts}}
+	default:
+		// Table / graph / map and other types: carry the rows as labeled
+		// points so the view stage has the data.
+		var pts []vis.DataPoint
+		for i, row := range a.Rows {
+			p := vis.DataPoint{X: float64(i), Y: float64(i)}
+			if len(a.Columns) > 0 {
+				p.Label = label(row, a.Columns[0])
+			}
+			pts = append(pts, p)
+		}
+		spec.Series = []vis.Series{{Name: "rows", Points: pts}}
+	}
+	return spec, nil
+}

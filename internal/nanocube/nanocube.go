@@ -1,0 +1,274 @@
+// Package nanocube implements a simplified Nanocube (Lins, Klosowski &
+// Scheidegger, TVCG 2013 — ref [96]), the spatio-temporal count index the
+// survey's Section 4 names as the kind of WoD-task-specific data structure
+// future systems should adopt: a spatial quadtree whose every node carries
+// a time-binned count vector, answering region × time-range aggregation in
+// time proportional to the quadtree cells covering the region — independent
+// of the number of ingested events.
+package nanocube
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BBox is a [min,max) rectangle in (x, y) space. For geographic use, x is
+// longitude and y latitude.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// contains reports whether the box contains the point.
+func (b BBox) contains(x, y float64) bool {
+	return x >= b.MinX && x < b.MaxX && y >= b.MinY && y < b.MaxY
+}
+
+// intersects reports box overlap.
+func (b BBox) intersects(o BBox) bool {
+	return b.MinX < o.MaxX && o.MinX < b.MaxX && b.MinY < o.MaxY && o.MinY < b.MaxY
+}
+
+// covered reports whether o fully covers b.
+func (b BBox) coveredBy(o BBox) bool {
+	return o.MinX <= b.MinX && b.MaxX <= o.MaxX && o.MinY <= b.MinY && b.MaxY <= o.MaxY
+}
+
+type node struct {
+	// counts[t] is the number of events in this cell at time bin t.
+	counts   []uint32
+	children *[4]*node
+}
+
+// Nanocube is the index. Create with New; not safe for concurrent mutation.
+type Nanocube struct {
+	world      BBox
+	tMin, tMax float64
+	tBins      int
+	depth      int
+	root       *node
+	n          int
+	nodes      int
+}
+
+// Options configure the cube.
+type Options struct {
+	// World is the spatial domain.
+	World BBox
+	// TMin/TMax delimit the temporal domain [TMin, TMax).
+	TMin, TMax float64
+	// TimeBins is the temporal resolution (default 64).
+	TimeBins int
+	// Depth is the quadtree depth — spatial resolution 2^Depth × 2^Depth
+	// (default 8, max 16).
+	Depth int
+}
+
+// New creates an empty nanocube.
+func New(opts Options) (*Nanocube, error) {
+	if opts.World.MaxX <= opts.World.MinX || opts.World.MaxY <= opts.World.MinY {
+		return nil, errors.New("nanocube: empty spatial domain")
+	}
+	if opts.TMax <= opts.TMin {
+		return nil, errors.New("nanocube: empty temporal domain")
+	}
+	if opts.TimeBins <= 0 {
+		opts.TimeBins = 64
+	}
+	if opts.Depth <= 0 {
+		opts.Depth = 8
+	}
+	if opts.Depth > 16 {
+		opts.Depth = 16
+	}
+	return &Nanocube{
+		world: opts.World,
+		tMin:  opts.TMin, tMax: opts.TMax,
+		tBins: opts.TimeBins,
+		depth: opts.Depth,
+	}, nil
+}
+
+// Len returns the number of ingested events.
+func (nc *Nanocube) Len() int { return nc.n }
+
+// Nodes returns the number of materialized quadtree nodes (the memory
+// metric: sparse data costs sparse structure).
+func (nc *Nanocube) Nodes() int { return nc.nodes }
+
+// timeBin maps a timestamp to its bin, clamping into the domain.
+func (nc *Nanocube) timeBin(t float64) int {
+	b := int((t - nc.tMin) / (nc.tMax - nc.tMin) * float64(nc.tBins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= nc.tBins {
+		b = nc.tBins - 1
+	}
+	return b
+}
+
+// Add ingests one event at (x, y, t). Events outside the spatial domain are
+// clamped onto its border cell.
+func (nc *Nanocube) Add(x, y, t float64) {
+	nc.n++
+	bin := nc.timeBin(t)
+	if nc.root == nil {
+		nc.root = nc.newNode()
+	}
+	cur := nc.root
+	box := nc.world
+	cur.counts[bin]++
+	for d := 0; d < nc.depth; d++ {
+		q, childBox := quadrantOf(box, x, y)
+		if cur.children == nil {
+			cur.children = &[4]*node{}
+		}
+		if cur.children[q] == nil {
+			cur.children[q] = nc.newNode()
+		}
+		cur = cur.children[q]
+		box = childBox
+		cur.counts[bin]++
+	}
+}
+
+func (nc *Nanocube) newNode() *node {
+	nc.nodes++
+	return &node{counts: make([]uint32, nc.tBins)}
+}
+
+// quadrantOf returns the child quadrant index for (x, y) and its box,
+// clamping coordinates into the box.
+func quadrantOf(box BBox, x, y float64) (int, BBox) {
+	midX := (box.MinX + box.MaxX) / 2
+	midY := (box.MinY + box.MaxY) / 2
+	q := 0
+	child := BBox{box.MinX, box.MinY, midX, midY}
+	right := x >= midX
+	top := y >= midY
+	if right {
+		q++
+		child.MinX, child.MaxX = midX, box.MaxX
+	}
+	if top {
+		q += 2
+		child.MinY, child.MaxY = midY, box.MaxY
+	}
+	return q, child
+}
+
+// Count returns the number of events in region × [t0, t1).
+func (nc *Nanocube) Count(region BBox, t0, t1 float64) int {
+	b0, b1 := nc.binRange(t0, t1)
+	if b0 > b1 || nc.root == nil {
+		return 0
+	}
+	total := 0
+	nc.walk(nc.root, nc.world, region, 0, func(n *node) {
+		for b := b0; b <= b1; b++ {
+			total += int(n.counts[b])
+		}
+	})
+	return total
+}
+
+// TimeSeries returns per-bin counts for the region across the whole
+// temporal domain — the timeline strip under a Nanocube map.
+func (nc *Nanocube) TimeSeries(region BBox) []int {
+	out := make([]int, nc.tBins)
+	if nc.root == nil {
+		return out
+	}
+	nc.walk(nc.root, nc.world, region, 0, func(n *node) {
+		for b, c := range n.counts {
+			out[b] += int(c)
+		}
+	})
+	return out
+}
+
+// binRange converts [t0, t1) to inclusive bin bounds.
+func (nc *Nanocube) binRange(t0, t1 float64) (int, int) {
+	if t1 <= t0 {
+		return 1, 0
+	}
+	b0 := nc.timeBin(t0)
+	// End is exclusive: the bin containing t1-ε.
+	span := (nc.tMax - nc.tMin) / float64(nc.tBins)
+	b1 := nc.timeBin(t1 - span/1e9)
+	return b0, b1
+}
+
+// walk visits the maximal nodes fully covered by the region and recurses
+// into straddling ones; fn receives each covered node exactly once.
+func (nc *Nanocube) walk(n *node, box, region BBox, depth int, fn func(*node)) {
+	if !box.intersects(region) {
+		return
+	}
+	if box.coveredBy(region) || depth == nc.depth {
+		// At max depth a straddling cell is an approximation boundary: the
+		// cell's whole count is attributed (resolution-limited, as in the
+		// original structure).
+		fn(n)
+		return
+	}
+	if n.children == nil {
+		fn(n)
+		return
+	}
+	midX := (box.MinX + box.MaxX) / 2
+	midY := (box.MinY + box.MaxY) / 2
+	boxes := [4]BBox{
+		{box.MinX, box.MinY, midX, midY},
+		{midX, box.MinY, box.MaxX, midY},
+		{box.MinX, midY, midX, box.MaxY},
+		{midX, midY, box.MaxX, box.MaxY},
+	}
+	for q, c := range n.children {
+		if c != nil {
+			nc.walk(c, boxes[q], region, depth+1, fn)
+		}
+	}
+}
+
+// HeatCell is one cell of a heatmap query.
+type HeatCell struct {
+	X, Y  int
+	Count int
+}
+
+// Heatmap returns non-empty counts on the 2^level × 2^level grid for the
+// time range — the zoom-level tiles a Nanocube front-end renders.
+func (nc *Nanocube) Heatmap(level int, t0, t1 float64) ([]HeatCell, error) {
+	if level < 0 || level > nc.depth {
+		return nil, fmt.Errorf("nanocube: level %d out of range 0..%d", level, nc.depth)
+	}
+	b0, b1 := nc.binRange(t0, t1)
+	if b0 > b1 || nc.root == nil {
+		return nil, nil
+	}
+	var out []HeatCell
+	var walk func(n *node, d, cx, cy int)
+	walk = func(n *node, d, cx, cy int) {
+		if d == level {
+			total := 0
+			for b := b0; b <= b1; b++ {
+				total += int(n.counts[b])
+			}
+			if total > 0 {
+				out = append(out, HeatCell{X: cx, Y: cy, Count: total})
+			}
+			return
+		}
+		if n.children == nil {
+			return
+		}
+		for q, c := range n.children {
+			if c != nil {
+				walk(c, d+1, cx*2+q%2, cy*2+q/2)
+			}
+		}
+	}
+	walk(nc.root, 0, 0, 0)
+	return out, nil
+}

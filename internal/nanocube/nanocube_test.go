@@ -1,0 +1,211 @@
+package nanocube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func worldCube(t *testing.T, tbins, depth int) *Nanocube {
+	t.Helper()
+	nc, err := New(Options{
+		World: BBox{MinX: -180, MinY: -90, MaxX: 180, MaxY: 90},
+		TMin:  0, TMax: 100,
+		TimeBins: tbins, Depth: depth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+type event struct{ x, y, t float64 }
+
+func randomEvents(seed int64, n int) []event {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]event, n)
+	for i := range out {
+		out[i] = event{
+			x: rng.Float64()*360 - 180,
+			y: rng.Float64()*180 - 90,
+			t: rng.Float64() * 100,
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{World: BBox{0, 0, 0, 1}, TMin: 0, TMax: 1}); err == nil {
+		t.Error("empty x-domain accepted")
+	}
+	if _, err := New(Options{World: BBox{0, 0, 1, 1}, TMin: 5, TMax: 5}); err == nil {
+		t.Error("empty time domain accepted")
+	}
+}
+
+func TestCountWholeDomain(t *testing.T) {
+	nc := worldCube(t, 32, 6)
+	evs := randomEvents(1, 5000)
+	for _, e := range evs {
+		nc.Add(e.x, e.y, e.t)
+	}
+	if nc.Len() != 5000 {
+		t.Errorf("Len = %d", nc.Len())
+	}
+	got := nc.Count(BBox{-180, -90, 180, 90}, 0, 100)
+	if got != 5000 {
+		t.Errorf("whole-domain count = %d", got)
+	}
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	// Use region boundaries aligned to the depth-8 grid so the
+	// resolution-limited approximation is exact.
+	nc := worldCube(t, 50, 8)
+	evs := randomEvents(2, 8000)
+	for _, e := range evs {
+		nc.Add(e.x, e.y, e.t)
+	}
+	cellW := 360.0 / 256
+	cellH := 180.0 / 256
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		x0 := -180 + float64(rng.Intn(200))*cellW
+		y0 := -90 + float64(rng.Intn(200))*cellH
+		region := BBox{x0, y0, x0 + float64(rng.Intn(50)+1)*cellW, y0 + float64(rng.Intn(50)+1)*cellH}
+		t0 := float64(rng.Intn(50)) * 2 // aligned to bins (width 2)
+		t1 := t0 + float64(rng.Intn(20)+1)*2
+		want := 0
+		for _, e := range evs {
+			if region.contains(e.x, e.y) && e.t >= t0 && e.t < t1 {
+				want++
+			}
+		}
+		if got := nc.Count(region, t0, t1); got != want {
+			t.Errorf("trial %d: Count = %d, want %d (region %+v, t [%g,%g))",
+				trial, got, want, region, t0, t1)
+		}
+	}
+}
+
+func TestTimeSeriesConservation(t *testing.T) {
+	nc := worldCube(t, 20, 6)
+	evs := randomEvents(4, 3000)
+	for _, e := range evs {
+		nc.Add(e.x, e.y, e.t)
+	}
+	series := nc.TimeSeries(BBox{-180, -90, 180, 90})
+	total := 0
+	for _, c := range series {
+		total += c
+	}
+	if total != 3000 {
+		t.Errorf("series total = %d", total)
+	}
+	// Regional series is bounded by global.
+	regional := nc.TimeSeries(BBox{0, 0, 90, 45})
+	for i := range regional {
+		if regional[i] > series[i] {
+			t.Errorf("bin %d: regional %d > global %d", i, regional[i], series[i])
+		}
+	}
+}
+
+func TestHeatmapConservation(t *testing.T) {
+	nc := worldCube(t, 10, 5)
+	evs := randomEvents(5, 2000)
+	for _, e := range evs {
+		nc.Add(e.x, e.y, e.t)
+	}
+	for _, level := range []int{0, 2, 5} {
+		cells, err := nc.Heatmap(level, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		side := 1 << level
+		for _, c := range cells {
+			total += c.Count
+			if c.X < 0 || c.X >= side || c.Y < 0 || c.Y >= side {
+				t.Errorf("level %d: cell (%d,%d) outside grid", level, c.X, c.Y)
+			}
+			if c.Count <= 0 {
+				t.Error("empty cell emitted")
+			}
+		}
+		if total != 2000 {
+			t.Errorf("level %d: heatmap total = %d", level, total)
+		}
+	}
+	if _, err := nc.Heatmap(99, 0, 100); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestEmptyQueries(t *testing.T) {
+	nc := worldCube(t, 10, 4)
+	if nc.Count(BBox{-180, -90, 180, 90}, 0, 100) != 0 {
+		t.Error("empty cube count != 0")
+	}
+	nc.Add(0, 0, 50)
+	if nc.Count(BBox{-180, -90, 180, 90}, 60, 50) != 0 {
+		t.Error("inverted time range != 0")
+	}
+	if nc.Count(BBox{100, 80, 110, 85}, 0, 100) != 0 {
+		t.Error("empty region != 0")
+	}
+}
+
+func TestQueryCostIndependentOfN(t *testing.T) {
+	// The structural claim: node count grows with occupied cells, not
+	// events; repeated same-cell inserts do not add nodes.
+	nc := worldCube(t, 10, 8)
+	nc.Add(10, 10, 5)
+	nodesAfterOne := nc.Nodes()
+	for i := 0; i < 10000; i++ {
+		nc.Add(10, 10, 5)
+	}
+	if nc.Nodes() != nodesAfterOne {
+		t.Errorf("same-cell inserts grew nodes: %d → %d", nodesAfterOne, nc.Nodes())
+	}
+	if got := nc.Count(BBox{-180, -90, 180, 90}, 0, 100); got != 10001 {
+		t.Errorf("count = %d", got)
+	}
+}
+
+// Property: whole-domain count always equals events ingested, and any
+// region count never exceeds it.
+func TestCountBoundsProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		nc, err := New(Options{
+			World: BBox{0, 0, 100, 100}, TMin: 0, TMax: 10,
+			TimeBins: 8, Depth: 6,
+		})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8)%200 + 1
+		for i := 0; i < n; i++ {
+			nc.Add(rng.Float64()*100, rng.Float64()*100, rng.Float64()*10)
+		}
+		if nc.Count(BBox{0, 0, 100, 100}, 0, 10) != n {
+			return false
+		}
+		region := BBox{rng.Float64() * 50, rng.Float64() * 50, 50 + rng.Float64()*50, 50 + rng.Float64()*50}
+		c := nc.Count(region, 0, 10)
+		return c >= 0 && c <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutOfDomainEventsClamped(t *testing.T) {
+	nc := worldCube(t, 10, 4)
+	nc.Add(500, 500, 500)   // all out of range
+	nc.Add(-500, -500, -50) // all out of range
+	if got := nc.Count(BBox{-180, -90, 180, 90}, 0, 100); got != 2 {
+		t.Errorf("clamped events lost: count = %d", got)
+	}
+}

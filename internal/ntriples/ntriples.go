@@ -1,0 +1,362 @@
+// Package ntriples parses and serializes the N-Triples line-based RDF syntax
+// (RDF 1.1 N-Triples). It is the streaming ingestion format for lodviz: the
+// reader processes one line at a time so arbitrarily large dumps can be
+// loaded without materializing the file.
+package ntriples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// ParseError describes a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s", e.Line, e.Msg)
+}
+
+// Reader streams triples from N-Triples input.
+type Reader struct {
+	scanner *bufio.Scanner
+	line    int
+}
+
+// NewReader returns a streaming N-Triples reader over r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{scanner: sc}
+}
+
+// Next returns the next triple. It returns io.EOF when the input is
+// exhausted, or a *ParseError for malformed lines.
+func (r *Reader) Next() (rdf.Triple, error) {
+	for r.scanner.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseLine(line, r.line)
+		if err != nil {
+			return rdf.Triple{}, err
+		}
+		return t, nil
+	}
+	if err := r.scanner.Err(); err != nil {
+		return rdf.Triple{}, fmt.Errorf("ntriples: read: %w", err)
+	}
+	return rdf.Triple{}, io.EOF
+}
+
+// ReadAll parses the entire input and returns all triples.
+func ReadAll(r io.Reader) ([]rdf.Triple, error) {
+	nr := NewReader(r)
+	var out []rdf.Triple
+	for {
+		t, err := nr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseString parses a complete N-Triples document held in a string.
+func ParseString(s string) ([]rdf.Triple, error) {
+	return ReadAll(strings.NewReader(s))
+}
+
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func parseLine(s string, line int) (rdf.Triple, error) {
+	p := &lineParser{s: s, line: line}
+	subj, err := p.parseSubject()
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	p.skipWS()
+	pred, err := p.parseIRI()
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	p.skipWS()
+	obj, err := p.parseObject()
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	p.skipWS()
+	if p.pos >= len(p.s) || p.s[p.pos] != '.' {
+		return rdf.Triple{}, p.errf("expected '.' terminator")
+	}
+	p.pos++
+	p.skipWS()
+	if p.pos < len(p.s) && !strings.HasPrefix(p.s[p.pos:], "#") {
+		return rdf.Triple{}, p.errf("trailing content after '.'")
+	}
+	return rdf.Triple{S: subj, P: pred, O: obj}, nil
+}
+
+func (p *lineParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...) + fmt.Sprintf(" (col %d)", p.pos+1)}
+}
+
+func (p *lineParser) skipWS() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) parseSubject() (rdf.Term, error) {
+	if p.pos < len(p.s) && p.s[p.pos] == '_' {
+		return p.parseBlank()
+	}
+	return p.parseIRI()
+}
+
+func (p *lineParser) parseObject() (rdf.Term, error) {
+	if p.pos >= len(p.s) {
+		return nil, p.errf("unexpected end of line, expected object")
+	}
+	switch p.s[p.pos] {
+	case '<':
+		return p.parseIRI()
+	case '_':
+		return p.parseBlank()
+	case '"':
+		return p.parseLiteral()
+	default:
+		return nil, p.errf("unexpected character %q for object", p.s[p.pos])
+	}
+}
+
+func (p *lineParser) parseIRI() (rdf.IRI, error) {
+	if p.pos >= len(p.s) || p.s[p.pos] != '<' {
+		return "", p.errf("expected '<'")
+	}
+	end := strings.IndexByte(p.s[p.pos:], '>')
+	if end < 0 {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.s[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	if iri == "" {
+		return "", p.errf("empty IRI")
+	}
+	unescaped, err := unescape(iri, p)
+	if err != nil {
+		return "", err
+	}
+	return rdf.IRI(unescaped), nil
+}
+
+func (p *lineParser) parseBlank() (rdf.BlankNode, error) {
+	if !strings.HasPrefix(p.s[p.pos:], "_:") {
+		return "", p.errf("expected '_:'")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.s) && isBlankLabelChar(p.s[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("empty blank node label")
+	}
+	return rdf.BlankNode(p.s[start:p.pos]), nil
+}
+
+func isBlankLabelChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.'
+}
+
+func (p *lineParser) parseLiteral() (rdf.Literal, error) {
+	if p.s[p.pos] != '"' {
+		return rdf.Literal{}, p.errf("expected '\"'")
+	}
+	p.pos++
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.s) {
+			return rdf.Literal{}, p.errf("unterminated string literal")
+		}
+		c := p.s[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			if p.pos+1 >= len(p.s) {
+				return rdf.Literal{}, p.errf("dangling escape")
+			}
+			esc, n, err := decodeEscape(p.s[p.pos:])
+			if err != nil {
+				return rdf.Literal{}, p.errf("%v", err)
+			}
+			b.WriteString(esc)
+			p.pos += n
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lex := b.String()
+	// Optional language tag or datatype.
+	if p.pos < len(p.s) && p.s[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.s) && (isAlnum(p.s[p.pos]) || p.s[p.pos] == '-') {
+			p.pos++
+		}
+		if p.pos == start {
+			return rdf.Literal{}, p.errf("empty language tag")
+		}
+		return rdf.NewLangLiteral(lex, p.s[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.s[p.pos:], "^^") {
+		p.pos += 2
+		dt, err := p.parseIRI()
+		if err != nil {
+			return rdf.Literal{}, err
+		}
+		return rdf.NewTypedLiteral(lex, dt), nil
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// decodeEscape decodes one escape sequence beginning at s[0] == '\\',
+// returning the decoded text and how many input bytes were consumed.
+func decodeEscape(s string) (string, int, error) {
+	switch s[1] {
+	case 't':
+		return "\t", 2, nil
+	case 'n':
+		return "\n", 2, nil
+	case 'r':
+		return "\r", 2, nil
+	case 'b':
+		return "\b", 2, nil
+	case 'f':
+		return "\f", 2, nil
+	case '"':
+		return `"`, 2, nil
+	case '\'':
+		return "'", 2, nil
+	case '\\':
+		return `\`, 2, nil
+	case 'u':
+		if len(s) < 6 {
+			return "", 0, fmt.Errorf("short \\u escape")
+		}
+		r, err := hexRune(s[2:6])
+		if err != nil {
+			return "", 0, err
+		}
+		return string(r), 6, nil
+	case 'U':
+		if len(s) < 10 {
+			return "", 0, fmt.Errorf("short \\U escape")
+		}
+		r, err := hexRune(s[2:10])
+		if err != nil {
+			return "", 0, err
+		}
+		return string(r), 10, nil
+	default:
+		return "", 0, fmt.Errorf("invalid escape \\%c", s[1])
+	}
+}
+
+func hexRune(s string) (rune, error) {
+	var v rune
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = rune(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("invalid hex digit %q", c)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}
+
+// unescape resolves \u/\U escapes inside IRIs.
+func unescape(s string, p *lineParser) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", p.errf("dangling escape in IRI")
+		}
+		esc, n, err := decodeEscape(s[i:])
+		if err != nil {
+			return "", p.errf("%v", err)
+		}
+		b.WriteString(esc)
+		i += n
+	}
+	return b.String(), nil
+}
+
+// Write serializes triples to w in N-Triples syntax, one statement per line.
+func Write(w io.Writer, triples []rdf.Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if !t.Valid() {
+			return fmt.Errorf("ntriples: cannot serialize invalid triple %v", t)
+		}
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return fmt.Errorf("ntriples: write: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("ntriples: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ntriples: flush: %w", err)
+	}
+	return nil
+}
+
+// Format returns the N-Triples serialization of triples as a string.
+func Format(triples []rdf.Triple) string {
+	var b strings.Builder
+	for _, t := range triples {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

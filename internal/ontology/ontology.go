@@ -1,0 +1,265 @@
+// Package ontology implements the class-hierarchy extraction and the
+// ontology-visualization layouts the survey reviews in §3.5: node-link
+// trees (OntoGraf/KC-Viz family), CropCircles geometric containment
+// (Wang & Parsia), Knoocks-style nested blocks, and NodeTrix-style adjacency
+// matrices for dense regions.
+package ontology
+
+import (
+	"math"
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Class is one node of the extracted class hierarchy.
+type Class struct {
+	IRI rdf.IRI
+	// Label is the rdfs:label, or the local name as fallback.
+	Label string
+	// Instances is the number of direct rdf:type instances.
+	Instances int
+	// Children are subclass indexes within the Hierarchy.
+	Children []int
+	// Parent is the superclass index (-1 for roots).
+	Parent int
+}
+
+// Hierarchy is the rdfs:subClassOf forest of a dataset with a virtual root.
+type Hierarchy struct {
+	// Classes[0] is the virtual root binding all top-level classes.
+	Classes []Class
+}
+
+// Extract builds the class hierarchy from rdfs:subClassOf statements and
+// rdf:type instance counts. Cycles are broken by ignoring back-edges.
+func Extract(st *store.Store) *Hierarchy {
+	h := &Hierarchy{Classes: []Class{{IRI: "", Label: "owl:Thing", Parent: -1}}}
+	index := map[rdf.IRI]int{}
+
+	intern := func(iri rdf.IRI) int {
+		if i, ok := index[iri]; ok {
+			return i
+		}
+		i := len(h.Classes)
+		index[iri] = i
+		label := iri.LocalName()
+		for _, o := range st.Objects(iri, rdf.RDFSLabel) {
+			if l, ok := o.(rdf.Literal); ok {
+				label = l.Lexical
+				break
+			}
+		}
+		h.Classes = append(h.Classes, Class{IRI: iri, Label: label, Parent: -1})
+		return i
+	}
+
+	// Collect classes: declared ones plus anything used as a type.
+	for _, s := range st.Subjects(rdf.RDFType, rdf.RDFSClass) {
+		if iri, ok := s.(rdf.IRI); ok {
+			intern(iri)
+		}
+	}
+	for _, s := range st.Subjects(rdf.RDFType, rdf.OWLClass) {
+		if iri, ok := s.(rdf.IRI); ok {
+			intern(iri)
+		}
+	}
+	st.ForEach(store.Pattern{P: rdf.RDFType}, func(t rdf.Triple) bool {
+		if iri, ok := t.O.(rdf.IRI); ok && iri != rdf.RDFSClass && iri != rdf.OWLClass {
+			i := intern(iri)
+			h.Classes[i].Instances++
+		}
+		return true
+	})
+	// Subclass edges (cycle-safe: only set parent if it doesn't create a
+	// cycle).
+	st.ForEach(store.Pattern{P: rdf.RDFSSubClassOf}, func(t rdf.Triple) bool {
+		sub, ok1 := t.S.(rdf.IRI)
+		super, ok2 := t.O.(rdf.IRI)
+		if !ok1 || !ok2 || sub == super {
+			return true
+		}
+		si := intern(sub)
+		pi := intern(super)
+		if h.Classes[si].Parent != -1 {
+			return true // keep first parent (tree view of the DAG)
+		}
+		if h.createsCycle(si, pi) {
+			return true
+		}
+		h.Classes[si].Parent = pi
+		return true
+	})
+	// Attach roots to the virtual root and build child lists.
+	for i := 1; i < len(h.Classes); i++ {
+		if h.Classes[i].Parent == -1 {
+			h.Classes[i].Parent = 0
+		}
+		p := h.Classes[i].Parent
+		h.Classes[p].Children = append(h.Classes[p].Children, i)
+	}
+	for i := range h.Classes {
+		children := h.Classes[i].Children
+		sort.Slice(children, func(a, b int) bool {
+			return h.Classes[children[a]].IRI < h.Classes[children[b]].IRI
+		})
+	}
+	return h
+}
+
+func (h *Hierarchy) createsCycle(child, parent int) bool {
+	for v := parent; v != -1; v = h.Classes[v].Parent {
+		if v == child {
+			return true
+		}
+	}
+	return false
+}
+
+// SubtreeInstances returns the instance count of a class including all
+// descendants.
+func (h *Hierarchy) SubtreeInstances(i int) int {
+	total := h.Classes[i].Instances
+	for _, c := range h.Classes[i].Children {
+		total += h.SubtreeInstances(c)
+	}
+	return total
+}
+
+// Depth returns the hierarchy's depth.
+func (h *Hierarchy) Depth() int {
+	var walk func(i, d int) int
+	walk = func(i, d int) int {
+		max := d
+		for _, c := range h.Classes[i].Children {
+			if cd := walk(c, d+1); cd > max {
+				max = cd
+			}
+		}
+		return max
+	}
+	return walk(0, 0)
+}
+
+// Circle is one circle of a CropCircles containment layout.
+type Circle struct {
+	Class   int
+	X, Y, R float64
+}
+
+// CropCircles computes a geometric-containment layout: every class is a
+// circle sized by its subtree weight, with children packed inside their
+// parent (Wang & Parsia's topology-sensitive visualization).
+func (h *Hierarchy) CropCircles(width float64) []Circle {
+	out := make([]Circle, len(h.Classes))
+	var place func(i int, cx, cy, r float64)
+	place = func(i int, cx, cy, r float64) {
+		out[i] = Circle{Class: i, X: cx, Y: cy, R: r}
+		kids := h.Classes[i].Children
+		if len(kids) == 0 {
+			return
+		}
+		// Weight children by subtree size.
+		weights := make([]float64, len(kids))
+		total := 0.0
+		for k, c := range kids {
+			weights[k] = math.Sqrt(float64(h.SubtreeInstances(c) + 1))
+			total += weights[k]
+		}
+		if len(kids) == 1 {
+			// Single child: concentric, slightly smaller.
+			place(kids[0], cx, cy, r*0.75)
+			return
+		}
+		// Place children on an inner ring, radius share by weight.
+		ringR := r * 0.55
+		angle := 0.0
+		for k, c := range kids {
+			share := weights[k] / total
+			childR := r * 0.42 * math.Sqrt(share*float64(len(kids))) / 1.2
+			if childR > r*0.45 {
+				childR = r * 0.45
+			}
+			a := angle + share*math.Pi // center of this child's arc
+			place(c, cx+ringR*math.Cos(a*2), cy+ringR*math.Sin(a*2), childR)
+			angle += share * math.Pi
+		}
+	}
+	place(0, width/2, width/2, width/2*0.95)
+	return out
+}
+
+// Block is one rectangle of a Knoocks-style nested-block layout.
+type Block struct {
+	Class      int
+	X, Y, W, H float64
+}
+
+// Knoocks computes a nested-block (treemap-like) layout: each class is a
+// rectangle subdivided horizontally among its children by subtree weight.
+func (h *Hierarchy) Knoocks(width, height float64) []Block {
+	out := make([]Block, len(h.Classes))
+	var place func(i int, x, y, w, hh float64, horizontal bool)
+	place = func(i int, x, y, w, hh float64, horizontal bool) {
+		out[i] = Block{Class: i, X: x, Y: y, W: w, H: hh}
+		kids := h.Classes[i].Children
+		if len(kids) == 0 {
+			return
+		}
+		total := 0.0
+		weights := make([]float64, len(kids))
+		for k, c := range kids {
+			weights[k] = float64(h.SubtreeInstances(c) + 1)
+			total += weights[k]
+		}
+		// Inset for the parent's border.
+		const inset = 0.05
+		x += w * inset
+		y += hh * inset
+		w *= 1 - 2*inset
+		hh *= 1 - 2*inset
+		off := 0.0
+		for k, c := range kids {
+			share := weights[k] / total
+			if horizontal {
+				place(c, x+off*w, y, w*share, hh, !horizontal)
+				off += share
+			} else {
+				place(c, x, y+off*hh, w, hh*share, !horizontal)
+				off += share
+			}
+		}
+	}
+	place(0, 0, 0, width, height, true)
+	return out
+}
+
+// AdjacencyMatrix returns a NodeTrix-style dense matrix over the selected
+// classes: cell (i,j) counts statements whose subject is typed i and object
+// typed j.
+func AdjacencyMatrix(st *store.Store, classes []rdf.IRI) [][]int {
+	typeOf := map[rdf.Term]int{}
+	for idx, cls := range classes {
+		for _, inst := range st.Subjects(rdf.RDFType, cls) {
+			typeOf[inst] = idx
+		}
+	}
+	m := make([][]int, len(classes))
+	for i := range m {
+		m[i] = make([]int, len(classes))
+	}
+	st.ForEach(store.Pattern{}, func(t rdf.Triple) bool {
+		if t.P == rdf.RDFType {
+			return true
+		}
+		i, ok1 := typeOf[t.S]
+		j, ok2 := typeOf[t.O]
+		if ok1 && ok2 {
+			m[i][j]++
+		}
+		return true
+	})
+	return m
+}

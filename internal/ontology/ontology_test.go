@@ -1,0 +1,198 @@
+package ontology
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+	"github.com/lodviz/lodviz/internal/turtle"
+)
+
+const onto = `
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix ex: <http://example.org/> .
+
+ex:Agent a owl:Class ; rdfs:label "Agent" .
+ex:Person a owl:Class ; rdfs:subClassOf ex:Agent .
+ex:Organization a owl:Class ; rdfs:subClassOf ex:Agent .
+ex:Student a owl:Class ; rdfs:subClassOf ex:Person .
+ex:Place a owl:Class .
+
+ex:alice a ex:Student .
+ex:bob a ex:Person .
+ex:carol a ex:Person .
+ex:acme a ex:Organization .
+ex:athens a ex:Place .
+ex:alice ex:studiesAt ex:acme .
+ex:bob ex:worksFor ex:acme .
+`
+
+func ex(s string) rdf.IRI { return rdf.IRI("http://example.org/" + s) }
+
+func ontoStore(t *testing.T) *store.Store {
+	t.Helper()
+	ts, err := turtle.ParseString(onto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Load(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func (h *Hierarchy) find(iri rdf.IRI) int {
+	for i, c := range h.Classes {
+		if c.IRI == iri {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestExtractHierarchyShape(t *testing.T) {
+	h := Extract(ontoStore(t))
+	agent := h.find(ex("Agent"))
+	person := h.find(ex("Person"))
+	student := h.find(ex("Student"))
+	place := h.find(ex("Place"))
+	if agent < 0 || person < 0 || student < 0 || place < 0 {
+		t.Fatalf("classes missing: %v", h.Classes)
+	}
+	if h.Classes[person].Parent != agent {
+		t.Errorf("Person parent = %d, want Agent %d", h.Classes[person].Parent, agent)
+	}
+	if h.Classes[student].Parent != person {
+		t.Errorf("Student parent wrong")
+	}
+	// Roots hang off the virtual root.
+	if h.Classes[agent].Parent != 0 || h.Classes[place].Parent != 0 {
+		t.Errorf("roots not attached to virtual root")
+	}
+	if h.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", h.Depth())
+	}
+}
+
+func TestInstanceCounts(t *testing.T) {
+	h := Extract(ontoStore(t))
+	person := h.find(ex("Person"))
+	student := h.find(ex("Student"))
+	if h.Classes[person].Instances != 2 { // bob, carol (alice is Student)
+		t.Errorf("Person direct instances = %d", h.Classes[person].Instances)
+	}
+	if h.SubtreeInstances(person) != 3 { // + alice
+		t.Errorf("Person subtree = %d", h.SubtreeInstances(person))
+	}
+	if h.Classes[student].Instances != 1 {
+		t.Errorf("Student instances = %d", h.Classes[student].Instances)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	h := Extract(ontoStore(t))
+	agent := h.find(ex("Agent"))
+	if h.Classes[agent].Label != "Agent" {
+		t.Errorf("label = %q", h.Classes[agent].Label)
+	}
+	// Fallback to local name.
+	place := h.find(ex("Place"))
+	if h.Classes[place].Label != "Place" {
+		t.Errorf("fallback label = %q", h.Classes[place].Label)
+	}
+}
+
+func TestCycleBroken(t *testing.T) {
+	src := `
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:A rdfs:subClassOf ex:B .
+ex:B rdfs:subClassOf ex:A .
+`
+	ts, _ := turtle.ParseString(src)
+	st, _ := store.Load(ts)
+	h := Extract(st) // must not hang or stack-overflow
+	if h.Depth() > 2 {
+		t.Errorf("cyclic input depth = %d", h.Depth())
+	}
+}
+
+func TestCropCirclesContainment(t *testing.T) {
+	h := Extract(ontoStore(t))
+	circles := h.CropCircles(1000)
+	if len(circles) != len(h.Classes) {
+		t.Fatalf("circles = %d, want %d", len(circles), len(h.Classes))
+	}
+	// Every child circle center must be inside its parent circle, and be
+	// smaller.
+	for i, c := range h.Classes {
+		if c.Parent < 0 {
+			continue
+		}
+		p := circles[c.Parent]
+		ch := circles[i]
+		d := math.Hypot(ch.X-p.X, ch.Y-p.Y)
+		if d > p.R {
+			t.Errorf("class %d center outside parent (d=%g > R=%g)", i, d, p.R)
+		}
+		if ch.R >= p.R {
+			t.Errorf("class %d radius %g >= parent %g", i, ch.R, p.R)
+		}
+	}
+}
+
+func TestKnoocksNesting(t *testing.T) {
+	h := Extract(ontoStore(t))
+	blocks := h.Knoocks(800, 600)
+	if len(blocks) != len(h.Classes) {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	for i, c := range h.Classes {
+		if c.Parent < 0 {
+			continue
+		}
+		p := blocks[c.Parent]
+		b := blocks[i]
+		if b.X < p.X-1e-9 || b.Y < p.Y-1e-9 ||
+			b.X+b.W > p.X+p.W+1e-9 || b.Y+b.H > p.Y+p.H+1e-9 {
+			t.Errorf("block %d not nested in parent", i)
+		}
+		if b.W <= 0 || b.H <= 0 {
+			t.Errorf("block %d degenerate: %+v", i, b)
+		}
+	}
+}
+
+func TestAdjacencyMatrix(t *testing.T) {
+	st := ontoStore(t)
+	m := AdjacencyMatrix(st, []rdf.IRI{ex("Student"), ex("Person"), ex("Organization")})
+	// alice (Student) studiesAt acme (Organization): m[0][2] == 1.
+	if m[0][2] != 1 {
+		t.Errorf("m[0][2] = %d, want 1", m[0][2])
+	}
+	// bob (Person) worksFor acme: m[1][2] == 1.
+	if m[1][2] != 1 {
+		t.Errorf("m[1][2] = %d, want 1", m[1][2])
+	}
+	// No links between students and persons.
+	if m[0][1] != 0 {
+		t.Errorf("m[0][1] = %d", m[0][1])
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	h := Extract(store.New())
+	if len(h.Classes) != 1 {
+		t.Errorf("empty store classes = %d, want 1 (virtual root)", len(h.Classes))
+	}
+	if h.Depth() != 0 {
+		t.Errorf("empty depth = %d", h.Depth())
+	}
+	circles := h.CropCircles(100)
+	if len(circles) != 1 {
+		t.Errorf("circles = %d", len(circles))
+	}
+}

@@ -1,0 +1,176 @@
+package prefetch
+
+import (
+	"testing"
+)
+
+func TestLRUCacheBasics(t *testing.T) {
+	c := NewCache[string, int](2, LRU)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d,%v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := NewCache[string, int](2, LRU)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("updated value = %d", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestLFUCacheEvictsColdest(t *testing.T) {
+	c := NewCache[string, int](2, LFU)
+	c.Put("hot", 1)
+	c.Put("cold", 2)
+	for i := 0; i < 5; i++ {
+		c.Get("hot")
+	}
+	c.Put("new", 3) // must evict "cold"
+	if _, ok := c.Get("cold"); ok {
+		t.Error("cold should have been evicted")
+	}
+	if _, ok := c.Get("hot"); !ok {
+		t.Error("hot should survive")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := NewCache[string, int](4, LRU)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("missing")
+	if c.HitRate() != 0.5 {
+		t.Errorf("HitRate = %g", c.HitRate())
+	}
+	empty := NewCache[string, int](4, LRU)
+	if empty.HitRate() != 0 {
+		t.Error("empty hit rate != 0")
+	}
+}
+
+func TestContainsDoesNotCountAsLookup(t *testing.T) {
+	c := NewCache[string, int](4, LRU)
+	c.Put("a", 1)
+	c.Contains("a")
+	c.Contains("b")
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("Contains affected stats")
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := NewCache[string, int](0, LRU)
+	c.Put("a", 1)
+	if c.Len() != 1 {
+		t.Error("capacity floor of 1 not applied")
+	}
+}
+
+func TestPrefetcherIdleNeighborhood(t *testing.T) {
+	p := NewPrefetcher(2)
+	preds := p.Observe(Tile{X: 5, Y: 5, Zoom: 3})
+	// Idle (no motion history): 8 neighbors + 1 zoom-out parent.
+	if len(preds) != 9 {
+		t.Errorf("idle predictions = %d, want 9", len(preds))
+	}
+	seen := map[Tile]bool{}
+	for _, pr := range preds {
+		seen[pr] = true
+	}
+	if !seen[Tile{X: 4, Y: 5, Zoom: 3}] || !seen[Tile{X: 6, Y: 6, Zoom: 3}] {
+		t.Errorf("neighborhood incomplete: %v", preds)
+	}
+}
+
+func TestPrefetcherFollowsMotion(t *testing.T) {
+	p := NewPrefetcher(2)
+	p.Observe(Tile{X: 0, Y: 0, Zoom: 3})
+	preds := p.Observe(Tile{X: 1, Y: 0, Zoom: 3}) // moving +x
+	// First prediction must be the next tile along the motion.
+	if preds[0] != (Tile{X: 2, Y: 0, Zoom: 3}) {
+		t.Errorf("first prediction = %v, want (2,0)", preds[0])
+	}
+	if preds[1] != (Tile{X: 3, Y: 0, Zoom: 3}) {
+		t.Errorf("second prediction = %v, want (3,0)", preds[1])
+	}
+}
+
+func TestPrefetcherZoomChangeResetsVelocity(t *testing.T) {
+	p := NewPrefetcher(2)
+	p.Observe(Tile{X: 0, Y: 0, Zoom: 3})
+	p.Observe(Tile{X: 1, Y: 0, Zoom: 3})
+	// Zoom change: velocity should not be recomputed from cross-zoom delta.
+	preds := p.Observe(Tile{X: 10, Y: 10, Zoom: 4})
+	// Old velocity (1,0) persists: prediction continues along it.
+	if preds[0] != (Tile{X: 11, Y: 10, Zoom: 4}) {
+		t.Errorf("prediction after zoom = %v", preds[0])
+	}
+}
+
+// linearTrace pans straight across a tile row.
+func linearTrace(n int) []Tile {
+	out := make([]Tile, n)
+	for i := range out {
+		out[i] = Tile{X: i, Y: 0, Zoom: 5}
+	}
+	return out
+}
+
+func TestSimulateSessionPrefetchBeatsPlainCache(t *testing.T) {
+	trace := linearTrace(100)
+	loads := 0
+	plain := SimulateSession(trace, 16, false, func(Tile) { loads++ })
+	loadsPF := 0
+	pf := SimulateSession(trace, 16, true, func(Tile) { loadsPF++ })
+	if pf.HitRate() <= plain.HitRate() {
+		t.Errorf("prefetch hit rate %g <= plain %g", pf.HitRate(), plain.HitRate())
+	}
+	// A linear pan with lookahead-2 prefetching should hit nearly always
+	// after warmup.
+	if pf.HitRate() < 0.9 {
+		t.Errorf("prefetch hit rate = %g, want >= 0.9", pf.HitRate())
+	}
+	if plain.HitRate() != 0 {
+		t.Errorf("plain cache on a non-repeating pan should never hit, got %g", plain.HitRate())
+	}
+	if pf.Prefetches == 0 || loadsPF <= loads {
+		// Prefetching trades extra loads for latency; both counts recorded.
+		t.Logf("loads plain=%d prefetch=%d", loads, loadsPF)
+	}
+}
+
+func TestSimulateSessionRevisitsHitWithoutPrefetch(t *testing.T) {
+	// Back-and-forth pan inside a small area: plain LRU must score hits.
+	var trace []Tile
+	for i := 0; i < 50; i++ {
+		trace = append(trace, Tile{X: i % 4, Y: 0, Zoom: 2})
+	}
+	stats := SimulateSession(trace, 8, false, func(Tile) {})
+	if stats.HitRate() < 0.8 {
+		t.Errorf("revisit hit rate = %g", stats.HitRate())
+	}
+}
+
+func TestSessionStatsZero(t *testing.T) {
+	var s SessionStats
+	if s.HitRate() != 0 {
+		t.Error("zero stats hit rate != 0")
+	}
+}

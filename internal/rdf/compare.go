@@ -1,0 +1,130 @@
+package rdf
+
+import "strings"
+
+// Compare imposes the SPARQL-style total order over RDF terms used by ORDER
+// BY: blank nodes sort before IRIs, which sort before literals. Within
+// literals, values that are comparable in the XSD value space (numerics,
+// booleans, temporals, strings) are compared by value; incomparable literals
+// fall back to (datatype, lexical) ordering so the result is still a total
+// order. It returns -1, 0, or +1.
+func Compare(a, b Term) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	ka, kb := a.Kind(), b.Kind()
+	if ka != kb {
+		if ka < kb {
+			return -1
+		}
+		return 1
+	}
+	switch ka {
+	case KindBlank:
+		return strings.Compare(string(a.(BlankNode)), string(b.(BlankNode)))
+	case KindIRI:
+		return strings.Compare(string(a.(IRI)), string(b.(IRI)))
+	default:
+		return compareLiterals(a.(Literal), b.(Literal))
+	}
+}
+
+func compareLiterals(a, b Literal) int {
+	// Numeric comparison across numeric datatypes.
+	if fa, ok := a.Float(); ok {
+		if fb, ok := b.Float(); ok {
+			switch {
+			case fa < fb:
+				return -1
+			case fa > fb:
+				return 1
+			}
+			return tieBreak(a, b)
+		}
+	}
+	// Temporal comparison.
+	if ta, ok := a.Time(); ok {
+		if tb, ok := b.Time(); ok {
+			switch {
+			case ta.Before(tb):
+				return -1
+			case ta.After(tb):
+				return 1
+			}
+			return tieBreak(a, b)
+		}
+	}
+	// Boolean comparison (false < true).
+	if ba, ok := a.Bool(); ok {
+		if bb, ok := b.Bool(); ok {
+			switch {
+			case !ba && bb:
+				return -1
+			case ba && !bb:
+				return 1
+			}
+			return tieBreak(a, b)
+		}
+	}
+	// Plain / lang strings compare lexically.
+	if isStringish(a) && isStringish(b) {
+		if c := strings.Compare(a.Lexical, b.Lexical); c != 0 {
+			return c
+		}
+		return strings.Compare(a.Lang, b.Lang)
+	}
+	return tieBreak(a, b)
+}
+
+func isStringish(l Literal) bool {
+	return l.Datatype == XSDString || l.Datatype == RDFLangString || l.Datatype == ""
+}
+
+// tieBreak orders literals that compare equal in the value space (or are
+// incomparable) by datatype then lexical form then language, keeping Compare
+// a total order.
+func tieBreak(a, b Literal) int {
+	if c := strings.Compare(string(a.Datatype), string(b.Datatype)); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Lexical, b.Lexical); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Lang, b.Lang)
+}
+
+// Equal reports whether two terms are the same RDF term.
+func Equal(a, b Term) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a == b
+}
+
+// EffectiveBoolean computes the SPARQL effective boolean value (EBV) of a
+// term: booleans by value, numerics by non-zero-ness, strings by
+// non-emptiness. The second result is false when the term has no EBV (e.g.
+// IRIs).
+func EffectiveBoolean(t Term) (bool, bool) {
+	l, ok := t.(Literal)
+	if !ok {
+		return false, false
+	}
+	if v, ok := l.Bool(); ok {
+		return v, true
+	}
+	if v, ok := l.Float(); ok {
+		return v != 0, true
+	}
+	if isStringish(l) {
+		return l.Lexical != "", true
+	}
+	return false, false
+}

@@ -1,0 +1,327 @@
+package rdf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIRIString(t *testing.T) {
+	i := IRI("http://example.org/alice")
+	if got, want := i.String(), "<http://example.org/alice>"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if i.Kind() != KindIRI {
+		t.Errorf("Kind() = %v, want KindIRI", i.Kind())
+	}
+}
+
+func TestIRILocalNameAndNamespace(t *testing.T) {
+	tests := []struct {
+		iri   IRI
+		local string
+		ns    string
+	}{
+		{"http://example.org/alice", "alice", "http://example.org/"},
+		{"http://example.org/ns#Person", "Person", "http://example.org/ns#"},
+		{"urn:x", "x", "urn:"},
+		{"noseparator", "noseparator", ""},
+		{"http://example.org/", "http://example.org/", "http://example.org/"},
+	}
+	for _, tt := range tests {
+		if got := tt.iri.LocalName(); got != tt.local {
+			t.Errorf("LocalName(%q) = %q, want %q", tt.iri, got, tt.local)
+		}
+		if got := tt.iri.Namespace(); got != tt.ns {
+			t.Errorf("Namespace(%q) = %q, want %q", tt.iri, got, tt.ns)
+		}
+	}
+}
+
+func TestBlankNodeString(t *testing.T) {
+	b := BlankNode("b1")
+	if got, want := b.String(), "_:b1"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if b.Kind() != KindBlank {
+		t.Errorf("Kind() = %v, want KindBlank", b.Kind())
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	tests := []struct {
+		lit  Literal
+		want string
+	}{
+		{NewLiteral("hello"), `"hello"`},
+		{NewLangLiteral("hello", "EN"), `"hello"@en`},
+		{NewInteger(42), `"42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{NewLiteral(`say "hi"`), `"say \"hi\""`},
+		{NewLiteral("a\nb\tc\\d"), `"a\nb\tc\\d"`},
+	}
+	for _, tt := range tests {
+		if got := tt.lit.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestLiteralEqualityAsMapKey(t *testing.T) {
+	m := map[Term]int{}
+	m[NewLiteral("x")] = 1
+	m[NewLangLiteral("x", "en")] = 2
+	m[NewInteger(7)] = 3
+	if len(m) != 3 {
+		t.Fatalf("expected 3 distinct keys, got %d", len(m))
+	}
+	if m[NewLiteral("x")] != 1 || m[NewLangLiteral("x", "EN")] != 2 {
+		t.Error("literal equality via == not value-based")
+	}
+}
+
+func TestNumericAccessors(t *testing.T) {
+	if v, ok := NewInteger(-5).Int(); !ok || v != -5 {
+		t.Errorf("Int() = %d,%v", v, ok)
+	}
+	if v, ok := NewDouble(2.5).Float(); !ok || v != 2.5 {
+		t.Errorf("Float() = %g,%v", v, ok)
+	}
+	if _, ok := NewLiteral("2.5").Float(); ok {
+		t.Error("plain string literal must not parse as numeric")
+	}
+	if v, ok := NewDecimal(1.25).Float(); !ok || v != 1.25 {
+		t.Errorf("decimal Float() = %g,%v", v, ok)
+	}
+	if _, ok := (Literal{Lexical: "zzz", Datatype: XSDInteger}).Int(); ok {
+		t.Error("malformed integer must not parse")
+	}
+}
+
+func TestBooleanAccessor(t *testing.T) {
+	cases := []struct {
+		lex  string
+		want bool
+		ok   bool
+	}{{"true", true, true}, {"false", false, true}, {"1", true, true}, {"0", false, true}, {"yes", false, false}}
+	for _, tt := range cases {
+		got, ok := (Literal{Lexical: tt.lex, Datatype: XSDBoolean}).Bool()
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("Bool(%q) = %v,%v want %v,%v", tt.lex, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestTemporalAccessor(t *testing.T) {
+	ts := time.Date(2015, 3, 15, 10, 30, 0, 0, time.UTC)
+	l := NewDateTime(ts)
+	got, ok := l.Time()
+	if !ok || !got.Equal(ts) {
+		t.Errorf("Time() = %v,%v want %v", got, ok, ts)
+	}
+	d := NewDate(ts)
+	if gd, ok := d.Time(); !ok || gd.Year() != 2015 || gd.Month() != 3 {
+		t.Errorf("date Time() = %v,%v", gd, ok)
+	}
+	y := NewYear(1996)
+	if gy, ok := y.Time(); !ok || gy.Year() != 1996 {
+		t.Errorf("gYear Time() = %v,%v", gy, ok)
+	}
+	if !l.IsTemporal() || NewLiteral("x").IsTemporal() {
+		t.Error("IsTemporal misclassifies")
+	}
+}
+
+func TestTripleStringAndValid(t *testing.T) {
+	tr := T(IRI("http://e/s"), IRI("http://e/p"), NewLiteral("o"))
+	want := `<http://e/s> <http://e/p> "o" .`
+	if tr.String() != want {
+		t.Errorf("String() = %q, want %q", tr.String(), want)
+	}
+	if !tr.Valid() {
+		t.Error("triple should be valid")
+	}
+	if (Triple{S: NewLiteral("x"), P: "p", O: IRI("o")}).Valid() {
+		t.Error("literal subject must be invalid")
+	}
+	if (Triple{S: IRI("s"), P: "", O: IRI("o")}).Valid() {
+		t.Error("empty predicate must be invalid")
+	}
+	if (Triple{S: IRI("s"), P: "p"}).Valid() {
+		t.Error("nil object must be invalid")
+	}
+}
+
+func TestCompareKindOrder(t *testing.T) {
+	b, i, l := BlankNode("b"), IRI("http://e/x"), NewLiteral("x")
+	if Compare(b, i) >= 0 || Compare(i, l) >= 0 || Compare(b, l) >= 0 {
+		t.Error("kind order must be blank < IRI < literal")
+	}
+	if Compare(l, i) <= 0 || Compare(i, b) <= 0 {
+		t.Error("comparison must be antisymmetric across kinds")
+	}
+	if Compare(nil, i) >= 0 || Compare(i, nil) <= 0 || Compare(nil, nil) != 0 {
+		t.Error("nil ordering broken")
+	}
+}
+
+func TestCompareNumericAcrossDatatypes(t *testing.T) {
+	a := NewInteger(2)
+	b := NewDouble(2.5)
+	c := NewDecimal(2.0)
+	if Compare(a, b) >= 0 {
+		t.Error("2 < 2.5 across integer/double")
+	}
+	if Compare(a, c) == 0 {
+		t.Error("equal-valued literals of different datatype must tie-break, not equal... expected nonzero")
+	}
+	if Compare(a, a) != 0 {
+		t.Error("identical literal must compare equal")
+	}
+}
+
+func TestCompareTemporalAndBoolean(t *testing.T) {
+	t1 := NewDateTime(time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC))
+	t2 := NewDateTime(time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC))
+	if Compare(t1, t2) >= 0 {
+		t.Error("2010 < 2016")
+	}
+	if Compare(NewBoolean(false), NewBoolean(true)) >= 0 {
+		t.Error("false < true")
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	if Compare(NewLiteral("apple"), NewLiteral("banana")) >= 0 {
+		t.Error("apple < banana")
+	}
+	if Compare(NewLangLiteral("x", "de"), NewLangLiteral("x", "en")) >= 0 {
+		t.Error("lang tag must break ties")
+	}
+}
+
+func TestEffectiveBoolean(t *testing.T) {
+	tests := []struct {
+		term Term
+		want bool
+		ok   bool
+	}{
+		{NewBoolean(true), true, true},
+		{NewBoolean(false), false, true},
+		{NewInteger(0), false, true},
+		{NewInteger(3), true, true},
+		{NewLiteral(""), false, true},
+		{NewLiteral("x"), true, true},
+		{IRI("http://e/x"), false, false},
+	}
+	for _, tt := range tests {
+		got, ok := EffectiveBoolean(tt.term)
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("EffectiveBoolean(%v) = %v,%v want %v,%v", tt.term, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+// Property: Compare is a total order — antisymmetric and transitive over a
+// mixed population of generated terms.
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	gen := func(seedA, seedB uint16) bool {
+		a, b := termFromSeed(seedA), termFromSeed(seedB)
+		ab, ba := Compare(a, b), Compare(b, a)
+		if ab != -ba {
+			return false
+		}
+		if a == b && ab != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	gen := func(sa, sb, sc uint16) bool {
+		a, b, c := termFromSeed(sa), termFromSeed(sb), termFromSeed(sc)
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// termFromSeed deterministically produces a diverse term population.
+func termFromSeed(seed uint16) Term {
+	switch seed % 7 {
+	case 0:
+		return IRI("http://example.org/r" + itoa(int(seed)))
+	case 1:
+		return BlankNode("b" + itoa(int(seed%13)))
+	case 2:
+		return NewInteger(int64(seed%29) - 14)
+	case 3:
+		return NewDouble(float64(seed%31)/3.0 - 5)
+	case 4:
+		return NewLiteral(strings.Repeat("s", int(seed%5)) + itoa(int(seed%11)))
+	case 5:
+		return NewBoolean(seed%2 == 0)
+	default:
+		return NewDateTime(time.Date(1990+int(seed%40), time.Month(1+seed%12), 1+int(seed%28), 0, 0, 0, 0, time.UTC))
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		b[pos] = '-'
+	}
+	return string(b[pos:])
+}
+
+// Property: round-trip of float literal construction preserves the value.
+func TestDoubleRoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		got, ok := NewDouble(v).Float()
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLangTagNormalization(t *testing.T) {
+	if NewLangLiteral("x", "EN-GB").Lang != "en-gb" {
+		t.Error("language tags must be lowercased")
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if KindIRI.String() != "iri" || KindBlank.String() != "blank" || KindLiteral.String() != "literal" {
+		t.Error("TermKind.String labels wrong")
+	}
+	if TermKind(42).String() != "TermKind(42)" {
+		t.Error("unknown kind label wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package rdf
+
+// Namespace prefixes for the vocabularies the Web-of-Data systems in the
+// survey rely on.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+	// QBNS is the W3C RDF Data Cube vocabulary (CubeViz, OpenCube, LDCE).
+	QBNS = "http://purl.org/linked-data/cube#"
+	// GeoNS is the W3C WGS84 geo vocabulary (map4rdf, Facete, SexTant).
+	GeoNS = "http://www.w3.org/2003/01/geo/wgs84_pos#"
+	// FOAFNS appears in most LOD browsing examples (LENA: "more complex than foaf").
+	FOAFNS = "http://xmlns.com/foaf/0.1/"
+	// DCTNS is Dublin Core terms.
+	DCTNS = "http://purl.org/dc/terms/"
+	// SKOSNS is used by code lists in statistical linked data.
+	SKOSNS = "http://www.w3.org/2004/02/skos/core#"
+)
+
+// RDF vocabulary.
+const (
+	RDFType       IRI = RDFNS + "type"
+	RDFProperty   IRI = RDFNS + "Property"
+	RDFLangString IRI = RDFNS + "langString"
+	RDFFirst      IRI = RDFNS + "first"
+	RDFRest       IRI = RDFNS + "rest"
+	RDFNil        IRI = RDFNS + "nil"
+	RDFValue      IRI = RDFNS + "value"
+)
+
+// RDFS vocabulary.
+const (
+	RDFSLabel      IRI = RDFSNS + "label"
+	RDFSComment    IRI = RDFSNS + "comment"
+	RDFSClass      IRI = RDFSNS + "Class"
+	RDFSSubClassOf IRI = RDFSNS + "subClassOf"
+	RDFSSubPropOf  IRI = RDFSNS + "subPropertyOf"
+	RDFSDomain     IRI = RDFSNS + "domain"
+	RDFSRange      IRI = RDFSNS + "range"
+	RDFSSeeAlso    IRI = RDFSNS + "seeAlso"
+	RDFSResource   IRI = RDFSNS + "Resource"
+)
+
+// OWL vocabulary (the fragment ontology visualizers care about).
+const (
+	OWLClass              IRI = OWLNS + "Class"
+	OWLThing              IRI = OWLNS + "Thing"
+	OWLObjectProperty     IRI = OWLNS + "ObjectProperty"
+	OWLDatatypeProperty   IRI = OWLNS + "DatatypeProperty"
+	OWLEquivalentClass    IRI = OWLNS + "equivalentClass"
+	OWLDisjointWith       IRI = OWLNS + "disjointWith"
+	OWLSameAs             IRI = OWLNS + "sameAs"
+	OWLInverseOf          IRI = OWLNS + "inverseOf"
+	OWLFunctionalProperty IRI = OWLNS + "FunctionalProperty"
+)
+
+// XSD datatypes.
+const (
+	XSDString             IRI = XSDNS + "string"
+	XSDBoolean            IRI = XSDNS + "boolean"
+	XSDInteger            IRI = XSDNS + "integer"
+	XSDInt                IRI = XSDNS + "int"
+	XSDLong               IRI = XSDNS + "long"
+	XSDShort              IRI = XSDNS + "short"
+	XSDByte               IRI = XSDNS + "byte"
+	XSDDecimal            IRI = XSDNS + "decimal"
+	XSDFloat              IRI = XSDNS + "float"
+	XSDDouble             IRI = XSDNS + "double"
+	XSDDateTime           IRI = XSDNS + "dateTime"
+	XSDDate               IRI = XSDNS + "date"
+	XSDTime               IRI = XSDNS + "time"
+	XSDGYear              IRI = XSDNS + "gYear"
+	XSDGYearMonth         IRI = XSDNS + "gYearMonth"
+	XSDAnyURI             IRI = XSDNS + "anyURI"
+	XSDNonNegativeInteger IRI = XSDNS + "nonNegativeInteger"
+	XSDNonPositiveInteger IRI = XSDNS + "nonPositiveInteger"
+	XSDPositiveInteger    IRI = XSDNS + "positiveInteger"
+	XSDNegativeInteger    IRI = XSDNS + "negativeInteger"
+	XSDUnsignedInt        IRI = XSDNS + "unsignedInt"
+	XSDUnsignedLong       IRI = XSDNS + "unsignedLong"
+)
+
+// RDF Data Cube vocabulary (W3C Recommendation), used by the statistical
+// Linked Data systems surveyed in Section 3.3.
+const (
+	QBDataSet           IRI = QBNS + "DataSet"
+	QBObservation       IRI = QBNS + "Observation"
+	QBDataStructureDef  IRI = QBNS + "DataStructureDefinition"
+	QBComponent         IRI = QBNS + "component"
+	QBDimension         IRI = QBNS + "dimension"
+	QBMeasure           IRI = QBNS + "measure"
+	QBAttribute         IRI = QBNS + "attribute"
+	QBDataSetProp       IRI = QBNS + "dataSet"
+	QBStructure         IRI = QBNS + "structure"
+	QBSlice             IRI = QBNS + "Slice"
+	QBSliceKey          IRI = QBNS + "SliceKey"
+	QBDimensionProperty IRI = QBNS + "DimensionProperty"
+	QBMeasureProperty   IRI = QBNS + "MeasureProperty"
+)
+
+// WGS84 geo vocabulary.
+const (
+	GeoLat   IRI = GeoNS + "lat"
+	GeoLong  IRI = GeoNS + "long"
+	GeoPoint IRI = GeoNS + "Point"
+)
+
+// FOAF vocabulary fragment used by examples and generators.
+const (
+	FOAFPerson IRI = FOAFNS + "Person"
+	FOAFName   IRI = FOAFNS + "name"
+	FOAFKnows  IRI = FOAFNS + "knows"
+	FOAFAge    IRI = FOAFNS + "age"
+	FOAFMbox   IRI = FOAFNS + "mbox"
+)
+
+// WellKnownPrefixes maps common prefix labels to their namespaces; the Turtle
+// serializer, the CLI and examples use it for compact output.
+var WellKnownPrefixes = map[string]string{
+	"rdf":  RDFNS,
+	"rdfs": RDFSNS,
+	"owl":  OWLNS,
+	"xsd":  XSDNS,
+	"qb":   QBNS,
+	"geo":  GeoNS,
+	"foaf": FOAFNS,
+	"dct":  DCTNS,
+	"skos": SKOSNS,
+}

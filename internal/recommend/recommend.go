@@ -1,0 +1,228 @@
+// Package recommend implements visualization recommendation in the style of
+// LinkDaViz, Vis Wizard and LDVizWiz (survey §3.2, refs [129,131,11]; the
+// database-side analogues are SeeDB and Voyager [134,139]): columns are
+// profiled into data-characteristic vectors, candidate (visualization type ×
+// column binding) pairs are enumerated, and heuristic suitability scores
+// rank them.
+package recommend
+
+import (
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/vis"
+)
+
+// ColumnKind classifies a data column the way the wizards' heuristics do.
+type ColumnKind int
+
+// Column kinds, ordered roughly by specificity.
+const (
+	Numeric ColumnKind = iota
+	Temporal
+	Categorical
+	GeoPoint
+	Entity // IRIs — graph-able
+	Text
+)
+
+func (k ColumnKind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Temporal:
+		return "temporal"
+	case Categorical:
+		return "categorical"
+	case GeoPoint:
+		return "geo"
+	case Entity:
+		return "entity"
+	default:
+		return "text"
+	}
+}
+
+// Profile describes one column of the data selected for visualization.
+type Profile struct {
+	// Name identifies the column (predicate local name, SPARQL var, ...).
+	Name string
+	Kind ColumnKind
+	// Cardinality is the number of distinct values.
+	Cardinality int
+	// Rows is the number of rows the column covers.
+	Rows int
+	// Coverage is the fraction of rows with a value (0..1).
+	Coverage float64
+}
+
+// ProfileTerms derives a Profile from a sample of RDF terms.
+func ProfileTerms(name string, terms []rdf.Term) Profile {
+	p := Profile{Name: name, Rows: len(terms)}
+	distinct := map[rdf.Term]struct{}{}
+	numeric, temporal, iris, withValue := 0, 0, 0, 0
+	for _, t := range terms {
+		if t == nil {
+			continue
+		}
+		withValue++
+		distinct[t] = struct{}{}
+		switch tt := t.(type) {
+		case rdf.IRI:
+			iris++
+		case rdf.Literal:
+			if tt.IsNumeric() {
+				numeric++
+			} else if tt.IsTemporal() {
+				temporal++
+			}
+		}
+	}
+	p.Cardinality = len(distinct)
+	if p.Rows > 0 {
+		p.Coverage = float64(withValue) / float64(p.Rows)
+	}
+	switch {
+	case withValue == 0:
+		p.Kind = Text
+	case numeric*10 >= withValue*9:
+		p.Kind = Numeric
+	case temporal*10 >= withValue*9:
+		p.Kind = Temporal
+	case iris*10 >= withValue*9:
+		p.Kind = Entity
+	case p.Cardinality <= 25 || p.Cardinality*10 <= withValue:
+		p.Kind = Categorical
+	default:
+		p.Kind = Text
+	}
+	return p
+}
+
+// Recommendation is one ranked visualization suggestion.
+type Recommendation struct {
+	// Type is the suggested visualization type.
+	Type vis.Type
+	// Bindings maps visual channels ("x", "y", "color", "size") to column
+	// names.
+	Bindings map[string]string
+	// Score in (0,1] — higher is more suitable.
+	Score float64
+	// Reason is a human-readable justification.
+	Reason string
+}
+
+// Recommend ranks visualization types for the given column profiles,
+// returning suggestions sorted by score descending.
+func Recommend(cols []Profile) []Recommendation {
+	var out []Recommendation
+	add := func(t vis.Type, score float64, reason string, bindings map[string]string) {
+		if score > 0 {
+			out = append(out, Recommendation{Type: t, Bindings: bindings, Score: score, Reason: reason})
+		}
+	}
+	byKind := map[ColumnKind][]Profile{}
+	for _, c := range cols {
+		byKind[c.Kind] = append(byKind[c.Kind], c)
+	}
+	nums := byKind[Numeric]
+	cats := byKind[Categorical]
+	times := byKind[Temporal]
+	geos := byKind[GeoPoint]
+	ents := byKind[Entity]
+
+	// Scatter: two numerics.
+	if len(nums) >= 2 {
+		add(vis.Scatter, 0.9*coverage2(nums[0], nums[1]),
+			"two numeric columns — correlation view (SemLens-style)",
+			map[string]string{"x": nums[0].Name, "y": nums[1].Name})
+		// Bubble with a third numeric.
+		if len(nums) >= 3 {
+			add(vis.Bubble, 0.75*coverage2(nums[0], nums[1]),
+				"three numeric columns — bubble size encodes the third",
+				map[string]string{"x": nums[0].Name, "y": nums[1].Name, "size": nums[2].Name})
+		}
+	}
+	// Line/timeline: temporal + numeric.
+	if len(times) >= 1 && len(nums) >= 1 {
+		add(vis.LineChart, 0.95*coverage2(times[0], nums[0]),
+			"temporal + numeric — trend over time",
+			map[string]string{"x": times[0].Name, "y": nums[0].Name})
+	}
+	if len(times) >= 1 {
+		add(vis.Timeline, 0.6*times[0].Coverage,
+			"temporal column — event timeline (Tabulator-style)",
+			map[string]string{"x": times[0].Name})
+	}
+	// Bar: categorical + numeric, penalized by high cardinality.
+	if len(cats) >= 1 && len(nums) >= 1 {
+		score := 0.9 * cardinalityPenalty(cats[0], 30)
+		add(vis.BarChart, score,
+			"categorical + numeric — per-category comparison",
+			map[string]string{"x": cats[0].Name, "y": nums[0].Name})
+	}
+	// Pie: low-cardinality categorical alone.
+	if len(cats) >= 1 {
+		score := 0.7 * cardinalityPenalty(cats[0], 8)
+		add(vis.PieChart, score,
+			"low-cardinality categorical — part-of-whole",
+			map[string]string{"color": cats[0].Name})
+	}
+	// Histogram: single numeric.
+	if len(nums) >= 1 && len(cats) == 0 {
+		add(vis.Histogram, 0.8*nums[0].Coverage,
+			"single numeric column — distribution",
+			map[string]string{"x": nums[0].Name})
+	}
+	// Map: geo column.
+	if len(geos) >= 1 {
+		score := 0.97 * geos[0].Coverage
+		bind := map[string]string{"location": geos[0].Name}
+		if len(nums) >= 1 {
+			bind["size"] = nums[0].Name
+		}
+		add(vis.Map, score, "geo coordinates — map view (map4rdf-style)", bind)
+	}
+	// Graph: entity-to-entity columns.
+	if len(ents) >= 2 {
+		add(vis.GraphVis, 0.85*coverage2(ents[0], ents[1]),
+			"two entity columns — node-link graph (Lodlive-style)",
+			map[string]string{"source": ents[0].Name, "target": ents[1].Name})
+	}
+	// Treemap: hierarchy-ish categorical pair + numeric.
+	if len(cats) >= 2 && len(nums) >= 1 {
+		add(vis.Treemap, 0.65*cardinalityPenalty(cats[0], 50),
+			"nested categories + numeric — treemap",
+			map[string]string{"group": cats[0].Name, "leaf": cats[1].Name, "size": nums[0].Name})
+	}
+	// Parallel coordinates: many numerics.
+	if len(nums) >= 4 {
+		add(vis.ParallelCoords, 0.6,
+			"many numeric columns — multivariate profile",
+			map[string]string{"dims": nums[0].Name})
+	}
+	// Table always works, as the weakest suggestion.
+	add(vis.Table, 0.25, "fallback — tabular view", nil)
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+func coverage2(a, b Profile) float64 {
+	c := a.Coverage * b.Coverage
+	if c <= 0 {
+		return 0.01
+	}
+	return c
+}
+
+// cardinalityPenalty scales down as the distinct-value count passes ideal.
+func cardinalityPenalty(p Profile, ideal int) float64 {
+	if p.Cardinality <= 0 {
+		return 0.01
+	}
+	if p.Cardinality <= ideal {
+		return 1
+	}
+	return float64(ideal) / float64(p.Cardinality)
+}

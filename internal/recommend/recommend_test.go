@@ -1,0 +1,188 @@
+package recommend
+
+import (
+	"testing"
+	"time"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/vis"
+)
+
+func TestProfileTermsNumeric(t *testing.T) {
+	var terms []rdf.Term
+	for i := 0; i < 50; i++ {
+		terms = append(terms, rdf.NewInteger(int64(i)))
+	}
+	p := ProfileTerms("age", terms)
+	if p.Kind != Numeric || p.Cardinality != 50 || p.Coverage != 1 {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+func TestProfileTermsTemporal(t *testing.T) {
+	var terms []rdf.Term
+	for i := 0; i < 20; i++ {
+		terms = append(terms, rdf.NewDate(time.Date(2000+i, 1, 1, 0, 0, 0, 0, time.UTC)))
+	}
+	if p := ProfileTerms("date", terms); p.Kind != Temporal {
+		t.Errorf("kind = %v, want Temporal", p.Kind)
+	}
+}
+
+func TestProfileTermsCategorical(t *testing.T) {
+	var terms []rdf.Term
+	cats := []string{"a", "b", "c"}
+	for i := 0; i < 60; i++ {
+		terms = append(terms, rdf.NewLiteral(cats[i%3]))
+	}
+	p := ProfileTerms("genre", terms)
+	if p.Kind != Categorical || p.Cardinality != 3 {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+func TestProfileTermsEntity(t *testing.T) {
+	var terms []rdf.Term
+	for i := 0; i < 30; i++ {
+		terms = append(terms, rdf.IRI("http://e/x"))
+	}
+	if p := ProfileTerms("link", terms); p.Kind != Entity {
+		t.Errorf("kind = %v, want Entity", p.Kind)
+	}
+}
+
+func TestProfileTermsCoverage(t *testing.T) {
+	terms := []rdf.Term{rdf.NewInteger(1), nil, nil, rdf.NewInteger(2)}
+	p := ProfileTerms("sparse", terms)
+	if p.Coverage != 0.5 {
+		t.Errorf("coverage = %g", p.Coverage)
+	}
+}
+
+func TestProfileTermsEmpty(t *testing.T) {
+	p := ProfileTerms("none", nil)
+	if p.Kind != Text || p.Coverage != 0 {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+func top(recs []Recommendation) vis.Type {
+	return recs[0].Type
+}
+
+func TestRecommendScatterForTwoNumerics(t *testing.T) {
+	recs := Recommend([]Profile{
+		{Name: "height", Kind: Numeric, Cardinality: 100, Rows: 100, Coverage: 1},
+		{Name: "weight", Kind: Numeric, Cardinality: 100, Rows: 100, Coverage: 1},
+	})
+	if top(recs) != vis.Scatter {
+		t.Errorf("top = %v, want scatter", top(recs))
+	}
+	if recs[0].Bindings["x"] != "height" || recs[0].Bindings["y"] != "weight" {
+		t.Errorf("bindings = %v", recs[0].Bindings)
+	}
+}
+
+func TestRecommendLineForTemporalNumeric(t *testing.T) {
+	recs := Recommend([]Profile{
+		{Name: "year", Kind: Temporal, Cardinality: 30, Rows: 30, Coverage: 1},
+		{Name: "population", Kind: Numeric, Cardinality: 30, Rows: 30, Coverage: 1},
+	})
+	if top(recs) != vis.LineChart {
+		t.Errorf("top = %v, want line chart", top(recs))
+	}
+}
+
+func TestRecommendMapForGeo(t *testing.T) {
+	recs := Recommend([]Profile{
+		{Name: "location", Kind: GeoPoint, Cardinality: 500, Rows: 500, Coverage: 1},
+		{Name: "population", Kind: Numeric, Cardinality: 500, Rows: 500, Coverage: 1},
+	})
+	if top(recs) != vis.Map {
+		t.Errorf("top = %v, want map", top(recs))
+	}
+	if recs[0].Bindings["size"] != "population" {
+		t.Errorf("map should bind size: %v", recs[0].Bindings)
+	}
+}
+
+func TestRecommendBarForCategoricalNumeric(t *testing.T) {
+	recs := Recommend([]Profile{
+		{Name: "genre", Kind: Categorical, Cardinality: 5, Rows: 100, Coverage: 1},
+		{Name: "count", Kind: Numeric, Cardinality: 80, Rows: 100, Coverage: 1},
+	})
+	if top(recs) != vis.BarChart {
+		t.Errorf("top = %v, want bar chart", top(recs))
+	}
+}
+
+func TestRecommendPiePenalizedByCardinality(t *testing.T) {
+	lowCard := Recommend([]Profile{{Name: "type", Kind: Categorical, Cardinality: 4, Rows: 100, Coverage: 1}})
+	highCard := Recommend([]Profile{{Name: "type", Kind: Categorical, Cardinality: 200, Rows: 1000, Coverage: 1}})
+	var lowPie, highPie float64
+	for _, r := range lowCard {
+		if r.Type == vis.PieChart {
+			lowPie = r.Score
+		}
+	}
+	for _, r := range highCard {
+		if r.Type == vis.PieChart {
+			highPie = r.Score
+		}
+	}
+	if lowPie <= highPie {
+		t.Errorf("pie scores: low-card %g <= high-card %g", lowPie, highPie)
+	}
+}
+
+func TestRecommendGraphForEntities(t *testing.T) {
+	recs := Recommend([]Profile{
+		{Name: "person", Kind: Entity, Cardinality: 50, Rows: 100, Coverage: 1},
+		{Name: "knows", Kind: Entity, Cardinality: 50, Rows: 100, Coverage: 1},
+	})
+	if top(recs) != vis.GraphVis {
+		t.Errorf("top = %v, want graph", top(recs))
+	}
+}
+
+func TestRecommendAlwaysIncludesTableFallback(t *testing.T) {
+	recs := Recommend([]Profile{{Name: "blob", Kind: Text, Cardinality: 100, Rows: 100, Coverage: 1}})
+	found := false
+	for _, r := range recs {
+		if r.Type == vis.Table {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no table fallback")
+	}
+}
+
+func TestRecommendSortedDescending(t *testing.T) {
+	recs := Recommend([]Profile{
+		{Name: "a", Kind: Numeric, Cardinality: 10, Rows: 10, Coverage: 1},
+		{Name: "b", Kind: Numeric, Cardinality: 10, Rows: 10, Coverage: 1},
+		{Name: "c", Kind: Categorical, Cardinality: 3, Rows: 10, Coverage: 1},
+		{Name: "t", Kind: Temporal, Cardinality: 10, Rows: 10, Coverage: 1},
+	})
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Score > recs[i-1].Score {
+			t.Errorf("not sorted at %d: %g > %g", i, recs[i].Score, recs[i-1].Score)
+		}
+	}
+	// Every recommendation carries a reason.
+	for _, r := range recs {
+		if r.Reason == "" {
+			t.Errorf("%v has no reason", r.Type)
+		}
+	}
+}
+
+func TestColumnKindString(t *testing.T) {
+	kinds := []ColumnKind{Numeric, Temporal, Categorical, GeoPoint, Entity, Text}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty label", k)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package registry encodes the survey's catalogue of Web-of-Data
+// exploration and visualization systems — every row of Table 1 (generic
+// visualization systems) and Table 2 (graph-based visualization systems),
+// plus the systems discussed in prose (§3.1 browsers, §3.3 domain-specific,
+// §3.6 libraries) — and regenerates the tables and the Section-4 aggregate
+// observations from the data.
+//
+// Cell provenance. The survey's text pins several columns exactly:
+// Section 4 states that only SynopsViz and VizBoard adopt approximation
+// techniques (sampling/filtering or aggregation), that only SynopsViz uses
+// external memory at runtime among Table-1 systems, and that LinkDaViz,
+// Vis Wizard, LDVizWiz and LDVM (plus VizBoard, §3.2) provide
+// recommendations; §3.4's prose pins keyword/filter capabilities for
+// RDF-Gravity, the RDF graph visualizer, and sampling for Cytoscape-in-
+// Oracle [127]. Checkmark *counts* per row are taken from the published
+// table; the remaining cell positions are reconstructed from each cited
+// system's own description and are marked Reconstructed below.
+package registry
+
+import (
+	"sort"
+	"strings"
+)
+
+// Capability is a feature column of the survey's tables.
+type Capability string
+
+// Capabilities used across Tables 1 and 2.
+const (
+	Recommendation Capability = "Recomm."
+	Preferences    Capability = "Preferences"
+	Statistics     Capability = "Statistics"
+	Sampling       Capability = "Sampling"
+	Aggregation    Capability = "Aggregation"
+	Incremental    Capability = "Incr."
+	Disk           Capability = "Disk"
+	Keyword        Capability = "Keyword"
+	Filtering      Capability = "Filter"
+)
+
+// Data-type codes of Table 1 (⋆ legend).
+const (
+	DataNumeric      = "N"
+	DataTemporal     = "T"
+	DataSpatial      = "S"
+	DataHierarchical = "H"
+	DataGraph        = "G"
+)
+
+// Visualization-type codes of Table 1 (⋆⋆ legend).
+var VisTypeLegend = map[string]string{
+	"B": "bubble chart", "C": "chart", "CI": "circles", "G": "graph",
+	"M": "map", "P": "pie", "PC": "parallel coordinates", "S": "scatter",
+	"SG": "streamgraph", "T": "treemap", "TL": "timeline", "TR": "tree",
+}
+
+// Table identifies which published table a system appears in.
+type Table int
+
+// Table identifiers; Prose marks systems discussed only in the text.
+const (
+	Prose  Table = 0
+	Table1 Table = 1
+	Table2 Table = 2
+)
+
+// System is one surveyed system.
+type System struct {
+	Name string
+	// Refs are the survey's citation numbers.
+	Refs []int
+	Year int
+	// Table is the published table the system appears in.
+	Table Table
+	// Section is the survey section discussing the system.
+	Section string
+	// DataTypes uses the Table-1 codes (N,T,S,H,G); Table-2 systems leave it
+	// empty (all are graph systems).
+	DataTypes []string
+	// VisTypes uses the Table-1 codes.
+	VisTypes []string
+	// Caps are the checked capability columns.
+	Caps []Capability
+	// Domain is "generic" or "ontology" (Table 2) per the published tables.
+	Domain string
+	// App is "Web" or "Desktop".
+	App string
+	// Reconstructed marks capability cells whose column position was
+	// inferred from the cited system's description rather than pinned by
+	// the survey's prose (check *counts* always match the published row).
+	Reconstructed []Capability
+}
+
+// Has reports whether the system has the capability checked.
+func (s System) Has(c Capability) bool {
+	for _, x := range s.Caps {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// caps is shorthand for capability lists.
+func caps(cs ...Capability) []Capability { return cs }
+
+// Table1Systems returns the 11 rows of the survey's Table 1, in published
+// order.
+func Table1Systems() []System {
+	return []System{
+		{Name: "Rhizomer", Refs: []int{30}, Year: 2006, Table: Table1, Section: "3.2",
+			DataTypes: []string{"N", "T", "S", "H", "G"}, VisTypes: []string{"C", "M", "T", "TL"},
+			Caps: caps(Preferences), Domain: "generic", App: "Web",
+			Reconstructed: caps(Preferences)},
+		{Name: "VizBoard", Refs: []int{135, 136, 109}, Year: 2009, Table: Table1, Section: "3.2",
+			DataTypes: []string{"N", "H"}, VisTypes: []string{"C", "S", "T"},
+			Caps: caps(Recommendation, Preferences, Sampling), Domain: "generic", App: "Web",
+			Reconstructed: caps(Preferences)},
+		{Name: "LODWheel", Refs: []int{126}, Year: 2011, Table: Table1, Section: "3.2",
+			DataTypes: []string{"N", "S", "G"}, VisTypes: []string{"C", "G", "M", "P"},
+			Domain: "generic", App: "Web"},
+		{Name: "SemLens", Refs: []int{59}, Year: 2011, Table: Table1, Section: "3.2",
+			DataTypes: []string{"N"}, VisTypes: []string{"S"},
+			Caps: caps(Preferences), Domain: "generic", App: "Web"},
+		{Name: "LDVM", Refs: []int{29}, Year: 2013, Table: Table1, Section: "3.2",
+			DataTypes: []string{"S", "H", "G"}, VisTypes: []string{"B", "M", "T", "TR"},
+			Caps: caps(Recommendation), Domain: "generic", App: "Web"},
+		{Name: "Payola", Refs: []int{84}, Year: 2013, Table: Table1, Section: "3.2",
+			DataTypes: []string{"N", "T", "S", "H", "G"},
+			VisTypes:  []string{"C", "CI", "G", "M", "T", "TL", "TR"},
+			Domain:    "generic", App: "Web"},
+		{Name: "LDVizWiz", Refs: []int{11}, Year: 2014, Table: Table1, Section: "3.2",
+			DataTypes: []string{"S", "H", "G"}, VisTypes: []string{"M", "P", "TR"},
+			Caps: caps(Recommendation), Domain: "generic", App: "Web"},
+		{Name: "SynopsViz", Refs: []int{26, 25}, Year: 2014, Table: Table1, Section: "3.2",
+			DataTypes: []string{"N", "T", "H"}, VisTypes: []string{"C", "P", "T", "TL"},
+			Caps:   caps(Recommendation, Preferences, Statistics, Aggregation, Incremental, Disk),
+			Domain: "generic", App: "Web",
+			Reconstructed: caps(Recommendation)},
+		{Name: "Vis Wizard", Refs: []int{131}, Year: 2014, Table: Table1, Section: "3.2",
+			DataTypes: []string{"N", "T", "S"}, VisTypes: []string{"B", "C", "M", "P", "PC", "SG"},
+			Caps: caps(Recommendation, Preferences), Domain: "generic", App: "Web",
+			Reconstructed: caps(Preferences)},
+		{Name: "LinkDaViz", Refs: []int{129}, Year: 2015, Table: Table1, Section: "3.2",
+			DataTypes: []string{"N", "T", "S"}, VisTypes: []string{"B", "C", "S", "M", "P"},
+			Caps: caps(Recommendation, Preferences), Domain: "generic", App: "Web",
+			Reconstructed: caps(Preferences)},
+		{Name: "ViCoMap", Refs: []int{112}, Year: 2015, Table: Table1, Section: "3.2",
+			DataTypes: []string{"N", "T", "S"}, VisTypes: []string{"M"},
+			Caps: caps(Statistics), Domain: "generic", App: "Web",
+			Reconstructed: caps(Statistics)},
+	}
+}
+
+// Table2Systems returns the 21 rows of the survey's Table 2, in published
+// order.
+func Table2Systems() []System {
+	return []System{
+		{Name: "RDF-Gravity", Refs: nil, Year: 2003, Table: Table2, Section: "3.4",
+			Caps: caps(Keyword, Filtering), Domain: "generic", App: "Desktop"},
+		{Name: "IsaViz", Refs: []int{108}, Year: 2003, Table: Table2, Section: "3.4",
+			Caps: caps(Keyword, Filtering), Domain: "generic", App: "Desktop",
+			Reconstructed: caps(Keyword, Filtering)},
+		{Name: "RDF graph visualizer", Refs: []int{115}, Year: 2004, Table: Table2, Section: "3.4",
+			Caps: caps(Keyword), Domain: "generic", App: "Desktop"},
+		{Name: "GrOWL", Refs: []int{89}, Year: 2007, Table: Table2, Section: "3.5",
+			Caps: caps(Keyword, Filtering, Aggregation), Domain: "ontology", App: "Desktop",
+			Reconstructed: caps(Keyword, Filtering, Aggregation)},
+		{Name: "NodeTrix", Refs: []int{61}, Year: 2007, Table: Table2, Section: "3.5",
+			Caps: caps(Aggregation), Domain: "ontology", App: "Desktop",
+			Reconstructed: caps(Aggregation)},
+		{Name: "PGV", Refs: []int{36}, Year: 2007, Table: Table2, Section: "3.4",
+			Caps: caps(Incremental, Disk), Domain: "generic", App: "Desktop",
+			Reconstructed: caps(Incremental, Disk)},
+		{Name: "Fenfire", Refs: []int{54}, Year: 2008, Table: Table2, Section: "3.4",
+			Domain: "generic", App: "Desktop"},
+		{Name: "Gephi", Refs: []int{15}, Year: 2009, Table: Table2, Section: "3.4",
+			Caps: caps(Keyword, Filtering, Aggregation), Domain: "generic", App: "Desktop",
+			Reconstructed: caps(Keyword)},
+		{Name: "Trisolda", Refs: []int{38}, Year: 2010, Table: Table2, Section: "3.4",
+			Caps: caps(Aggregation, Incremental, Disk), Domain: "generic", App: "Desktop",
+			Reconstructed: caps(Incremental, Disk)},
+		{Name: "Cytospace", Refs: []int{127}, Year: 2010, Table: Table2, Section: "3.4",
+			Caps:   caps(Keyword, Filtering, Sampling, Aggregation, Disk),
+			Domain: "generic", App: "Desktop",
+			Reconstructed: caps(Keyword, Filtering)},
+		{Name: "FlexViz", Refs: []int{45}, Year: 2010, Table: Table2, Section: "3.5",
+			Caps: caps(Keyword, Filtering), Domain: "ontology", App: "Web",
+			Reconstructed: caps(Keyword, Filtering)},
+		{Name: "RelFinder", Refs: []int{58}, Year: 2010, Table: Table2, Section: "3.4",
+			Domain: "generic", App: "Web"},
+		{Name: "ZoomRDF", Refs: []int{142}, Year: 2010, Table: Table2, Section: "3.4",
+			Caps: caps(Keyword, Filtering, Aggregation), Domain: "generic", App: "Desktop",
+			Reconstructed: caps(Keyword, Filtering, Aggregation)},
+		{Name: "KC-Viz", Refs: []int{104}, Year: 2011, Table: Table2, Section: "3.5",
+			Caps: caps(Aggregation), Domain: "ontology", App: "Desktop",
+			Reconstructed: caps(Aggregation)},
+		{Name: "LODWheel", Refs: []int{126}, Year: 2011, Table: Table2, Section: "3.4",
+			Caps: caps(Keyword, Filtering), Domain: "generic", App: "Web",
+			Reconstructed: caps(Keyword, Filtering)},
+		{Name: "GLOW", Refs: []int{64}, Year: 2012, Table: Table2, Section: "3.5",
+			Caps: caps(Filtering, Aggregation), Domain: "ontology", App: "Desktop",
+			Reconstructed: caps(Filtering, Aggregation)},
+		{Name: "Lodlive", Refs: []int{31}, Year: 2012, Table: Table2, Section: "3.4",
+			Caps: caps(Keyword), Domain: "generic", App: "Web",
+			Reconstructed: caps(Keyword)},
+		{Name: "OntoTrix", Refs: []int{14}, Year: 2013, Table: Table2, Section: "3.5",
+			Caps: caps(Filtering, Aggregation), Domain: "ontology", App: "Desktop",
+			Reconstructed: caps(Filtering, Aggregation)},
+		{Name: "LODeX", Refs: []int{19}, Year: 2014, Table: Table2, Section: "3.4",
+			Caps: caps(Filtering, Aggregation), Domain: "generic", App: "Web",
+			Reconstructed: caps(Filtering, Aggregation)},
+		{Name: "VOWL 2", Refs: []int{100, 99}, Year: 2014, Table: Table2, Section: "3.5",
+			Domain: "ontology", App: "Web"},
+		{Name: "graphVizdb", Refs: []int{23, 22}, Year: 2015, Table: Table2, Section: "3.4",
+			Caps:   caps(Keyword, Filtering, Incremental, Disk),
+			Domain: "generic", App: "Web",
+			Reconstructed: caps(Keyword)},
+	}
+}
+
+// ProseSystems returns the systems the survey discusses outside the two
+// tables: browsers & exploratory systems (§3.1), domain/vocabulary/device-
+// specific systems (§3.3) and visualization libraries (§3.6).
+func ProseSystems() []System {
+	mk := func(name string, refs []int, year int, section, domain, app string) System {
+		return System{Name: name, Refs: refs, Year: year, Table: Prose,
+			Section: section, Domain: domain, App: app}
+	}
+	return []System{
+		// §3.1 browsers & exploratory systems.
+		mk("Haystack", []int{111}, 2004, "3.1", "generic", "Desktop"),
+		mk("Disco", nil, 2007, "3.1", "generic", "Web"),
+		mk("Noadster", []int{113}, 2005, "3.1", "generic", "Web"),
+		mk("Piggy Bank", []int{66}, 2005, "3.1", "generic", "Web"),
+		mk("LESS", []int{13}, 2010, "3.1", "generic", "Web"),
+		mk("Tabulator", []int{21}, 2006, "3.1", "generic", "Web"),
+		mk("LENA", []int{87}, 2008, "3.1", "generic", "Web"),
+		mk("Visor", []int{110}, 2011, "3.1", "generic", "Web"),
+		mk("/facet", []int{62}, 2006, "3.1", "generic", "Web"),
+		mk("Humboldt", []int{86}, 2008, "3.1", "generic", "Web"),
+		mk("gFacet", []int{57}, 2010, "3.1", "generic", "Web"),
+		mk("Explorator", []int{7}, 2009, "3.1", "generic", "Web"),
+		mk("VisiNav", []int{53}, 2010, "3.1", "generic", "Web"),
+		mk("Information Workbench", []int{52}, 2011, "3.1", "generic", "Web"),
+		mk("Marbles", nil, 2009, "3.1", "generic", "Web"),
+		mk("URI Burner", nil, 2009, "3.1", "generic", "Web"),
+		// §3.3 domain, vocabulary & device-specific systems.
+		mk("Map4rdf", []int{92}, 2012, "3.3", "geo-spatial", "Web"),
+		mk("Facete", []int{122}, 2014, "3.3", "geo-spatial", "Web"),
+		mk("SexTant", []int{20}, 2013, "3.3", "geo-spatial", "Web"),
+		mk("Spacetime", []int{133}, 2014, "3.3", "geo-spatial", "Web"),
+		mk("LinkedGeoData Browser", []int{121}, 2012, "3.3", "geo-spatial", "Web"),
+		mk("DBpedia Atlas", []int{132}, 2015, "3.3", "geo-spatial", "Web"),
+		mk("VISU", []int{6}, 2013, "3.3", "university data", "Web"),
+		mk("CubeViz", []int{43, 114}, 2013, "3.3", "statistical", "Web"),
+		mk("Payola Data Cube", []int{60}, 2014, "3.3", "statistical", "Web"),
+		mk("OpenCube Toolkit", []int{75}, 2014, "3.3", "statistical", "Web"),
+		mk("LDCE", []int{79}, 2014, "3.3", "statistical", "Web"),
+		mk("LOSD Visualizations", []int{106}, 2014, "3.3", "statistical", "Web"),
+		mk("DBpedia Mobile", []int{18}, 2009, "3.3", "mobile", "Mobile"),
+		mk("Who's Who", []int{32}, 2011, "3.3", "mobile", "Mobile"),
+		// §3.5 ontology visualizers outside Table 2.
+		mk("CropCircles", []int{137}, 2006, "3.5", "ontology", "Desktop"),
+		mk("Knoocks", []int{88}, 2008, "3.5", "ontology", "Desktop"),
+		// §3.6 libraries.
+		mk("Sgvizler", []int{120}, 2012, "3.6", "library", "Web"),
+		mk("Visualbox", []int{50}, 2013, "3.6", "library", "Web"),
+	}
+}
+
+// All returns every registry entry (both tables + prose systems).
+func All() []System {
+	out := Table1Systems()
+	out = append(out, Table2Systems()...)
+	out = append(out, ProseSystems()...)
+	return out
+}
+
+// Observations computed from the registry — the Section-4 discussion points.
+
+// ApproximationAdopters returns the Table-1 systems using sampling or
+// aggregation; the survey's Section 4 states these are exactly SynopsViz and
+// VizBoard.
+func ApproximationAdopters() []string {
+	var out []string
+	for _, s := range Table1Systems() {
+		if s.Has(Sampling) || s.Has(Aggregation) {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DiskAdopters returns the systems of a table using external memory at
+// runtime.
+func DiskAdopters(t Table) []string {
+	var out []string
+	for _, s := range tableOf(t) {
+		if s.Has(Disk) {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecommendationProviders returns the Table-1 systems offering visualization
+// recommendation.
+func RecommendationProviders() []string {
+	var out []string
+	for _, s := range Table1Systems() {
+		if s.Has(Recommendation) {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CapabilityCounts tallies each capability across a table — the aggregate
+// view of how rarely scalability techniques appear, which is the survey's
+// headline observation.
+func CapabilityCounts(t Table) map[Capability]int {
+	counts := map[Capability]int{}
+	for _, s := range tableOf(t) {
+		for _, c := range s.Caps {
+			counts[c]++
+		}
+	}
+	return counts
+}
+
+func tableOf(t Table) []System {
+	switch t {
+	case Table1:
+		return Table1Systems()
+	case Table2:
+		return Table2Systems()
+	default:
+		return ProseSystems()
+	}
+}
+
+// refString formats citation numbers like the paper ("[26, 25]").
+func refString(refs []int) string {
+	if len(refs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(refs))
+	for i, r := range refs {
+		parts[i] = itoa(r)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}

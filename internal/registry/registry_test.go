@@ -1,0 +1,245 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// The published tables' structural facts, used to verify the registry
+// against the paper.
+
+func TestTable1RowCountAndOrder(t *testing.T) {
+	rows := Table1Systems()
+	if len(rows) != 11 {
+		t.Fatalf("Table 1 rows = %d, want 11", len(rows))
+	}
+	wantOrder := []string{"Rhizomer", "VizBoard", "LODWheel", "SemLens", "LDVM",
+		"Payola", "LDVizWiz", "SynopsViz", "Vis Wizard", "LinkDaViz", "ViCoMap"}
+	for i, w := range wantOrder {
+		if rows[i].Name != w {
+			t.Errorf("row %d = %s, want %s", i, rows[i].Name, w)
+		}
+	}
+	// Years ascend as in the paper.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Year < rows[i-1].Year {
+			t.Errorf("year order violated at %s", rows[i].Name)
+		}
+	}
+}
+
+func TestTable1AllGenericWeb(t *testing.T) {
+	for _, s := range Table1Systems() {
+		if s.Domain != "generic" || s.App != "Web" {
+			t.Errorf("%s: domain/app = %s/%s", s.Name, s.Domain, s.App)
+		}
+	}
+}
+
+// Checkmark counts per Table-1 row, read directly from the published table.
+func TestTable1CheckCounts(t *testing.T) {
+	want := map[string]int{
+		"Rhizomer": 1, "VizBoard": 3, "LODWheel": 0, "SemLens": 1, "LDVM": 1,
+		"Payola": 0, "LDVizWiz": 1, "SynopsViz": 6, "Vis Wizard": 2,
+		"LinkDaViz": 2, "ViCoMap": 1,
+	}
+	for _, s := range Table1Systems() {
+		if got := len(s.Caps); got != want[s.Name] {
+			t.Errorf("%s: %d checkmarks, want %d", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+// Section 4: "none of the systems, with the exceptions of SynopsViz and
+// VizBoard cases, adopt approximation techniques".
+func TestSection4ApproximationClaim(t *testing.T) {
+	got := ApproximationAdopters()
+	if len(got) != 2 || got[0] != "SynopsViz" || got[1] != "VizBoard" {
+		t.Errorf("approximation adopters = %v, want [SynopsViz VizBoard]", got)
+	}
+}
+
+// Section 4: "most of the existing systems (except for SynopsViz) do not
+// exploit external memory during runtime".
+func TestSection4DiskClaim(t *testing.T) {
+	got := DiskAdopters(Table1)
+	if len(got) != 1 || got[0] != "SynopsViz" {
+		t.Errorf("Table-1 disk adopters = %v, want [SynopsViz]", got)
+	}
+}
+
+// Section 4: recommendation providers include LinkDaViz, Vis Wizard,
+// LDVizWiz, LDVM (plus VizBoard per §3.2 and SynopsViz).
+func TestSection4RecommendationClaim(t *testing.T) {
+	got := RecommendationProviders()
+	need := []string{"LDVM", "LDVizWiz", "LinkDaViz", "Vis Wizard", "VizBoard"}
+	set := map[string]bool{}
+	for _, g := range got {
+		set[g] = true
+	}
+	for _, n := range need {
+		if !set[n] {
+			t.Errorf("missing recommendation provider %s in %v", n, got)
+		}
+	}
+}
+
+func TestTable2RowCountAndOrder(t *testing.T) {
+	rows := Table2Systems()
+	if len(rows) != 21 {
+		t.Fatalf("Table 2 rows = %d, want 21", len(rows))
+	}
+	wantFirst, wantLast := "RDF-Gravity", "graphVizdb"
+	if rows[0].Name != wantFirst || rows[len(rows)-1].Name != wantLast {
+		t.Errorf("order: first=%s last=%s", rows[0].Name, rows[len(rows)-1].Name)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Year < rows[i-1].Year {
+			t.Errorf("year order violated at %s", rows[i].Name)
+		}
+	}
+}
+
+// Checkmark counts per Table-2 row from the published table.
+func TestTable2CheckCounts(t *testing.T) {
+	want := map[string]int{
+		"RDF-Gravity": 2, "IsaViz": 2, "RDF graph visualizer": 1, "GrOWL": 3,
+		"NodeTrix": 1, "PGV": 2, "Fenfire": 0, "Gephi": 3, "Trisolda": 3,
+		"Cytospace": 5, "FlexViz": 2, "RelFinder": 0, "ZoomRDF": 3,
+		"KC-Viz": 1, "LODWheel": 2, "GLOW": 2, "Lodlive": 1, "OntoTrix": 2,
+		"LODeX": 2, "VOWL 2": 0, "graphVizdb": 4,
+	}
+	for _, s := range Table2Systems() {
+		if got := len(s.Caps); got != want[s.Name] {
+			t.Errorf("%s: %d checkmarks, want %d", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+// Ontology-domain rows of Table 2 per the paper.
+func TestTable2OntologyDomains(t *testing.T) {
+	ontology := map[string]bool{
+		"GrOWL": true, "NodeTrix": true, "FlexViz": true, "KC-Viz": true,
+		"GLOW": true, "OntoTrix": true, "VOWL 2": true,
+	}
+	for _, s := range Table2Systems() {
+		want := "generic"
+		if ontology[s.Name] {
+			want = "ontology"
+		}
+		if s.Domain != want {
+			t.Errorf("%s domain = %s, want %s", s.Name, s.Domain, want)
+		}
+	}
+}
+
+// §3.4 prose: "[127] ... sampling techniques have been exploited" — the only
+// Table-2 sampling adopter is Cytospace (Oracle).
+func TestTable2SamplingClaim(t *testing.T) {
+	for _, s := range Table2Systems() {
+		if s.Has(Sampling) && s.Name != "Cytospace" {
+			t.Errorf("unexpected sampling adopter %s", s.Name)
+		}
+	}
+	found := false
+	for _, s := range Table2Systems() {
+		if s.Name == "Cytospace" && s.Has(Sampling) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Cytospace must have Sampling")
+	}
+}
+
+// §3.4 prose: RDF-Gravity "offers filtering, keyword search".
+func TestRDFGravityProsePin(t *testing.T) {
+	for _, s := range Table2Systems() {
+		if s.Name == "RDF-Gravity" {
+			if !s.Has(Keyword) || !s.Has(Filtering) {
+				t.Error("RDF-Gravity must have Keyword+Filter")
+			}
+		}
+	}
+}
+
+func TestRenderTable1Structure(t *testing.T) {
+	out := RenderTable1()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 11 rows.
+	if len(lines) != 14 {
+		t.Fatalf("rendered lines = %d, want 14\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Table 1") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "SynopsViz [26, 25]") {
+		t.Error("citation formatting wrong")
+	}
+	// SynopsViz row has 6 Y marks.
+	for _, l := range lines {
+		if strings.Contains(l, "SynopsViz") {
+			if got := strings.Count(l, " Y"); got != 6 {
+				t.Errorf("SynopsViz rendered with %d checks: %q", got, l)
+			}
+		}
+	}
+}
+
+func TestRenderTable2Structure(t *testing.T) {
+	out := RenderTable2()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 24 { // title + header + sep + 21 rows
+		t.Fatalf("rendered lines = %d, want 24", len(lines))
+	}
+	if !strings.Contains(out, "graphVizdb [23, 22]") {
+		t.Error("graphVizdb row missing")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	csv1 := RenderCSV(Table1)
+	if strings.Count(csv1, "\n") != 12 { // header + 11
+		t.Errorf("table1 csv lines = %d", strings.Count(csv1, "\n"))
+	}
+	csv2 := RenderCSV(Table2)
+	if strings.Count(csv2, "\n") != 22 { // header + 21
+		t.Errorf("table2 csv lines = %d", strings.Count(csv2, "\n"))
+	}
+	if !strings.Contains(csv2, "graphVizdb,2015,1,1,0,0,1,1,generic,Web") {
+		t.Errorf("graphVizdb csv row wrong:\n%s", csv2)
+	}
+}
+
+func TestRenderObservations(t *testing.T) {
+	out := RenderObservations()
+	if !strings.Contains(out, "SynopsViz, VizBoard") {
+		t.Errorf("observations missing approximation claim:\n%s", out)
+	}
+}
+
+func TestAllIncludesProse(t *testing.T) {
+	all := All()
+	if len(all) != 11+21+len(ProseSystems()) {
+		t.Errorf("All = %d entries", len(all))
+	}
+	names := map[string]bool{}
+	for _, s := range ProseSystems() {
+		names[s.Name] = true
+	}
+	for _, n := range []string{"Tabulator", "CubeViz", "Sgvizler", "DBpedia Mobile", "CropCircles"} {
+		if !names[n] {
+			t.Errorf("prose system %s missing", n)
+		}
+	}
+}
+
+func TestReconstructedCellsAreSubsetOfCaps(t *testing.T) {
+	for _, s := range All() {
+		for _, r := range s.Reconstructed {
+			if !s.Has(r) {
+				t.Errorf("%s: reconstructed %s not in caps", s.Name, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// check renders a capability cell.
+func check(s System, c Capability) string {
+	if s.Has(c) {
+		return "Y"
+	}
+	return ""
+}
+
+// RenderTable1 renders Table 1 exactly in the paper's column structure
+// (plain-text alignment; "Y" stands for the paper's checkmark).
+func RenderTable1() string {
+	header := []string{"System", "Year", "Data Types", "Vis. Types", "Recomm.",
+		"Preferences", "Statistics", "Sampling", "Aggregation", "Incr.", "Disk",
+		"Domain", "App. Type"}
+	var rows [][]string
+	for _, s := range Table1Systems() {
+		rows = append(rows, []string{
+			s.Name + " " + refString(s.Refs),
+			itoa(s.Year),
+			strings.Join(s.DataTypes, ", "),
+			strings.Join(s.VisTypes, ", "),
+			check(s, Recommendation), check(s, Preferences), check(s, Statistics),
+			check(s, Sampling), check(s, Aggregation), check(s, Incremental),
+			check(s, Disk),
+			s.Domain, s.App,
+		})
+	}
+	return renderAligned("Table 1: Generic Visualization Systems", header, rows)
+}
+
+// RenderTable2 renders Table 2 in the paper's column structure.
+func RenderTable2() string {
+	header := []string{"System", "Year", "Keyword", "Filter", "Sampling",
+		"Aggregation", "Incr.", "Disk", "Domain", "App. Type"}
+	var rows [][]string
+	for _, s := range Table2Systems() {
+		rows = append(rows, []string{
+			s.Name + " " + refString(s.Refs),
+			itoa(s.Year),
+			check(s, Keyword), check(s, Filtering), check(s, Sampling),
+			check(s, Aggregation), check(s, Incremental), check(s, Disk),
+			s.Domain, s.App,
+		})
+	}
+	return renderAligned("Table 2: Graph-based Visualization Systems", header, rows)
+}
+
+// RenderCSV renders a table as CSV (for downstream tooling).
+func RenderCSV(t Table) string {
+	var b strings.Builder
+	switch t {
+	case Table1:
+		b.WriteString("system,year,data_types,vis_types,recomm,preferences,statistics,sampling,aggregation,incr,disk,domain,app\n")
+		for _, s := range Table1Systems() {
+			fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+				csvEscape(s.Name), s.Year,
+				csvEscape(strings.Join(s.DataTypes, " ")),
+				csvEscape(strings.Join(s.VisTypes, " ")),
+				mark(s, Recommendation), mark(s, Preferences), mark(s, Statistics),
+				mark(s, Sampling), mark(s, Aggregation), mark(s, Incremental),
+				mark(s, Disk), s.Domain, s.App)
+		}
+	case Table2:
+		b.WriteString("system,year,keyword,filter,sampling,aggregation,incr,disk,domain,app\n")
+		for _, s := range Table2Systems() {
+			fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%s,%s,%s,%s,%s\n",
+				csvEscape(s.Name), s.Year,
+				mark(s, Keyword), mark(s, Filtering), mark(s, Sampling),
+				mark(s, Aggregation), mark(s, Incremental), mark(s, Disk),
+				s.Domain, s.App)
+		}
+	}
+	return b.String()
+}
+
+func mark(s System, c Capability) string {
+	if s.Has(c) {
+		return "1"
+	}
+	return "0"
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// RenderObservations prints the Section-4 aggregate observations computed
+// from the registry.
+func RenderObservations() string {
+	var b strings.Builder
+	b.WriteString("Section 4 observations (computed from the registry):\n")
+	fmt.Fprintf(&b, "- Table-1 systems adopting approximation techniques: %s\n",
+		strings.Join(ApproximationAdopters(), ", "))
+	fmt.Fprintf(&b, "- Table-1 systems using external memory at runtime: %s\n",
+		strings.Join(DiskAdopters(Table1), ", "))
+	fmt.Fprintf(&b, "- Table-1 systems providing recommendations: %s\n",
+		strings.Join(RecommendationProviders(), ", "))
+	fmt.Fprintf(&b, "- Table-2 systems using external memory at runtime: %s\n",
+		strings.Join(DiskAdopters(Table2), ", "))
+	c1 := CapabilityCounts(Table1)
+	fmt.Fprintf(&b, "- Table-1 capability counts: sampling=%d aggregation=%d incremental=%d disk=%d (of %d systems)\n",
+		c1[Sampling], c1[Aggregation], c1[Incremental], c1[Disk], len(Table1Systems()))
+	c2 := CapabilityCounts(Table2)
+	fmt.Fprintf(&b, "- Table-2 capability counts: keyword=%d filter=%d sampling=%d aggregation=%d incremental=%d disk=%d (of %d systems)\n",
+		c2[Keyword], c2[Filtering], c2[Sampling], c2[Aggregation], c2[Incremental], c2[Disk], len(Table2Systems()))
+	return b.String()
+}
+
+// renderAligned produces a column-aligned plain-text table.
+func renderAligned(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	total := len(header)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

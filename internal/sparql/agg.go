@@ -1,0 +1,154 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// evalAggExpr evaluates an expression that may contain aggregates over a
+// group's rows. Non-aggregate subexpressions are evaluated against rep,
+// the representative binding holding the group keys.
+func evalAggExpr(e Expr, rows []Binding, rep Binding) (rdf.Term, error) {
+	switch ex := e.(type) {
+	case ExAggregate:
+		return evalAggregate(ex, rows)
+	case ExVar:
+		t, ok := rep[ex.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: ?%s not a group key", errExpr, ex.Name)
+		}
+		return t, nil
+	case ExTerm:
+		return ex.Term, nil
+	case ExUnary:
+		inner, err := evalAggExpr(ex.Expr, rows, rep)
+		if err != nil {
+			return nil, err
+		}
+		return evalUnary(ExUnary{Op: ex.Op, Expr: ExTerm{Term: inner}}, rep)
+	case ExBinary:
+		l, err := evalAggExpr(ex.Left, rows, rep)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalAggExpr(ex.Right, rows, rep)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinary(ExBinary{Op: ex.Op, Left: ExTerm{Term: l}, Right: ExTerm{Term: r}}, rep)
+	case ExCall:
+		args := make([]Expr, len(ex.Args))
+		for i, a := range ex.Args {
+			t, err := evalAggExpr(a, rows, rep)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ExTerm{Term: t}
+		}
+		return evalCall(ExCall{Name: ex.Name, Args: args}, rep)
+	default:
+		return nil, fmt.Errorf("%w: unsupported expression in aggregate context", errExpr)
+	}
+}
+
+// evalAggregate computes one aggregate over the group's rows.
+func evalAggregate(agg ExAggregate, rows []Binding) (rdf.Term, error) {
+	// Collect the argument values (skipping error/unbound rows, per spec).
+	var values []rdf.Term
+	if agg.Star {
+		values = make([]rdf.Term, len(rows))
+		for i := range rows {
+			values[i] = rdf.NewInteger(int64(i)) // placeholders; COUNT(*) counts rows
+		}
+	} else {
+		for _, r := range rows {
+			if t, err := evalExpr(agg.Arg, r); err == nil {
+				values = append(values, t)
+			}
+		}
+	}
+	if agg.Distinct {
+		seen := map[rdf.Term]struct{}{}
+		uniq := values[:0:0]
+		for _, v := range values {
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				uniq = append(uniq, v)
+			}
+		}
+		values = uniq
+	}
+	switch agg.Name {
+	case "COUNT":
+		return rdf.NewInteger(int64(len(values))), nil
+	case "SUM":
+		sum := 0.0
+		allInt := true
+		for _, v := range values {
+			f, ok := numeric(v)
+			if !ok {
+				return nil, fmt.Errorf("%w: SUM over non-numeric", errExpr)
+			}
+			if l, isLit := v.(rdf.Literal); isLit {
+				if _, isInt := l.Int(); !isInt {
+					allInt = false
+				}
+			}
+			sum += f
+		}
+		if allInt {
+			return rdf.NewInteger(int64(sum)), nil
+		}
+		return rdf.NewDouble(sum), nil
+	case "AVG":
+		if len(values) == 0 {
+			return rdf.NewInteger(0), nil
+		}
+		sum := 0.0
+		for _, v := range values {
+			f, ok := numeric(v)
+			if !ok {
+				return nil, fmt.Errorf("%w: AVG over non-numeric", errExpr)
+			}
+			sum += f
+		}
+		return rdf.NewDouble(sum / float64(len(values))), nil
+	case "MIN", "MAX":
+		if len(values) == 0 {
+			return nil, fmt.Errorf("%w: %s of empty group", errExpr, agg.Name)
+		}
+		best := values[0]
+		for _, v := range values[1:] {
+			c := rdf.Compare(v, best)
+			if (agg.Name == "MIN" && c < 0) || (agg.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SAMPLE":
+		if len(values) == 0 {
+			return nil, fmt.Errorf("%w: SAMPLE of empty group", errExpr)
+		}
+		return values[0], nil
+	case "GROUP_CONCAT":
+		var b strings.Builder
+		for i, v := range values {
+			if i > 0 {
+				b.WriteString(agg.Separator)
+			}
+			switch t := v.(type) {
+			case rdf.Literal:
+				b.WriteString(t.Lexical)
+			case rdf.IRI:
+				b.WriteString(string(t))
+			default:
+				b.WriteString(v.String())
+			}
+		}
+		return rdf.NewLiteral(b.String()), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown aggregate %s", errExpr, agg.Name)
+	}
+}

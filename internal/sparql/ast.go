@@ -1,0 +1,152 @@
+package sparql
+
+import "github.com/lodviz/lodviz/internal/rdf"
+
+// QueryForm distinguishes SELECT from ASK queries.
+type QueryForm int
+
+const (
+	// FormSelect is a SELECT query returning solution rows.
+	FormSelect QueryForm = iota
+	// FormAsk is an ASK query returning a boolean.
+	FormAsk
+)
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form     QueryForm
+	Distinct bool
+	// Star is true for SELECT *.
+	Star bool
+	// Projection lists the selected expressions in order.
+	Projection []SelectItem
+	Where      *Group
+	GroupBy    []Expr
+	Having     []Expr
+	OrderBy    []OrderKey
+	Limit      int // -1 when absent
+	Offset     int
+	prefixes   map[string]string
+}
+
+// SelectItem is one projection entry: a bare variable, or (expr AS ?var).
+type SelectItem struct {
+	// Var is the output column name (without '?').
+	Var string
+	// Expr is nil for bare variables.
+	Expr Expr
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Group is a SPARQL group graph pattern: an ordered list of elements plus the
+// group's filters (applied, per the spec, after the group's patterns).
+type Group struct {
+	Elems   []GroupElem
+	Filters []Expr
+}
+
+// GroupElem is an element of a group graph pattern.
+type GroupElem interface{ groupElem() }
+
+// TriplePattern is a triple pattern; each position is a Node.
+type TriplePattern struct {
+	S, P, O Node
+}
+
+func (TriplePattern) groupElem() {}
+
+// Optional is an OPTIONAL { ... } element.
+type Optional struct{ Inner *Group }
+
+func (Optional) groupElem() {}
+
+// Union is { A } UNION { B } (n-way unions are nested).
+type Union struct{ Left, Right *Group }
+
+func (Union) groupElem() {}
+
+// SubGroup is a nested { ... } group.
+type SubGroup struct{ Inner *Group }
+
+func (SubGroup) groupElem() {}
+
+// Bind is BIND(expr AS ?var).
+type Bind struct {
+	Expr Expr
+	Var  string
+}
+
+func (Bind) groupElem() {}
+
+// Values is an inline VALUES data block.
+type Values struct {
+	Vars []string
+	// Rows holds one term per var; nil entries are UNDEF.
+	Rows [][]rdf.Term
+}
+
+func (Values) groupElem() {}
+
+// Node is a position in a triple pattern: either a constant term or a
+// variable.
+type Node struct {
+	// Term is the constant, nil when the node is a variable.
+	Term rdf.Term
+	// Var is the variable name (without '?'), empty for constants.
+	Var string
+}
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// Expr is a SPARQL expression.
+type Expr interface{ expr() }
+
+// ExVar references a variable.
+type ExVar struct{ Name string }
+
+// ExTerm is a constant term.
+type ExTerm struct{ Term rdf.Term }
+
+// ExBinary is a binary operation: || && = != < > <= >= + - * /.
+type ExBinary struct {
+	Op          string
+	Left, Right Expr
+}
+
+// ExUnary is unary ! or -.
+type ExUnary struct {
+	Op   string
+	Expr Expr
+}
+
+// ExCall is a builtin function call, e.g. REGEX(?s, "^a").
+type ExCall struct {
+	Name string
+	Args []Expr
+}
+
+// ExAggregate is an aggregate expression, valid in SELECT/HAVING/ORDER BY of
+// grouped queries.
+type ExAggregate struct {
+	// Name is COUNT, SUM, AVG, MIN, MAX, SAMPLE or GROUP_CONCAT.
+	Name     string
+	Distinct bool
+	// Star is true for COUNT(*).
+	Star bool
+	Arg  Expr
+	// Separator applies to GROUP_CONCAT (default " ").
+	Separator string
+}
+
+func (ExVar) expr()       {}
+func (ExTerm) expr()      {}
+func (ExBinary) expr()    {}
+func (ExUnary) expr()     {}
+func (ExCall) expr()      {}
+func (ExAggregate) expr() {}

@@ -1,0 +1,319 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// engine evaluates parsed queries against a store.
+type engine struct {
+	st *store.Store
+}
+
+// evalGroup evaluates a group graph pattern, extending each input binding.
+func (e *engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
+	cur := input
+	elems := e.reorderTriplePatterns(g.Elems)
+	for _, el := range elems {
+		var err error
+		switch el := el.(type) {
+		case TriplePattern:
+			cur = e.evalTriplePattern(el, cur)
+		case SubGroup:
+			cur, err = e.evalGroup(el.Inner, cur)
+		case Optional:
+			cur, err = e.evalOptional(el, cur)
+		case Union:
+			cur, err = e.evalUnion(el, cur)
+		case Bind:
+			cur, err = e.evalBind(el, cur)
+		case Values:
+			cur = evalValues(el, cur)
+		default:
+			err = fmt.Errorf("sparql: unknown group element %T", el)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) == 0 {
+			break
+		}
+	}
+	// Group filters apply to the whole group's solutions.
+	for _, f := range g.Filters {
+		filtered := cur[:0:0]
+		for _, b := range cur {
+			ok, err := evalBool(f, b)
+			if err == nil && ok {
+				filtered = append(filtered, b)
+			}
+		}
+		cur = filtered
+	}
+	return cur, nil
+}
+
+// reorderTriplePatterns greedily orders runs of triple patterns so the most
+// selective pattern runs first: primarily by bound positions (weighted
+// S > O > P), then — among equally bound candidates — by the store's
+// index-estimated cardinality of the pattern's constant part, so
+// `?s :special "yes"` beats `?s rdf:type :Item` regardless of author order.
+// Non-pattern elements keep their positions.
+func (e *engine) reorderTriplePatterns(elems []GroupElem) []GroupElem {
+	out := make([]GroupElem, 0, len(elems))
+	bound := map[string]bool{}
+	i := 0
+	for i < len(elems) {
+		tp, ok := elems[i].(TriplePattern)
+		if !ok {
+			collectVars(elems[i], bound)
+			out = append(out, elems[i])
+			i++
+			continue
+		}
+		// Collect the contiguous run of triple patterns.
+		run := []TriplePattern{tp}
+		j := i + 1
+		for j < len(elems) {
+			next, ok := elems[j].(TriplePattern)
+			if !ok {
+				break
+			}
+			run = append(run, next)
+			j++
+		}
+		// Cardinality estimates over the constant parts are order-
+		// independent; compute them once per run.
+		ests := make(map[int]int, len(run))
+		for k, cand := range run {
+			ests[k] = e.estimate(cand)
+		}
+		// Greedy selection: repeatedly pick the best pattern given the
+		// variables bound so far.
+		for len(run) > 0 {
+			best := 0
+			bestScore, bestEst := -1, 0
+			for k, cand := range run {
+				s := patternScore(cand, bound)
+				if s > bestScore || (s == bestScore && ests[k] < bestEst) {
+					best, bestScore, bestEst = k, s, ests[k]
+				}
+			}
+			chosen := run[best]
+			run = append(run[:best], run[best+1:]...)
+			// Keep estimate map aligned with the shrinking slice.
+			for k := best; k < len(run); k++ {
+				ests[k] = ests[k+1]
+			}
+			delete(ests, len(run))
+			out = append(out, chosen)
+			for _, n := range []Node{chosen.S, chosen.P, chosen.O} {
+				if n.IsVar() {
+					bound[n.Var] = true
+				}
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// estimate returns the store's cardinality estimate for the pattern's
+// constant positions.
+func (e *engine) estimate(tp TriplePattern) int {
+	var pat store.Pattern
+	if !tp.S.IsVar() {
+		pat.S = tp.S.Term
+	}
+	if !tp.P.IsVar() {
+		pat.P = tp.P.Term
+	}
+	if !tp.O.IsVar() {
+		pat.O = tp.O.Term
+	}
+	return e.st.EstimateCount(pat)
+}
+
+func collectVars(el GroupElem, bound map[string]bool) {
+	switch el := el.(type) {
+	case Bind:
+		bound[el.Var] = true
+	case Values:
+		for _, v := range el.Vars {
+			bound[v] = true
+		}
+	}
+}
+
+func patternScore(tp TriplePattern, bound map[string]bool) int {
+	score := 0
+	isBound := func(n Node) bool { return !n.IsVar() || bound[n.Var] }
+	if isBound(tp.S) {
+		score += 4
+	}
+	if isBound(tp.O) {
+		score += 2
+	}
+	if isBound(tp.P) {
+		score++
+	}
+	return score
+}
+
+// evalTriplePattern extends each binding with matches from the store.
+func (e *engine) evalTriplePattern(tp TriplePattern, input []Binding) []Binding {
+	var out []Binding
+	for _, b := range input {
+		pat, vars := concretize(tp, b)
+		e.st.ForEach(pat, func(t rdf.Triple) bool {
+			nb, ok := unify(b, vars, t)
+			if ok {
+				out = append(out, nb)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// concretize substitutes bound variables into the pattern, returning the
+// store pattern and the residual variable names per position (empty = bound).
+func concretize(tp TriplePattern, b Binding) (store.Pattern, [3]string) {
+	var pat store.Pattern
+	var vars [3]string
+	resolve := func(n Node) (rdf.Term, string) {
+		if !n.IsVar() {
+			return n.Term, ""
+		}
+		if t, ok := b[n.Var]; ok {
+			return t, ""
+		}
+		return nil, n.Var
+	}
+	pat.S, vars[0] = resolve(tp.S)
+	pat.P, vars[1] = resolve(tp.P)
+	pat.O, vars[2] = resolve(tp.O)
+	return pat, vars
+}
+
+// unify binds residual variables to the matched triple, handling repeated
+// variables (?x ?p ?x) by requiring equal terms.
+func unify(b Binding, vars [3]string, t rdf.Triple) (Binding, bool) {
+	nb := b.clone()
+	assign := func(name string, val rdf.Term) bool {
+		if name == "" {
+			return true
+		}
+		if prev, ok := nb[name]; ok {
+			return prev == val
+		}
+		nb[name] = val
+		return true
+	}
+	if !assign(vars[0], t.S) {
+		return nil, false
+	}
+	if !assign(vars[1], rdf.Term(t.P)) {
+		return nil, false
+	}
+	if !assign(vars[2], t.O) {
+		return nil, false
+	}
+	return nb, true
+}
+
+// evalOptional implements left join: bindings that match the inner group are
+// extended; the rest pass through unchanged.
+func (e *engine) evalOptional(opt Optional, input []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, b := range input {
+		matched, err := e.evalGroup(opt.Inner, []Binding{b})
+		if err != nil {
+			return nil, err
+		}
+		if len(matched) > 0 {
+			out = append(out, matched...)
+		} else {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+func (e *engine) evalUnion(u Union, input []Binding) ([]Binding, error) {
+	left, err := e.evalGroup(u.Left, input)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.evalGroup(u.Right, input)
+	if err != nil {
+		return nil, err
+	}
+	return append(left, right...), nil
+}
+
+func (e *engine) evalBind(bi Bind, input []Binding) ([]Binding, error) {
+	out := make([]Binding, 0, len(input))
+	for _, b := range input {
+		if _, already := b[bi.Var]; already {
+			return nil, fmt.Errorf("sparql: BIND target ?%s already bound", bi.Var)
+		}
+		nb := b.clone()
+		if t, err := evalExpr(bi.Expr, b); err == nil {
+			// An erroring BIND expression leaves the variable unbound.
+			nb[bi.Var] = t
+		}
+		out = append(out, nb)
+	}
+	return out, nil
+}
+
+// evalValues joins the inline data block with the current solutions.
+func evalValues(v Values, input []Binding) []Binding {
+	var out []Binding
+	for _, b := range input {
+		for _, row := range v.Rows {
+			nb := b.clone()
+			compatible := true
+			for i, name := range v.Vars {
+				if row[i] == nil {
+					continue // UNDEF constrains nothing
+				}
+				if prev, ok := nb[name]; ok {
+					if prev != row[i] {
+						compatible = false
+						break
+					}
+				} else {
+					nb[name] = row[i]
+				}
+			}
+			if compatible {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}
+
+// allVars returns the sorted set of visible (non-internal) variables bound in
+// any solution.
+func allVars(rows []Binding) []string {
+	set := map[string]struct{}{}
+	for _, b := range rows {
+		for k := range b {
+			if len(k) > 0 && k[0] != '_' {
+				set[k] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

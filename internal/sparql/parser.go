@@ -1,0 +1,709 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// Parse parses a SPARQL query string.
+func Parse(src string) (*Query, error) {
+	p := &parser{lx: &lexer{src: src}, prefixes: map[string]string{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, p.errf("unexpected trailing %v", p.tok.kind)
+	}
+	q.prefixes = p.prefixes
+	return q, nil
+}
+
+type parser struct {
+	lx       *lexer
+	tok      tok
+	peeked   *tok
+	prefixes map[string]string
+	bnodeSeq int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: parse: %s (near offset %d)", fmt.Sprintf(format, args...), p.tok.pos)
+}
+
+func (p *parser) advance() error {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tKeyword && p.tok.text == kw
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(k tokKind) error {
+	if p.tok.kind != k {
+		return p.errf("expected %v, found %v", k, p.tok.kind)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	// Prologue.
+	for {
+		switch {
+		case p.isKeyword("PREFIX"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tPName {
+				return nil, p.errf("expected prefix label")
+			}
+			label := strings.TrimSuffix(p.tok.text, ":")
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tIRI {
+				return nil, p.errf("expected namespace IRI")
+			}
+			p.prefixes[label] = p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("BASE"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tIRI {
+				return nil, p.errf("expected base IRI")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			goto forms
+		}
+	}
+forms:
+	switch {
+	case p.isKeyword("SELECT"):
+		return p.parseSelect()
+	case p.isKeyword("ASK"):
+		return p.parseAsk()
+	default:
+		return nil, p.errf("expected SELECT or ASK")
+	}
+}
+
+func (p *parser) parseSelect() (*Query, error) {
+	q := &Query{Form: FormSelect, Limit: -1}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("DISTINCT") {
+		q.Distinct = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else if p.isKeyword("REDUCED") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind == tStar {
+		q.Star = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for p.tok.kind == tVar || p.tok.kind == tLParen {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Projection = append(q.Projection, item)
+		}
+		if len(q.Projection) == 0 {
+			return nil, p.errf("empty SELECT clause")
+		}
+	}
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = g
+	if err := p.parseModifiers(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.tok.kind == tVar {
+		v := p.tok.text
+		return SelectItem{Var: v}, p.advance()
+	}
+	// '(' Expr AS ?var ')'
+	if err := p.expect(tLParen); err != nil {
+		return SelectItem{}, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return SelectItem{}, err
+	}
+	if p.tok.kind != tVar {
+		return SelectItem{}, p.errf("expected variable after AS")
+	}
+	v := p.tok.text
+	if err := p.advance(); err != nil {
+		return SelectItem{}, err
+	}
+	if err := p.expect(tRParen); err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Var: v, Expr: e}, nil
+}
+
+func (p *parser) parseAsk() (*Query, error) {
+	q := &Query{Form: FormAsk, Limit: -1}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = g
+	return q, nil
+}
+
+func (p *parser) parseModifiers(q *Query) error {
+	if p.isKeyword("GROUP") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			e, ok, err := p.tryParseGroupKey()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			q.GroupBy = append(q.GroupBy, e)
+		}
+		if len(q.GroupBy) == 0 {
+			return p.errf("empty GROUP BY")
+		}
+	}
+	if p.isKeyword("HAVING") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for p.tok.kind == tLParen {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if err := p.expect(tRParen); err != nil {
+				return err
+			}
+			q.Having = append(q.Having, e)
+		}
+		if len(q.Having) == 0 {
+			return p.errf("empty HAVING")
+		}
+	}
+	if p.isKeyword("ORDER") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			key, ok, err := p.tryParseOrderKey()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			q.OrderBy = append(q.OrderBy, key)
+		}
+		if len(q.OrderBy) == 0 {
+			return p.errf("empty ORDER BY")
+		}
+	}
+	for {
+		switch {
+		case p.isKeyword("LIMIT"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			n, err := p.parseInt()
+			if err != nil {
+				return err
+			}
+			q.Limit = n
+		case p.isKeyword("OFFSET"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			n, err := p.parseInt()
+			if err != nil {
+				return err
+			}
+			q.Offset = n
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseInt() (int, error) {
+	if p.tok.kind != tInteger {
+		return 0, p.errf("expected integer")
+	}
+	n, err := strconv.Atoi(p.tok.text)
+	if err != nil || n < 0 {
+		return 0, p.errf("bad integer %q", p.tok.text)
+	}
+	return n, p.advance()
+}
+
+func (p *parser) tryParseGroupKey() (Expr, bool, error) {
+	switch p.tok.kind {
+	case tVar:
+		e := ExVar{Name: p.tok.text}
+		return e, true, p.advance()
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return nil, false, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, false, err
+		}
+		if err := p.expect(tRParen); err != nil {
+			return nil, false, err
+		}
+		return e, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+func (p *parser) tryParseOrderKey() (OrderKey, bool, error) {
+	switch {
+	case p.isKeyword("ASC"), p.isKeyword("DESC"):
+		desc := p.tok.text == "DESC"
+		if err := p.advance(); err != nil {
+			return OrderKey{}, false, err
+		}
+		if err := p.expect(tLParen); err != nil {
+			return OrderKey{}, false, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return OrderKey{}, false, err
+		}
+		if err := p.expect(tRParen); err != nil {
+			return OrderKey{}, false, err
+		}
+		return OrderKey{Expr: e, Desc: desc}, true, nil
+	case p.tok.kind == tVar:
+		e := ExVar{Name: p.tok.text}
+		return OrderKey{Expr: e}, true, p.advance()
+	case p.tok.kind == tKeyword && isAggregateName(p.tok.text):
+		e, err := p.parsePrimary()
+		if err != nil {
+			return OrderKey{}, false, err
+		}
+		return OrderKey{Expr: e}, true, nil
+	default:
+		return OrderKey{}, false, nil
+	}
+}
+
+// parseGroup parses '{' ... '}'.
+func (p *parser) parseGroup() (*Group, error) {
+	if err := p.expect(tLBrace); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	for p.tok.kind != tRBrace {
+		switch {
+		case p.isKeyword("FILTER"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseBracketedOrCall()
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+		case p.isKeyword("OPTIONAL"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, Optional{Inner: inner})
+		case p.isKeyword("BIND"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tLParen); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tVar {
+				return nil, p.errf("expected variable after AS")
+			}
+			v := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, Bind{Expr: e, Var: v})
+		case p.isKeyword("VALUES"):
+			vals, err := p.parseValues()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, vals)
+		case p.tok.kind == tLBrace:
+			sub, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			// A group may be followed by UNION chains.
+			elem := GroupElem(SubGroup{Inner: sub})
+			for p.isKeyword("UNION") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				right, err := p.parseGroup()
+				if err != nil {
+					return nil, err
+				}
+				left := &Group{Elems: []GroupElem{elem}}
+				elem = Union{Left: left, Right: right}
+			}
+			g.Elems = append(g.Elems, elem)
+		default:
+			if err := p.parseTriplesBlock(g); err != nil {
+				return nil, err
+			}
+		}
+		// Optional dots between elements.
+		for p.tok.kind == tDot {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, p.advance() // consume '}'
+}
+
+// parseBracketedOrCall parses FILTER's constraint: either a parenthesized
+// expression or a bare builtin call like REGEX(...).
+func (p *parser) parseBracketedOrCall() (Expr, error) {
+	if p.tok.kind == tLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(tRParen)
+	}
+	if p.tok.kind == tKeyword {
+		return p.parsePrimary()
+	}
+	return nil, p.errf("expected ( or builtin call after FILTER")
+}
+
+func (p *parser) parseValues() (Values, error) {
+	if err := p.advance(); err != nil { // consume VALUES
+		return Values{}, err
+	}
+	v := Values{}
+	switch p.tok.kind {
+	case tVar:
+		v.Vars = []string{p.tok.text}
+		if err := p.advance(); err != nil {
+			return Values{}, err
+		}
+		if err := p.expect(tLBrace); err != nil {
+			return Values{}, err
+		}
+		for p.tok.kind != tRBrace {
+			t, err := p.parseDataTerm()
+			if err != nil {
+				return Values{}, err
+			}
+			v.Rows = append(v.Rows, []rdf.Term{t})
+		}
+		return v, p.advance()
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return Values{}, err
+		}
+		for p.tok.kind == tVar {
+			v.Vars = append(v.Vars, p.tok.text)
+			if err := p.advance(); err != nil {
+				return Values{}, err
+			}
+		}
+		if err := p.expect(tRParen); err != nil {
+			return Values{}, err
+		}
+		if err := p.expect(tLBrace); err != nil {
+			return Values{}, err
+		}
+		for p.tok.kind == tLParen {
+			if err := p.advance(); err != nil {
+				return Values{}, err
+			}
+			var row []rdf.Term
+			for p.tok.kind != tRParen {
+				t, err := p.parseDataTerm()
+				if err != nil {
+					return Values{}, err
+				}
+				row = append(row, t)
+			}
+			if err := p.advance(); err != nil {
+				return Values{}, err
+			}
+			if len(row) != len(v.Vars) {
+				return Values{}, p.errf("VALUES row arity %d != %d", len(row), len(v.Vars))
+			}
+			v.Rows = append(v.Rows, row)
+		}
+		if err := p.expect(tRBrace); err != nil {
+			return Values{}, err
+		}
+		return v, nil
+	default:
+		return Values{}, p.errf("expected variable or ( after VALUES")
+	}
+}
+
+// parseDataTerm parses a constant term inside VALUES (UNDEF → nil).
+func (p *parser) parseDataTerm() (rdf.Term, error) {
+	if p.isKeyword("UNDEF") {
+		return nil, p.advance()
+	}
+	n, err := p.parseNode(false)
+	if err != nil {
+		return nil, err
+	}
+	if n.IsVar() {
+		return nil, p.errf("variables not allowed in VALUES data")
+	}
+	return n.Term, nil
+}
+
+// parseTriplesBlock parses subject predicateObjectList ( ';' ... )*.
+func (p *parser) parseTriplesBlock(g *Group) error {
+	subj, err := p.parseNode(true)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseVerb()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseNode(true)
+			if err != nil {
+				return err
+			}
+			g.Elems = append(g.Elems, TriplePattern{S: subj, P: pred, O: obj})
+			if p.tok.kind != tComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if p.tok.kind != tSemicolon {
+			return nil
+		}
+		for p.tok.kind == tSemicolon {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if p.tok.kind == tDot || p.tok.kind == tRBrace {
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseVerb() (Node, error) {
+	if p.isKeyword("A") {
+		n := Node{Term: rdf.RDFType}
+		return n, p.advance()
+	}
+	n, err := p.parseNode(true)
+	if err != nil {
+		return Node{}, err
+	}
+	if !n.IsVar() {
+		if _, ok := n.Term.(rdf.IRI); !ok {
+			return Node{}, p.errf("predicate must be an IRI or variable")
+		}
+	}
+	return n, nil
+}
+
+// parseNode parses one triple-pattern position. allowVar permits variables.
+func (p *parser) parseNode(allowVar bool) (Node, error) {
+	switch p.tok.kind {
+	case tVar:
+		if !allowVar {
+			return Node{}, p.errf("variable not allowed here")
+		}
+		n := Node{Var: p.tok.text}
+		return n, p.advance()
+	case tIRI:
+		n := Node{Term: rdf.IRI(p.tok.text)}
+		return n, p.advance()
+	case tPName:
+		iri, err := p.expandPName(p.tok.text)
+		if err != nil {
+			return Node{}, err
+		}
+		n := Node{Term: iri}
+		return n, p.advance()
+	case tBlank:
+		n := Node{Term: rdf.BlankNode(p.tok.text)}
+		return n, p.advance()
+	case tAnon:
+		p.bnodeSeq++
+		n := Node{Var: fmt.Sprintf("_anon%d", p.bnodeSeq)}
+		return n, p.advance()
+	case tString:
+		l, err := p.parseLiteralTail(p.tok.text)
+		if err != nil {
+			return Node{}, err
+		}
+		return Node{Term: l}, nil
+	case tInteger:
+		n := Node{Term: rdf.NewTypedLiteral(p.tok.text, rdf.XSDInteger)}
+		return n, p.advance()
+	case tDecimal:
+		n := Node{Term: rdf.NewTypedLiteral(p.tok.text, rdf.XSDDecimal)}
+		return n, p.advance()
+	case tDouble:
+		n := Node{Term: rdf.NewTypedLiteral(p.tok.text, rdf.XSDDouble)}
+		return n, p.advance()
+	case tKeyword:
+		switch p.tok.text {
+		case "TRUE":
+			n := Node{Term: rdf.NewBoolean(true)}
+			return n, p.advance()
+		case "FALSE":
+			n := Node{Term: rdf.NewBoolean(false)}
+			return n, p.advance()
+		}
+		return Node{}, p.errf("unexpected keyword %s in pattern", p.tok.text)
+	default:
+		return Node{}, p.errf("expected term or variable, found %v", p.tok.kind)
+	}
+}
+
+// parseLiteralTail consumes the string token and any @lang / ^^dt suffix.
+func (p *parser) parseLiteralTail(lex string) (rdf.Literal, error) {
+	if err := p.advance(); err != nil {
+		return rdf.Literal{}, err
+	}
+	switch p.tok.kind {
+	case tLangTag:
+		l := rdf.NewLangLiteral(lex, p.tok.text)
+		return l, p.advance()
+	case tDTMarker:
+		if err := p.advance(); err != nil {
+			return rdf.Literal{}, err
+		}
+		var dt rdf.IRI
+		switch p.tok.kind {
+		case tIRI:
+			dt = rdf.IRI(p.tok.text)
+		case tPName:
+			var err error
+			dt, err = p.expandPName(p.tok.text)
+			if err != nil {
+				return rdf.Literal{}, err
+			}
+		default:
+			return rdf.Literal{}, p.errf("expected datatype IRI")
+		}
+		return rdf.NewTypedLiteral(lex, dt), p.advance()
+	default:
+		return rdf.NewLiteral(lex), nil
+	}
+}
+
+func (p *parser) expandPName(name string) (rdf.IRI, error) {
+	idx := strings.Index(name, ":")
+	if idx < 0 {
+		return "", p.errf("not a prefixed name: %q", name)
+	}
+	ns, ok := p.prefixes[name[:idx]]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", name[:idx])
+	}
+	return rdf.IRI(ns + name[idx+1:]), nil
+}

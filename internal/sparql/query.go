@@ -1,0 +1,292 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Results holds the outcome of a query.
+type Results struct {
+	// Form is the query form that produced the results.
+	Form QueryForm
+	// Vars are the projected column names, in order.
+	Vars []string
+	// Rows are the solution bindings (empty for ASK).
+	Rows []Binding
+	// Ask is the answer of an ASK query.
+	Ask bool
+}
+
+// Exec parses and evaluates a SPARQL query against the store.
+func Exec(st *store.Store, query string) (*Results, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(st, q)
+}
+
+// Eval evaluates a parsed query against the store.
+func Eval(st *store.Store, q *Query) (*Results, error) {
+	e := &engine{st: st}
+	sols, err := e.evalGroup(q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	if q.Form == FormAsk {
+		return &Results{Form: FormAsk, Ask: len(sols) > 0}, nil
+	}
+
+	grouped := len(q.GroupBy) > 0 || projectionHasAggregates(q)
+	var rows []Binding
+	var vars []string
+	if grouped {
+		rows, vars, err = evalGrouped(q, sols)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rows, vars, err = evalUngrouped(q, sols)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ORDER BY.
+	if len(q.OrderBy) > 0 {
+		sortRows(rows, q.OrderBy)
+	}
+	// Hidden order columns are dropped after sorting.
+	stripHidden(rows)
+
+	// DISTINCT.
+	if q.Distinct {
+		rows = distinctRows(rows, vars)
+	}
+	// OFFSET / LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return &Results{Form: FormSelect, Vars: vars, Rows: rows}, nil
+}
+
+func projectionHasAggregates(q *Query) bool {
+	for _, item := range q.Projection {
+		if item.Expr != nil && exprHasAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e Expr) bool {
+	switch ex := e.(type) {
+	case ExAggregate:
+		return true
+	case ExBinary:
+		return exprHasAggregate(ex.Left) || exprHasAggregate(ex.Right)
+	case ExUnary:
+		return exprHasAggregate(ex.Expr)
+	case ExCall:
+		for _, a := range ex.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// evalUngrouped projects plain (non-aggregate) SELECT results.
+func evalUngrouped(q *Query, sols []Binding) ([]Binding, []string, error) {
+	var vars []string
+	if q.Star {
+		vars = allVars(sols)
+	} else {
+		for _, item := range q.Projection {
+			vars = append(vars, item.Var)
+		}
+	}
+	rows := make([]Binding, 0, len(sols))
+	for _, s := range sols {
+		row := Binding{}
+		if q.Star {
+			for _, v := range vars {
+				if t, ok := s[v]; ok {
+					row[v] = t
+				}
+			}
+		} else {
+			for _, item := range q.Projection {
+				if item.Expr == nil {
+					if t, ok := s[item.Var]; ok {
+						row[item.Var] = t
+					}
+				} else if t, err := evalExpr(item.Expr, s); err == nil {
+					row[item.Var] = t
+				}
+			}
+		}
+		// Hidden sort keys for expression order-by on the original solution.
+		for i, key := range q.OrderBy {
+			if t, err := evalExpr(key.Expr, s); err == nil {
+				row[hiddenOrdVar(i)] = t
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, vars, nil
+}
+
+// evalGrouped implements GROUP BY + aggregates + HAVING.
+func evalGrouped(q *Query, sols []Binding) ([]Binding, []string, error) {
+	type grp struct {
+		key  []rdf.Term
+		rows []Binding
+	}
+	groups := map[string]*grp{}
+	var order []string
+	for _, s := range sols {
+		key := make([]rdf.Term, len(q.GroupBy))
+		var sig strings.Builder
+		for i, ge := range q.GroupBy {
+			if t, err := evalExpr(ge, s); err == nil {
+				key[i] = t
+				sig.WriteString(t.String())
+			}
+			sig.WriteByte('|')
+		}
+		g, ok := groups[sig.String()]
+		if !ok {
+			g = &grp{key: key}
+			groups[sig.String()] = g
+			order = append(order, sig.String())
+		}
+		g.rows = append(g.rows, s)
+	}
+	// Implicit single group for aggregate queries without GROUP BY — but only
+	// when there are solutions; an empty input yields one empty group per the
+	// SPARQL spec (COUNT(*) = 0).
+	if len(q.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &grp{}
+		order = append(order, "")
+	}
+
+	var vars []string
+	for _, item := range q.Projection {
+		vars = append(vars, item.Var)
+	}
+
+	var rows []Binding
+	for _, sig := range order {
+		g := groups[sig]
+		// Representative binding carries the group key values.
+		rep := Binding{}
+		for i, ge := range q.GroupBy {
+			if v, ok := ge.(ExVar); ok && g.key[i] != nil {
+				rep[v.Name] = g.key[i]
+			}
+		}
+		// HAVING.
+		keep := true
+		for _, h := range q.Having {
+			t, err := evalAggExpr(h, g.rows, rep)
+			if err != nil {
+				keep = false
+				break
+			}
+			v, ok := rdf.EffectiveBoolean(t)
+			if !ok || !v {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		row := Binding{}
+		for _, item := range q.Projection {
+			var t rdf.Term
+			var err error
+			if item.Expr == nil {
+				// A bare variable must be a group key.
+				if v, ok := rep[item.Var]; ok {
+					t = v
+				} else {
+					err = fmt.Errorf("sparql: ?%s is not a GROUP BY key", item.Var)
+				}
+			} else {
+				t, err = evalAggExpr(item.Expr, g.rows, rep)
+			}
+			if err == nil && t != nil {
+				row[item.Var] = t
+			}
+		}
+		for i, key := range q.OrderBy {
+			if t, err := evalAggExpr(key.Expr, g.rows, rep); err == nil {
+				row[hiddenOrdVar(i)] = t
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, vars, nil
+}
+
+func hiddenOrdVar(i int) string { return fmt.Sprintf("_ord%d", i) }
+
+func sortRows(rows []Binding, keys []OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, key := range keys {
+			ti := rows[i][hiddenOrdVar(k)]
+			tj := rows[j][hiddenOrdVar(k)]
+			c := rdf.Compare(ti, tj)
+			if key.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+func stripHidden(rows []Binding) {
+	for _, r := range rows {
+		for k := range r {
+			if strings.HasPrefix(k, "_ord") {
+				delete(r, k)
+			}
+		}
+	}
+}
+
+func distinctRows(rows []Binding, vars []string) []Binding {
+	seen := map[string]struct{}{}
+	out := rows[:0:0]
+	for _, r := range rows {
+		var sig strings.Builder
+		for _, v := range vars {
+			if t, ok := r[v]; ok {
+				sig.WriteString(t.String())
+			}
+			sig.WriteByte('|')
+		}
+		if _, dup := seen[sig.String()]; !dup {
+			seen[sig.String()] = struct{}{}
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+// Package spatial provides the spatial access methods behind graphVizdb-
+// style disk-based graph visualization ([22,23] in the survey): an in-memory
+// R-tree for window queries over layout coordinates, and a disk-backed tile
+// grid (tiles.go) that keeps only the viewport's pages resident.
+package spatial
+
+import (
+	"math"
+)
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect normalizes corner order.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	return Rect{
+		MinX: math.Min(x1, x2), MinY: math.Min(y1, y2),
+		MaxX: math.Max(x1, x2), MaxY: math.Max(y1, y2),
+	}
+}
+
+// PointRect returns a degenerate rectangle at a point.
+func PointRect(x, y float64) Rect { return Rect{MinX: x, MinY: y, MaxX: x, MaxY: y} }
+
+// Intersects reports whether two rectangles overlap (boundaries touch
+// counts).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Contains reports whether r fully contains o.
+func (r Rect) Contains(o Rect) bool {
+	return r.MinX <= o.MinX && o.MaxX <= r.MaxX && r.MinY <= o.MinY && o.MaxY <= r.MaxY
+}
+
+// union returns the bounding rectangle of two rectangles.
+func (r Rect) union(o Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX), MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX), MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// area returns the rectangle's area.
+func (r Rect) area() float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+// enlargement returns how much r must grow to include o.
+func (r Rect) enlargement(o Rect) float64 { return r.union(o).area() - r.area() }
+
+// Entry is one indexed object.
+type Entry struct {
+	Rect Rect
+	// ID is the caller's object identifier (e.g. a graph node id).
+	ID uint32
+}
+
+const (
+	maxEntries = 16
+	minEntries = 4
+)
+
+type rnode struct {
+	rect     Rect
+	leaf     bool
+	entries  []Entry  // leaf payload
+	children []*rnode // internal children
+}
+
+// RTree is an in-memory R-tree with quadratic split.
+// The zero value is an empty tree ready for use.
+type RTree struct {
+	root *rnode
+	size int
+}
+
+// Len returns the number of indexed entries.
+func (t *RTree) Len() int { return t.size }
+
+// Insert adds an entry.
+func (t *RTree) Insert(e Entry) {
+	if t.root == nil {
+		t.root = &rnode{leaf: true, rect: e.Rect}
+	}
+	n1, n2 := t.insert(t.root, e)
+	if n2 != nil {
+		// Root split: grow the tree.
+		t.root = &rnode{
+			rect:     n1.rect.union(n2.rect),
+			children: []*rnode{n1, n2},
+		}
+	}
+	t.size++
+}
+
+// insert recursively adds e under n; on overflow it splits and returns both
+// halves, else returns (n, nil).
+func (t *RTree) insert(n *rnode, e Entry) (*rnode, *rnode) {
+	n.rect = n.rect.union(e.Rect)
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > maxEntries {
+			return splitLeaf(n)
+		}
+		return n, nil
+	}
+	best := chooseChild(n, e.Rect)
+	c1, c2 := t.insert(n.children[best], e)
+	n.children[best] = c1
+	if c2 != nil {
+		n.children = append(n.children, c2)
+		if len(n.children) > maxEntries {
+			return splitInternal(n)
+		}
+	}
+	return n, nil
+}
+
+func chooseChild(n *rnode, r Rect) int {
+	best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+	for i, c := range n.children {
+		enl := c.rect.enlargement(r)
+		if enl < bestEnl || (enl == bestEnl && c.rect.area() < bestArea) {
+			best, bestEnl, bestArea = i, enl, c.rect.area()
+		}
+	}
+	return best
+}
+
+// splitLeaf performs a quadratic split of an overflowing leaf.
+func splitLeaf(n *rnode) (*rnode, *rnode) {
+	seedA, seedB := quadraticSeeds(len(n.entries), func(i int) Rect { return n.entries[i].Rect })
+	a := &rnode{leaf: true, rect: n.entries[seedA].Rect}
+	b := &rnode{leaf: true, rect: n.entries[seedB].Rect}
+	a.entries = append(a.entries, n.entries[seedA])
+	b.entries = append(b.entries, n.entries[seedB])
+	for i, e := range n.entries {
+		if i == seedA || i == seedB {
+			continue
+		}
+		assignEntry(a, b, e)
+	}
+	return a, b
+}
+
+func assignEntry(a, b *rnode, e Entry) {
+	// Respect minimum fill.
+	if len(a.entries)+minEntries >= maxEntries && len(b.entries) < minEntries {
+		b.entries = append(b.entries, e)
+		b.rect = b.rect.union(e.Rect)
+		return
+	}
+	if len(b.entries)+minEntries >= maxEntries && len(a.entries) < minEntries {
+		a.entries = append(a.entries, e)
+		a.rect = a.rect.union(e.Rect)
+		return
+	}
+	if a.rect.enlargement(e.Rect) <= b.rect.enlargement(e.Rect) {
+		a.entries = append(a.entries, e)
+		a.rect = a.rect.union(e.Rect)
+	} else {
+		b.entries = append(b.entries, e)
+		b.rect = b.rect.union(e.Rect)
+	}
+}
+
+func splitInternal(n *rnode) (*rnode, *rnode) {
+	seedA, seedB := quadraticSeeds(len(n.children), func(i int) Rect { return n.children[i].rect })
+	a := &rnode{rect: n.children[seedA].rect}
+	b := &rnode{rect: n.children[seedB].rect}
+	a.children = append(a.children, n.children[seedA])
+	b.children = append(b.children, n.children[seedB])
+	for i, c := range n.children {
+		if i == seedA || i == seedB {
+			continue
+		}
+		if a.rect.enlargement(c.rect) <= b.rect.enlargement(c.rect) {
+			a.children = append(a.children, c)
+			a.rect = a.rect.union(c.rect)
+		} else {
+			b.children = append(b.children, c)
+			b.rect = b.rect.union(c.rect)
+		}
+	}
+	return a, b
+}
+
+// quadraticSeeds picks the pair wasting the most area together.
+func quadraticSeeds(n int, rect func(int) Rect) (int, int) {
+	sa, sb, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := rect(i).union(rect(j)).area() - rect(i).area() - rect(j).area()
+			if d > worst {
+				sa, sb, worst = i, j, d
+			}
+		}
+	}
+	return sa, sb
+}
+
+// Search returns all entries whose rectangles intersect the window.
+func (t *RTree) Search(window Rect) []Entry {
+	var out []Entry
+	t.SearchFunc(window, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// SearchFunc streams intersecting entries to fn; return false to stop.
+func (t *RTree) SearchFunc(window Rect, fn func(Entry) bool) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *rnode) bool
+	walk = func(n *rnode) bool {
+		if !n.rect.Intersects(window) {
+			return true
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if e.Rect.Intersects(window) {
+					if !fn(e) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// Height returns the tree height (0 for an empty tree, 1 for a single leaf).
+func (t *RTree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}

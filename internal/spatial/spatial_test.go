@@ -1,0 +1,253 @@
+package spatial
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(3, 4, 1, 2) // normalized
+	if r.MinX != 1 || r.MinY != 2 || r.MaxX != 3 || r.MaxY != 4 {
+		t.Errorf("NewRect = %+v", r)
+	}
+	a := Rect{0, 0, 2, 2}
+	b := Rect{1, 1, 3, 3}
+	c := Rect{5, 5, 6, 6}
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Error("Intersects wrong")
+	}
+	if !a.Contains(Rect{0.5, 0.5, 1, 1}) || a.Contains(b) {
+		t.Error("Contains wrong")
+	}
+	p := PointRect(1, 1)
+	if !a.Intersects(p) {
+		t.Error("point intersect wrong")
+	}
+}
+
+func TestRTreeInsertSearch(t *testing.T) {
+	var tr RTree
+	for i := 0; i < 100; i++ {
+		x, y := float64(i%10), float64(i/10)
+		tr.Insert(Entry{Rect: PointRect(x, y), ID: uint32(i)})
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got := tr.Search(NewRect(2, 2, 4, 4))
+	if len(got) != 9 { // 3x3 grid points
+		t.Errorf("window search = %d entries, want 9", len(got))
+	}
+	all := tr.Search(NewRect(-1, -1, 11, 11))
+	if len(all) != 100 {
+		t.Errorf("full search = %d", len(all))
+	}
+	none := tr.Search(NewRect(100, 100, 200, 200))
+	if len(none) != 0 {
+		t.Errorf("empty search = %d", len(none))
+	}
+}
+
+func TestRTreeSearchFuncEarlyStop(t *testing.T) {
+	var tr RTree
+	for i := 0; i < 50; i++ {
+		tr.Insert(Entry{Rect: PointRect(float64(i), 0), ID: uint32(i)})
+	}
+	n := 0
+	tr.SearchFunc(NewRect(-1, -1, 100, 1), func(Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("visited %d, want 5", n)
+	}
+}
+
+// Property: R-tree search agrees with brute force for random data and
+// windows.
+func TestRTreeMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200
+		var tr RTree
+		entries := make([]Entry, n)
+		for i := range entries {
+			e := Entry{
+				Rect: NewRect(rng.Float64()*100, rng.Float64()*100,
+					rng.Float64()*100, rng.Float64()*100),
+				ID: uint32(i),
+			}
+			entries[i] = e
+			tr.Insert(e)
+		}
+		for q := 0; q < 10; q++ {
+			w := NewRect(rng.Float64()*100, rng.Float64()*100,
+				rng.Float64()*100, rng.Float64()*100)
+			got := map[uint32]bool{}
+			for _, e := range tr.Search(w) {
+				got[e.ID] = true
+			}
+			want := 0
+			for _, e := range entries {
+				if e.Rect.Intersects(w) {
+					want++
+					if !got[e.ID] {
+						return false
+					}
+				}
+			}
+			if len(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTreeHeightGrows(t *testing.T) {
+	var tr RTree
+	if tr.Height() != 0 {
+		t.Error("empty height != 0")
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Insert(Entry{Rect: PointRect(float64(i), float64(i%37)), ID: uint32(i)})
+	}
+	if h := tr.Height(); h < 2 || h > 6 {
+		t.Errorf("height = %d, unexpected for 1000 entries", h)
+	}
+}
+
+func newTileStore(t *testing.T, grid, pool int) *TileStore {
+	t.Helper()
+	ts, err := NewTileStore(filepath.Join(t.TempDir(), "tiles.db"),
+		NewRect(0, 0, 1000, 1000), grid, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	return ts
+}
+
+func TestTileStoreRoundTrip(t *testing.T) {
+	ts := newTileStore(t, 8, 16)
+	var pts []TilePoint
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, TilePoint{ID: uint32(i), X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+	}
+	if err := ts.AddAll(pts); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 2000 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	// Full-world query returns everything.
+	got, err := ts.Query(NewRect(0, 0, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2000 {
+		t.Errorf("full query = %d", len(got))
+	}
+}
+
+func TestTileStoreWindowMatchesBruteForce(t *testing.T) {
+	ts := newTileStore(t, 10, 32)
+	rng := rand.New(rand.NewSource(2))
+	var pts []TilePoint
+	for i := 0; i < 3000; i++ {
+		pts = append(pts, TilePoint{ID: uint32(i), X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+	}
+	if err := ts.AddAll(pts); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 10; q++ {
+		w := NewRect(rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*1000)
+		got, err := ts.Query(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, p := range pts {
+			// Float32 storage rounds coordinates; compare using the same
+			// precision.
+			x, y := float64(float32(p.X)), float64(float32(p.Y))
+			if x >= w.MinX && x <= w.MaxX && y >= w.MinY && y <= w.MaxY {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Errorf("window %v: got %d, want %d", w, len(got), want)
+		}
+	}
+}
+
+func TestTileStoreBoundedResidency(t *testing.T) {
+	ts := newTileStore(t, 16, 8) // only 8 pages in memory
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		p := TilePoint{ID: uint32(i), X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		if err := ts.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.Pool().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Pool().Resident() > 8 {
+		t.Errorf("Resident = %d > pool size 8", ts.Pool().Resident())
+	}
+	// Small-window queries must work with the tiny pool.
+	got, err := ts.Query(NewRect(100, 100, 200, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Error("window query returned nothing")
+	}
+	if ts.Pool().Resident() > 8 {
+		t.Errorf("Resident after query = %d", ts.Pool().Resident())
+	}
+}
+
+func TestTileStoreQueryFuncEarlyStop(t *testing.T) {
+	ts := newTileStore(t, 4, 8)
+	for i := 0; i < 100; i++ {
+		ts.Add(TilePoint{ID: uint32(i), X: 500, Y: 500})
+	}
+	n := 0
+	err := ts.QueryFunc(NewRect(0, 0, 1000, 1000), func(TilePoint) bool {
+		n++
+		return n < 7
+	})
+	if err != nil || n != 7 {
+		t.Errorf("early stop visited %d (err %v)", n, err)
+	}
+}
+
+func TestTileStoreClampsOutOfWorld(t *testing.T) {
+	ts := newTileStore(t, 4, 8)
+	if err := ts.Add(TilePoint{ID: 1, X: -50, Y: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ts.Query(NewRect(-100, 1000, 0, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("out-of-world point lost: %v", got)
+	}
+}
+
+func TestTileStoreStatsString(t *testing.T) {
+	ts := newTileStore(t, 4, 8)
+	ts.Add(TilePoint{ID: 1, X: 1, Y: 1})
+	if s := ts.Stats(); s == "" {
+		t.Error("empty stats")
+	}
+}

@@ -1,0 +1,204 @@
+package spatial
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/disk"
+)
+
+// TilePoint is one positioned object stored in a tile (a laid-out graph
+// node, a geo entity, ...).
+type TilePoint struct {
+	ID   uint32
+	X, Y float64
+}
+
+const (
+	// recordSize is the on-page encoding size of one TilePoint:
+	// uint32 id + float32 x + float32 y.
+	recordSize = 12
+	// recordsPerPage leaves 4 bytes for the in-page record count.
+	recordsPerPage = (disk.PageSize - 4) / recordSize
+)
+
+// TileStore partitions layout space into a G×G grid of tiles whose points
+// live on disk pages; a viewport query touches only the pages of
+// intersecting tiles, read through a bounded buffer pool. This is the
+// graphVizdb architecture: the interactive working set is the viewport, not
+// the graph.
+type TileStore struct {
+	store *disk.PageStore
+	pool  *disk.BufferPool
+	grid  int
+	world Rect
+	// pages[tile] lists the page chain of each tile.
+	pages [][]disk.PageID
+	// counts[tile] is the number of points in the tile.
+	counts []int
+	total  int
+}
+
+// NewTileStore creates a tile store with a grid×grid tiling of world,
+// backed by the file at path, caching at most poolPages pages in memory.
+func NewTileStore(path string, world Rect, grid, poolPages int) (*TileStore, error) {
+	if grid < 1 {
+		grid = 1
+	}
+	ps, err := disk.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &TileStore{
+		store:  ps,
+		pool:   disk.NewBufferPool(ps, poolPages),
+		grid:   grid,
+		world:  world,
+		pages:  make([][]disk.PageID, grid*grid),
+		counts: make([]int, grid*grid),
+	}, nil
+}
+
+// Close releases the backing file.
+func (ts *TileStore) Close() error { return ts.store.Close() }
+
+// Len returns the number of stored points.
+func (ts *TileStore) Len() int { return ts.total }
+
+// Pool exposes the buffer pool for instrumentation.
+func (ts *TileStore) Pool() *disk.BufferPool { return ts.pool }
+
+// tileOf maps a coordinate to its tile index, clamping to the world.
+func (ts *TileStore) tileOf(x, y float64) int {
+	fx := (x - ts.world.MinX) / (ts.world.MaxX - ts.world.MinX)
+	fy := (y - ts.world.MinY) / (ts.world.MaxY - ts.world.MinY)
+	tx := int(fx * float64(ts.grid))
+	ty := int(fy * float64(ts.grid))
+	tx = clamp(tx, 0, ts.grid-1)
+	ty = clamp(ty, 0, ts.grid-1)
+	return ty*ts.grid + tx
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Add stores one point. Points are appended to their tile's page chain.
+func (ts *TileStore) Add(p TilePoint) error {
+	tile := ts.tileOf(p.X, p.Y)
+	pageList := ts.pages[tile]
+	inTile := ts.counts[tile]
+	slot := inTile % recordsPerPage
+	var pid disk.PageID
+	if slot == 0 {
+		// Need a fresh page for this tile.
+		var err error
+		pid, err = ts.store.Alloc()
+		if err != nil {
+			return err
+		}
+		ts.pages[tile] = append(pageList, pid)
+	} else {
+		pid = pageList[len(pageList)-1]
+	}
+	data, err := ts.pool.Get(pid)
+	if err != nil {
+		return err
+	}
+	off := 4 + slot*recordSize
+	binary.LittleEndian.PutUint32(data[off:], p.ID)
+	binary.LittleEndian.PutUint32(data[off+4:], math.Float32bits(float32(p.X)))
+	binary.LittleEndian.PutUint32(data[off+8:], math.Float32bits(float32(p.Y)))
+	binary.LittleEndian.PutUint32(data[0:], uint32(slot+1))
+	ts.pool.Unpin(pid, true)
+	ts.counts[tile]++
+	ts.total++
+	return nil
+}
+
+// AddAll bulk-loads points and flushes. Points are clustered by tile first
+// so each tile's pages fill sequentially — without this, random insertion
+// order thrashes the bounded buffer pool (one page read + write per point).
+func (ts *TileStore) AddAll(points []TilePoint) error {
+	ordered := make([]TilePoint, len(points))
+	copy(ordered, points)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ts.tileOf(ordered[i].X, ordered[i].Y) < ts.tileOf(ordered[j].X, ordered[j].Y)
+	})
+	for _, p := range ordered {
+		if err := ts.Add(p); err != nil {
+			return err
+		}
+	}
+	return ts.pool.Flush()
+}
+
+// Query returns all points inside the window, touching only intersecting
+// tiles' pages.
+func (ts *TileStore) Query(window Rect) ([]TilePoint, error) {
+	var out []TilePoint
+	err := ts.QueryFunc(window, func(p TilePoint) bool {
+		out = append(out, p)
+		return true
+	})
+	return out, err
+}
+
+// QueryFunc streams points inside the window to fn; return false to stop.
+func (ts *TileStore) QueryFunc(window Rect, fn func(TilePoint) bool) error {
+	tx0, ty0 := ts.tileCoord(window.MinX, window.MinY)
+	tx1, ty1 := ts.tileCoord(window.MaxX, window.MaxY)
+	for ty := ty0; ty <= ty1; ty++ {
+		for tx := tx0; tx <= tx1; tx++ {
+			tile := ty*ts.grid + tx
+			for _, pid := range ts.pages[tile] {
+				data, err := ts.pool.Get(pid)
+				if err != nil {
+					return err
+				}
+				n := int(binary.LittleEndian.Uint32(data[0:]))
+				stop := false
+				for i := 0; i < n; i++ {
+					off := 4 + i*recordSize
+					p := TilePoint{
+						ID: binary.LittleEndian.Uint32(data[off:]),
+						X:  float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+4:]))),
+						Y:  float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+8:]))),
+					}
+					if p.X >= window.MinX && p.X <= window.MaxX && p.Y >= window.MinY && p.Y <= window.MaxY {
+						if !fn(p) {
+							stop = true
+							break
+						}
+					}
+				}
+				ts.pool.Unpin(pid, false)
+				if stop {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (ts *TileStore) tileCoord(x, y float64) (int, int) {
+	fx := (x - ts.world.MinX) / (ts.world.MaxX - ts.world.MinX)
+	fy := (y - ts.world.MinY) / (ts.world.MaxY - ts.world.MinY)
+	return clamp(int(fx*float64(ts.grid)), 0, ts.grid-1),
+		clamp(int(fy*float64(ts.grid)), 0, ts.grid-1)
+}
+
+// Stats summarizes the store's physical state for experiments.
+func (ts *TileStore) Stats() string {
+	return fmt.Sprintf("points=%d pages=%d resident=%d hitrate=%.2f",
+		ts.total, ts.store.NumPages(), ts.pool.Resident(), ts.pool.HitRate())
+}

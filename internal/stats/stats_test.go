@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasic(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("N/Min/Max = %d/%g/%g", s.N, s.Min, s.Max)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almostEqual(s.Variance, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", s.Variance, 32.0/7.0)
+	}
+	if !almostEqual(s.Median, 4.5, 1e-12) {
+		t.Errorf("Median = %g, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil || !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g,%v want %g", c.q, got, err, c.want)
+		}
+	}
+	if got, _ := Quantile([]float64{1, 2}, 0.5); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("interpolated median = %g", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("perfect correlation = %g,%v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("perfect anti-correlation = %g", r)
+	}
+	if _, err := Pearson(xs, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		o.Add(xs[i])
+	}
+	s, _ := Summarize(xs)
+	if !almostEqual(o.Mean(), s.Mean, 1e-9) {
+		t.Errorf("online mean %g != batch %g", o.Mean(), s.Mean)
+	}
+	if !almostEqual(o.Variance(), s.Variance, 1e-9) {
+		t.Errorf("online var %g != batch %g", o.Variance(), s.Variance)
+	}
+	if o.Min() != s.Min || o.Max() != s.Max {
+		t.Errorf("online min/max %g/%g != %g/%g", o.Min(), o.Max(), s.Min, s.Max)
+	}
+}
+
+// Property: merging two online accumulators equals accumulating the
+// concatenation.
+func TestOnlineMergeProperty(t *testing.T) {
+	f := func(seed int64, split uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + int(split)%100
+		k := int(split) % n
+		var all, left, right Online
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64() * 5
+			all.Add(x)
+			if i < k {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(right)
+		return left.N() == all.N() &&
+			almostEqual(left.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(left.Variance(), all.Variance(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineMergeEmptySides(t *testing.T) {
+	var a, b Online
+	b.Add(5)
+	a.Merge(b) // empty receiver
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Errorf("merge into empty = %d/%g", a.N(), a.Mean())
+	}
+	var c Online
+	a.Merge(c) // empty argument
+	if a.N() != 1 {
+		t.Error("merge of empty changed state")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 5, 9.99, -1, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d, want 5", h.Total())
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under/Over = %d/%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1 fall in [0,2)
+		t.Errorf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.BinWidth() != 2 {
+		t.Errorf("BinWidth = %g", h.BinWidth())
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	for _, x := range []float64{0.5, 1.5, 1.6, 1.7, 3} {
+		h.Add(x)
+	}
+	if h.Mode() != 1 {
+		t.Errorf("Mode = %d, want 1", h.Mode())
+	}
+}
+
+func TestHistogramDegenerateArgs(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // hi<=lo, n<1 are both repaired
+	h.Add(5)
+	if h.Total() != 1 {
+		t.Errorf("degenerate histogram Total = %d", h.Total())
+	}
+}
+
+// Property: histogram never loses observations.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(-10, 10, 7)
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+		}
+		n := 0
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				n++
+			}
+		}
+		return h.Total()+h.Under+h.Over == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	right := []float64{1, 1, 1, 2, 2, 3, 8, 15}
+	s, _ := Summarize(right)
+	if s.Skewness <= 0 {
+		t.Errorf("right-skewed data has skewness %g", s.Skewness)
+	}
+}

@@ -1,0 +1,204 @@
+package store
+
+import (
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// Pattern is a triple pattern; nil fields are wildcards.
+type Pattern struct {
+	S rdf.Term
+	P rdf.Term
+	O rdf.Term
+}
+
+// Match returns all triples matching the pattern. For exploratory front-ends
+// that need streaming, use ForEach; Match materializes the result.
+func (st *Store) Match(p Pattern) []rdf.Triple {
+	var out []rdf.Triple
+	st.ForEach(p, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them.
+func (st *Store) Count(p Pattern) int {
+	n := 0
+	st.ForEach(p, func(rdf.Triple) bool { n++; return true })
+	return n
+}
+
+// ForEach streams triples matching the pattern to fn. Iteration stops early
+// when fn returns false. The store must not be mutated from inside fn.
+func (st *Store) ForEach(p Pattern, fn func(rdf.Triple) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	var sid, pid, oid ID
+	var ok bool
+	if p.S != nil {
+		if sid, ok = st.lookup(p.S); !ok {
+			return
+		}
+	}
+	if p.P != nil {
+		if pid, ok = st.lookup(p.P); !ok {
+			return
+		}
+	}
+	if p.O != nil {
+		if oid, ok = st.lookup(p.O); !ok {
+			return
+		}
+	}
+	st.forEachIDLocked(sid, pid, oid, func(e enc) bool {
+		return fn(rdf.Triple{
+			S: st.terms[e.s],
+			P: st.terms[e.p].(rdf.IRI),
+			O: st.terms[e.o],
+		})
+	})
+}
+
+// forEachIDLocked drives the index scan in ID space (0 = wildcard).
+func (st *Store) forEachIDLocked(s, p, o ID, fn func(enc) bool) {
+	var base []enc
+	var lo, hi int
+	switch {
+	case s != 0 && o != 0 && p == 0:
+		base = st.osp
+		lo, hi = rangeOSP(base, o, s)
+	case s != 0:
+		base = st.spo
+		lo, hi = rangeSPO(base, s, p, o)
+	case p != 0:
+		base = st.pos
+		lo, hi = rangePOS(base, p, o)
+		if o == 0 {
+			// p only; range covers it.
+		}
+	case o != 0:
+		base = st.osp
+		lo, hi = rangeOSP(base, o, 0)
+	default:
+		base = st.spo
+		lo, hi = 0, len(base)
+	}
+	for i := lo; i < hi; i++ {
+		e := base[i]
+		if _, dead := st.deleted[e]; dead {
+			continue
+		}
+		if !fn(e) {
+			return
+		}
+	}
+	for _, e := range st.delta {
+		if s != 0 && e.s != s {
+			continue
+		}
+		if p != 0 && e.p != p {
+			continue
+		}
+		if o != 0 && e.o != o {
+			continue
+		}
+		if _, dead := st.deleted[e]; dead {
+			continue
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Subjects returns the distinct subjects matching a (p, o) restriction
+// (either may be nil).
+func (st *Store) Subjects(p, o rdf.Term) []rdf.Term {
+	seen := map[rdf.Term]struct{}{}
+	var out []rdf.Term
+	st.ForEach(Pattern{P: p, O: o}, func(t rdf.Triple) bool {
+		if _, dup := seen[t.S]; !dup {
+			seen[t.S] = struct{}{}
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// Objects returns the distinct objects for a (s, p) restriction (either may
+// be nil).
+func (st *Store) Objects(s, p rdf.Term) []rdf.Term {
+	seen := map[rdf.Term]struct{}{}
+	var out []rdf.Term
+	st.ForEach(Pattern{S: s, P: p}, func(t rdf.Triple) bool {
+		if _, dup := seen[t.O]; !dup {
+			seen[t.O] = struct{}{}
+			out = append(out, t.O)
+		}
+		return true
+	})
+	return out
+}
+
+// Predicates returns the distinct predicates in the store.
+func (st *Store) Predicates() []rdf.IRI {
+	seen := map[rdf.IRI]struct{}{}
+	var out []rdf.IRI
+	st.ForEach(Pattern{}, func(t rdf.Triple) bool {
+		if _, dup := seen[t.P]; !dup {
+			seen[t.P] = struct{}{}
+			out = append(out, t.P)
+		}
+		return true
+	})
+	return out
+}
+
+// Triples returns every live triple (mainly for tests and export).
+func (st *Store) Triples() []rdf.Triple {
+	return st.Match(Pattern{})
+}
+
+// EstimateCount returns an O(log n) upper-bound estimate of the triples
+// matching the pattern, from the base-index range sizes (tombstones and the
+// delta buffer are ignored — callers use this for join ordering, where
+// being a few triples off is irrelevant and being 1000× off is not).
+func (st *Store) EstimateCount(p Pattern) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var sid, pid, oid ID
+	var ok bool
+	if p.S != nil {
+		if sid, ok = st.lookup(p.S); !ok {
+			return 0
+		}
+	}
+	if p.P != nil {
+		if pid, ok = st.lookup(p.P); !ok {
+			return 0
+		}
+	}
+	if p.O != nil {
+		if oid, ok = st.lookup(p.O); !ok {
+			return 0
+		}
+	}
+	var lo, hi int
+	switch {
+	case sid != 0 && oid != 0 && pid == 0:
+		lo, hi = rangeOSP(st.osp, oid, sid)
+	case sid != 0:
+		lo, hi = rangeSPO(st.spo, sid, pid, oid)
+	case pid != 0:
+		lo, hi = rangePOS(st.pos, pid, oid)
+	case oid != 0:
+		lo, hi = rangeOSP(st.osp, oid, 0)
+	default:
+		lo, hi = 0, len(st.spo)
+	}
+	return hi - lo + len(st.delta)
+}

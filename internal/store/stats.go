@@ -1,0 +1,93 @@
+package store
+
+import (
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// PredicateStat summarizes one predicate's usage; the exploration layer uses
+// these for facet ordering and join-selectivity estimates.
+type PredicateStat struct {
+	Predicate rdf.IRI
+	// Triples is the number of statements with this predicate.
+	Triples int
+	// DistinctSubjects and DistinctObjects are the cardinalities of each
+	// side.
+	DistinctSubjects int
+	DistinctObjects  int
+	// LiteralObjects counts object positions holding literals.
+	LiteralObjects int
+}
+
+// Stats summarizes the dataset for the exploration layer.
+type Stats struct {
+	Triples    int
+	Terms      int
+	Predicates []PredicateStat
+	// Classes maps rdf:type objects to instance counts.
+	Classes map[rdf.Term]int
+}
+
+// ComputeStats scans the store once and produces summary statistics,
+// the kind of source summary LODeX-style tools generate (Section 3.4).
+func (st *Store) ComputeStats() Stats {
+	type agg struct {
+		triples int
+		subj    map[rdf.Term]struct{}
+		obj     map[rdf.Term]struct{}
+		lits    int
+	}
+	perPred := map[rdf.IRI]*agg{}
+	classes := map[rdf.Term]int{}
+	st.ForEach(Pattern{}, func(t rdf.Triple) bool {
+		a := perPred[t.P]
+		if a == nil {
+			a = &agg{subj: map[rdf.Term]struct{}{}, obj: map[rdf.Term]struct{}{}}
+			perPred[t.P] = a
+		}
+		a.triples++
+		a.subj[t.S] = struct{}{}
+		a.obj[t.O] = struct{}{}
+		if t.O.Kind() == rdf.KindLiteral {
+			a.lits++
+		}
+		if t.P == rdf.RDFType {
+			classes[t.O]++
+		}
+		return true
+	})
+	s := Stats{Triples: st.Len(), Terms: st.NumTerms(), Classes: classes}
+	for p, a := range perPred {
+		s.Predicates = append(s.Predicates, PredicateStat{
+			Predicate:        p,
+			Triples:          a.triples,
+			DistinctSubjects: len(a.subj),
+			DistinctObjects:  len(a.obj),
+			LiteralObjects:   a.lits,
+		})
+	}
+	sort.Slice(s.Predicates, func(i, j int) bool {
+		if s.Predicates[i].Triples != s.Predicates[j].Triples {
+			return s.Predicates[i].Triples > s.Predicates[j].Triples
+		}
+		return s.Predicates[i].Predicate < s.Predicates[j].Predicate
+	})
+	return s
+}
+
+// DegreeHistogram returns, for each out-degree d present, how many subjects
+// have exactly d outgoing statements — the degree profile graph visualizers
+// need for layout and abstraction decisions.
+func (st *Store) DegreeHistogram() map[int]int {
+	deg := map[rdf.Term]int{}
+	st.ForEach(Pattern{}, func(t rdf.Triple) bool {
+		deg[t.S]++
+		return true
+	})
+	hist := map[int]int{}
+	for _, d := range deg {
+		hist[d]++
+	}
+	return hist
+}

@@ -1,0 +1,367 @@
+// Package store implements the lodviz triple store: a dictionary-encoded,
+// in-memory RDF store with three sorted permutation indexes (SPO, POS, OSP)
+// answering any triple pattern with at most one binary-searched range scan.
+//
+// The survey's "large & dynamic data" challenge (Section 2) rules out a
+// heavyweight preprocessing phase, so the store is built for incremental
+// ingestion: inserts land in an unsorted delta buffer that is merged into the
+// sorted base lazily, once it grows past a fraction of the base — the same
+// amortization idea as LSM-style stores, kept single-node and in-memory.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. IDs are dense and start at 1;
+// 0 is reserved as "no term".
+type ID uint32
+
+type enc struct{ s, p, o ID }
+
+// Store is an in-memory, concurrency-safe triple store.
+//
+// The zero value is not usable; call New.
+type Store struct {
+	mu    sync.RWMutex
+	dict  map[rdf.Term]ID
+	terms []rdf.Term // index = ID (terms[0] unused)
+
+	// base indexes, each sorted in its permutation order.
+	spo, pos, osp []enc
+	// delta holds recently inserted triples not yet merged, unsorted.
+	delta []enc
+	// deleted tombstones triples awaiting physical removal on merge.
+	deleted map[enc]struct{}
+
+	size int // live triple count
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		dict:    make(map[rdf.Term]ID),
+		terms:   make([]rdf.Term, 1),
+		deleted: make(map[enc]struct{}),
+	}
+}
+
+// Load creates a store from a slice of triples. Unlike Add, the bulk path
+// skips per-triple duplicate checks and deduplicates once during the final
+// sort, so loading is O(n log n) rather than O(n²).
+func Load(triples []rdf.Triple) (*Store, error) {
+	s := New()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range triples {
+		if !t.Valid() {
+			return nil, fmt.Errorf("store: invalid triple %v", t)
+		}
+		s.delta = append(s.delta, enc{s.intern(t.S), s.intern(rdf.Term(t.P)), s.intern(t.O)})
+	}
+	s.mergeLocked()
+	return s, nil
+}
+
+// intern returns the ID for t, creating one if needed. Caller holds mu.
+func (st *Store) intern(t rdf.Term) ID {
+	if id, ok := st.dict[t]; ok {
+		return id
+	}
+	id := ID(len(st.terms))
+	st.dict[t] = id
+	st.terms = append(st.terms, t)
+	return id
+}
+
+// lookup returns the ID for t without creating one.
+func (st *Store) lookup(t rdf.Term) (ID, bool) {
+	id, ok := st.dict[t]
+	return id, ok
+}
+
+// Term returns the term for a dictionary ID.
+func (st *Store) Term(id ID) (rdf.Term, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if id == 0 || int(id) >= len(st.terms) {
+		return nil, false
+	}
+	return st.terms[id], true
+}
+
+// Add inserts one triple. Duplicate inserts are idempotent.
+func (st *Store) Add(t rdf.Triple) error {
+	if !t.Valid() {
+		return fmt.Errorf("store: invalid triple %v", t)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := enc{st.intern(t.S), st.intern(rdf.Term(t.P)), st.intern(t.O)}
+	st.addEncLocked(e)
+	return nil
+}
+
+func (st *Store) addEncLocked(e enc) {
+	if _, dead := st.deleted[e]; dead {
+		delete(st.deleted, e)
+		st.size++
+		return
+	}
+	if st.containsLocked(e) {
+		return
+	}
+	st.delta = append(st.delta, e)
+	st.size++
+	if len(st.delta) > 1024 && len(st.delta) > len(st.spo)/8 {
+		st.mergeLocked()
+	}
+}
+
+// AddAll inserts a batch of triples.
+func (st *Store) AddAll(triples []rdf.Triple) error {
+	for _, t := range triples {
+		if err := st.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a triple; it reports whether the triple was present.
+func (st *Store) Delete(t rdf.Triple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sid, ok1 := st.lookup(t.S)
+	pid, ok2 := st.lookup(rdf.Term(t.P))
+	oid, ok3 := st.lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	e := enc{sid, pid, oid}
+	if !st.containsLocked(e) {
+		return false
+	}
+	st.deleted[e] = struct{}{}
+	st.size--
+	if len(st.deleted) > 1024 && len(st.deleted) > len(st.spo)/8 {
+		st.mergeLocked()
+	}
+	return true
+}
+
+// containsLocked reports whether e is live in base or delta.
+func (st *Store) containsLocked(e enc) bool {
+	if _, dead := st.deleted[e]; dead {
+		return false
+	}
+	lo, hi := rangeSPO(st.spo, e.s, e.p, e.o)
+	if lo < hi {
+		return true
+	}
+	for _, d := range st.delta {
+		if d == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the store holds the given triple.
+func (st *Store) Contains(t rdf.Triple) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	sid, ok1 := st.lookup(t.S)
+	pid, ok2 := st.lookup(rdf.Term(t.P))
+	oid, ok3 := st.lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	return st.containsLocked(enc{sid, pid, oid})
+}
+
+// Len returns the number of live triples.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.size
+}
+
+// NumTerms returns the dictionary size.
+func (st *Store) NumTerms() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.terms) - 1
+}
+
+// Compact forces the pending delta and tombstones to be merged into the
+// sorted base indexes.
+func (st *Store) Compact() {
+	st.mu.Lock()
+	st.mergeLocked()
+	st.mu.Unlock()
+}
+
+// mergeLocked folds delta into the three base indexes and drops tombstones.
+func (st *Store) mergeLocked() {
+	if len(st.delta) == 0 && len(st.deleted) == 0 {
+		return
+	}
+	live := make([]enc, 0, len(st.spo)+len(st.delta))
+	for _, e := range st.spo {
+		if _, dead := st.deleted[e]; !dead {
+			live = append(live, e)
+		}
+	}
+	for _, e := range st.delta {
+		if _, dead := st.deleted[e]; !dead {
+			live = append(live, e)
+		}
+	}
+	st.delta = nil
+	st.deleted = make(map[enc]struct{})
+
+	st.spo = make([]enc, len(live))
+	copy(st.spo, live)
+	sort.Slice(st.spo, func(i, j int) bool { return lessSPO(st.spo[i], st.spo[j]) })
+	st.spo = dedupe(st.spo)
+
+	st.pos = make([]enc, len(st.spo))
+	copy(st.pos, st.spo)
+	sort.Slice(st.pos, func(i, j int) bool { return lessPOS(st.pos[i], st.pos[j]) })
+
+	st.osp = make([]enc, len(st.spo))
+	copy(st.osp, st.spo)
+	sort.Slice(st.osp, func(i, j int) bool { return lessOSP(st.osp[i], st.osp[j]) })
+
+	st.size = len(st.spo)
+}
+
+func dedupe(s []enc) []enc {
+	if len(s) < 2 {
+		return s
+	}
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+func lessSPO(a, b enc) bool {
+	if a.s != b.s {
+		return a.s < b.s
+	}
+	if a.p != b.p {
+		return a.p < b.p
+	}
+	return a.o < b.o
+}
+
+func lessPOS(a, b enc) bool {
+	if a.p != b.p {
+		return a.p < b.p
+	}
+	if a.o != b.o {
+		return a.o < b.o
+	}
+	return a.s < b.s
+}
+
+func lessOSP(a, b enc) bool {
+	if a.o != b.o {
+		return a.o < b.o
+	}
+	if a.s != b.s {
+		return a.s < b.s
+	}
+	return a.p < b.p
+}
+
+// rangeSPO binary-searches the SPO index for the sub-slice matching the
+// bound prefix (0 = unbound; bindings must be prefix-closed in SPO order).
+func rangeSPO(idx []enc, s, p, o ID) (int, int) {
+	switch {
+	case p == 0: // s only
+		lo := sort.Search(len(idx), func(i int) bool { return idx[i].s >= s })
+		hi := sort.Search(len(idx), func(i int) bool { return idx[i].s > s })
+		return lo, hi
+	case o == 0: // s, p
+		lo := sort.Search(len(idx), func(i int) bool {
+			e := idx[i]
+			if e.s != s {
+				return e.s >= s
+			}
+			return e.p >= p
+		})
+		hi := sort.Search(len(idx), func(i int) bool {
+			e := idx[i]
+			if e.s != s {
+				return e.s > s
+			}
+			return e.p > p
+		})
+		return lo, hi
+	default: // s, p, o fully bound
+		lo := sort.Search(len(idx), func(i int) bool {
+			return !lessSPO(idx[i], enc{s, p, o})
+		})
+		hi := sort.Search(len(idx), func(i int) bool {
+			return lessSPO(enc{s, p, o}, idx[i])
+		})
+		return lo, hi
+	}
+}
+
+func rangePOS(idx []enc, p, o ID) (int, int) {
+	if o == 0 {
+		lo := sort.Search(len(idx), func(i int) bool { return idx[i].p >= p })
+		hi := sort.Search(len(idx), func(i int) bool { return idx[i].p > p })
+		return lo, hi
+	}
+	lo := sort.Search(len(idx), func(i int) bool {
+		e := idx[i]
+		if e.p != p {
+			return e.p >= p
+		}
+		return e.o >= o
+	})
+	hi := sort.Search(len(idx), func(i int) bool {
+		e := idx[i]
+		if e.p != p {
+			return e.p > p
+		}
+		return e.o > o
+	})
+	return lo, hi
+}
+
+func rangeOSP(idx []enc, o, s ID) (int, int) {
+	if s == 0 {
+		lo := sort.Search(len(idx), func(i int) bool { return idx[i].o >= o })
+		hi := sort.Search(len(idx), func(i int) bool { return idx[i].o > o })
+		return lo, hi
+	}
+	lo := sort.Search(len(idx), func(i int) bool {
+		e := idx[i]
+		if e.o != o {
+			return e.o >= o
+		}
+		return e.s >= s
+	})
+	hi := sort.Search(len(idx), func(i int) bool {
+		e := idx[i]
+		if e.o != o {
+			return e.o > o
+		}
+		return e.s > s
+	})
+	return lo, hi
+}

@@ -1,0 +1,374 @@
+// Package super implements hierarchical graph abstraction à la ASK-GraphView
+// / GrouseFlocks (survey refs [1,8,9,95,143]): the graph is recursively
+// partitioned into supernodes forming layers of abstraction, and the view is
+// steered by expanding or collapsing supernodes under a node budget — the
+// mechanism that lets a screen show a million-node graph as a few hundred
+// aggregates.
+package super
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/cluster"
+	"github.com/lodviz/lodviz/internal/graph"
+)
+
+// SuperNode is one abstraction node: either a leaf (one base node) or a
+// cluster of children.
+type SuperNode struct {
+	// ID is the supernode's index within the hierarchy.
+	ID int
+	// Base is the underlying graph node for leaves, -1 for internal nodes.
+	Base graph.NodeID
+	// Children are child supernode ids (empty for leaves).
+	Children []int
+	// Size is the number of base nodes underneath.
+	Size int
+	// Depth is the distance from the root.
+	Depth int
+	// InternalEdges counts base edges with both endpoints inside.
+	InternalEdges int
+}
+
+// Hierarchy is a recursive partition of a base graph.
+type Hierarchy struct {
+	g     *graph.Graph
+	Nodes []*SuperNode
+	Root  int
+}
+
+// Options tune hierarchy construction.
+type Options struct {
+	// MaxLeafSize stops recursion when a cluster has at most this many base
+	// nodes (default 16).
+	MaxLeafSize int
+	// MaxDepth bounds recursion (default 12).
+	MaxDepth int
+	// MaxChildren caps a supernode's fan-out (default 12): community
+	// detection on hub-dominated graphs can emit hundreds of communities,
+	// which would make expand steps useless; the smallest communities are
+	// merged until the cap holds.
+	MaxChildren int
+	// Seed makes partitioning deterministic.
+	Seed int64
+}
+
+func (o *Options) normalize() {
+	if o.MaxLeafSize < 1 {
+		o.MaxLeafSize = 16
+	}
+	if o.MaxDepth < 1 {
+		o.MaxDepth = 12
+	}
+	if o.MaxChildren < 2 {
+		o.MaxChildren = 12
+	}
+}
+
+// Build constructs a supernode hierarchy by recursive modularity
+// partitioning.
+func Build(g *graph.Graph, opts Options) *Hierarchy {
+	opts.normalize()
+	h := &Hierarchy{g: g}
+	all := make([]graph.NodeID, g.NumNodes())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	h.Root = h.build(all, 0, opts)
+	return h
+}
+
+// build recursively partitions members, returning the supernode id.
+func (h *Hierarchy) build(members []graph.NodeID, depth int, opts Options) int {
+	id := len(h.Nodes)
+	sn := &SuperNode{ID: id, Base: -1, Size: len(members), Depth: depth}
+	h.Nodes = append(h.Nodes, sn)
+
+	if len(members) == 1 {
+		sn.Base = members[0]
+		return id
+	}
+	if len(members) <= opts.MaxLeafSize || depth >= opts.MaxDepth {
+		// Flat leaf cluster: children are singleton leaves.
+		for _, m := range members {
+			cid := len(h.Nodes)
+			h.Nodes = append(h.Nodes, &SuperNode{ID: cid, Base: m, Size: 1, Depth: depth + 1})
+			sn.Children = append(sn.Children, cid)
+		}
+		sn.InternalEdges = h.countInternal(members)
+		return id
+	}
+	// Partition the induced subgraph by modularity.
+	local := map[graph.NodeID]int{}
+	for i, m := range members {
+		local[m] = i
+	}
+	var edges [][2]int
+	for _, m := range members {
+		for _, ei := range h.g.Out[m] {
+			e := h.g.Edges[ei]
+			if j, ok := local[e.To]; ok {
+				edges = append(edges, [2]int{local[m], j})
+			}
+		}
+	}
+	cg := cluster.NewGraph(len(members), edges)
+	comm := cluster.GreedyModularity(cg, opts.Seed+int64(depth))
+	k := cluster.NumCommunities(comm)
+	if k <= 1 {
+		// No structure found: split evenly to guarantee progress.
+		comm = make([]int, len(members))
+		half := (len(members) + 1) / 2
+		for i := range comm {
+			if i >= half {
+				comm[i] = 1
+			}
+		}
+		k = 2
+	}
+	parts := make([][]graph.NodeID, k)
+	for i, m := range members {
+		parts[comm[i]] = append(parts[comm[i]], m)
+	}
+	parts = capFanOut(parts, opts.MaxChildren)
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		cid := h.build(part, depth+1, opts)
+		sn.Children = append(sn.Children, cid)
+	}
+	sn.InternalEdges = h.countInternal(members)
+	return id
+}
+
+// capFanOut merges the smallest partitions until at most max remain, so a
+// single expand step never floods the view.
+func capFanOut(parts [][]graph.NodeID, max int) [][]graph.NodeID {
+	var nonEmpty [][]graph.NodeID
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	if len(nonEmpty) <= max {
+		return nonEmpty
+	}
+	sort.Slice(nonEmpty, func(i, j int) bool { return len(nonEmpty[i]) > len(nonEmpty[j]) })
+	kept := nonEmpty[:max-1]
+	var rest []graph.NodeID
+	for _, p := range nonEmpty[max-1:] {
+		rest = append(rest, p...)
+	}
+	return append(kept, rest)
+}
+
+func (h *Hierarchy) countInternal(members []graph.NodeID) int {
+	in := map[graph.NodeID]bool{}
+	for _, m := range members {
+		in[m] = true
+	}
+	n := 0
+	for _, m := range members {
+		for _, ei := range h.g.Out[m] {
+			if in[h.g.Edges[ei].To] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// View is a frontier of the hierarchy: the set of supernodes currently on
+// screen, plus the aggregated edges between them.
+type View struct {
+	h *Hierarchy
+	// Visible lists the displayed supernode ids.
+	Visible []int
+	visible map[int]bool
+}
+
+// NewView starts a view showing only the root.
+func (h *Hierarchy) NewView() *View {
+	v := &View{h: h, visible: map[int]bool{}}
+	v.show(h.Root)
+	return v
+}
+
+func (v *View) show(id int) {
+	if !v.visible[id] {
+		v.visible[id] = true
+		v.Visible = append(v.Visible, id)
+	}
+}
+
+func (v *View) hide(id int) {
+	if v.visible[id] {
+		delete(v.visible, id)
+		for i, x := range v.Visible {
+			if x == id {
+				v.Visible = append(v.Visible[:i], v.Visible[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Expand replaces a visible supernode with its children. It reports whether
+// the node was visible and expandable.
+func (v *View) Expand(id int) bool {
+	if !v.visible[id] {
+		return false
+	}
+	sn := v.h.Nodes[id]
+	if len(sn.Children) == 0 {
+		return false
+	}
+	v.hide(id)
+	for _, c := range sn.Children {
+		v.show(c)
+	}
+	return true
+}
+
+// Collapse replaces a visible supernode's siblings (and itself) with their
+// parent. It reports success.
+func (v *View) Collapse(id int) bool {
+	parent := v.h.parentOf(id)
+	if parent < 0 {
+		return false
+	}
+	for _, c := range v.h.Nodes[parent].Children {
+		v.hide(c)
+	}
+	v.show(parent)
+	return true
+}
+
+// ExpandToBudget greedily expands the largest visible supernodes while the
+// frontier stays within budget — "give me the most detailed view that fits
+// my screen".
+func (v *View) ExpandToBudget(budget int) {
+	for {
+		// Find the largest expandable visible node.
+		best, bestSize := -1, 1
+		for _, id := range v.Visible {
+			sn := v.h.Nodes[id]
+			if len(sn.Children) > 0 && sn.Size > bestSize {
+				next := len(v.Visible) - 1 + len(sn.Children)
+				if next <= budget {
+					best, bestSize = id, sn.Size
+				}
+			}
+		}
+		if best < 0 {
+			return
+		}
+		v.Expand(best)
+	}
+}
+
+// SuperEdge is an aggregated edge between two visible supernodes.
+type SuperEdge struct {
+	From, To int
+	// Weight is the number of base edges aggregated.
+	Weight int
+}
+
+// Edges computes the aggregated edges between the view's visible supernodes.
+func (v *View) Edges() []SuperEdge {
+	// Map each base node to its visible ancestor.
+	owner := make(map[graph.NodeID]int)
+	for _, id := range v.Visible {
+		v.h.eachBase(id, func(b graph.NodeID) {
+			owner[b] = id
+		})
+	}
+	agg := map[[2]int]int{}
+	for _, e := range v.h.g.Edges {
+		fo, ok1 := owner[e.From]
+		to, ok2 := owner[e.To]
+		if !ok1 || !ok2 || fo == to {
+			continue
+		}
+		agg[[2]int{fo, to}]++
+	}
+	out := make([]SuperEdge, 0, len(agg))
+	for k, w := range agg {
+		out = append(out, SuperEdge{From: k[0], To: k[1], Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// eachBase visits every base node under a supernode.
+func (h *Hierarchy) eachBase(id int, fn func(graph.NodeID)) {
+	sn := h.Nodes[id]
+	if sn.Base >= 0 {
+		fn(sn.Base)
+		return
+	}
+	for _, c := range sn.Children {
+		h.eachBase(c, fn)
+	}
+}
+
+// parentOf finds a node's parent (linear scan; hierarchies are small
+// relative to the base graph).
+func (h *Hierarchy) parentOf(id int) int {
+	for _, sn := range h.Nodes {
+		for _, c := range sn.Children {
+			if c == id {
+				return sn.ID
+			}
+		}
+	}
+	return -1
+}
+
+// Depth returns the hierarchy's maximum depth.
+func (h *Hierarchy) Depth() int {
+	max := 0
+	for _, sn := range h.Nodes {
+		if sn.Depth > max {
+			max = sn.Depth
+		}
+	}
+	return max
+}
+
+// CheckInvariants verifies structural soundness: sizes add up and every base
+// node is covered exactly once. Used by property tests.
+func (h *Hierarchy) CheckInvariants() error {
+	seen := map[graph.NodeID]int{}
+	h.eachBase(h.Root, func(b graph.NodeID) { seen[b]++ })
+	if len(seen) != h.g.NumNodes() {
+		return fmt.Errorf("super: hierarchy covers %d of %d nodes", len(seen), h.g.NumNodes())
+	}
+	for b, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("super: node %d covered %d times", b, c)
+		}
+	}
+	for _, sn := range h.Nodes {
+		if sn.Base >= 0 {
+			continue
+		}
+		total := 0
+		for _, c := range sn.Children {
+			total += h.Nodes[c].Size
+		}
+		if sn.ID == h.Root || len(sn.Children) > 0 {
+			if total != sn.Size {
+				return fmt.Errorf("super: node %d size %d != children sum %d", sn.ID, sn.Size, total)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package super
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lodviz/lodviz/internal/graph"
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+func iri(s string) rdf.IRI { return rdf.IRI("http://e/" + s) }
+
+// cliqueRing builds k cliques of size s, ring-connected.
+func cliqueRing(k, s int) *graph.Graph {
+	g := graph.New()
+	name := func(c, i int) rdf.IRI { return iri(fmt.Sprintf("c%dn%d", c, i)) }
+	for c := 0; c < k; c++ {
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				g.AddEdge(name(c, i), name(c, j), "http://e/p")
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		g.AddEdge(name(c, 0), name((c+1)%k, 0), "http://e/bridge")
+	}
+	return g
+}
+
+func TestBuildCoversAllNodes(t *testing.T) {
+	g := cliqueRing(4, 8)
+	h := Build(g, Options{MaxLeafSize: 4, Seed: 1})
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Nodes[h.Root].Size != g.NumNodes() {
+		t.Errorf("root size = %d, want %d", h.Nodes[h.Root].Size, g.NumNodes())
+	}
+}
+
+func TestViewExpandCollapse(t *testing.T) {
+	g := cliqueRing(4, 8)
+	h := Build(g, Options{MaxLeafSize: 4, Seed: 1})
+	v := h.NewView()
+	if len(v.Visible) != 1 || v.Visible[0] != h.Root {
+		t.Fatalf("initial view = %v", v.Visible)
+	}
+	if !v.Expand(h.Root) {
+		t.Fatal("Expand(root) failed")
+	}
+	if len(v.Visible) < 2 {
+		t.Errorf("after expand: %d visible", len(v.Visible))
+	}
+	// Total size of visible nodes must equal the graph size.
+	total := 0
+	for _, id := range v.Visible {
+		total += h.Nodes[id].Size
+	}
+	if total != g.NumNodes() {
+		t.Errorf("visible sizes sum to %d, want %d", total, g.NumNodes())
+	}
+	// Collapse back.
+	if !v.Collapse(v.Visible[0]) {
+		t.Fatal("Collapse failed")
+	}
+	if len(v.Visible) != 1 || v.Visible[0] != h.Root {
+		t.Errorf("after collapse: %v", v.Visible)
+	}
+}
+
+func TestExpandToBudget(t *testing.T) {
+	g := cliqueRing(8, 16) // 128 nodes
+	h := Build(g, Options{MaxLeafSize: 4, Seed: 2})
+	v := h.NewView()
+	v.ExpandToBudget(20)
+	if len(v.Visible) > 20 {
+		t.Errorf("visible = %d > budget 20", len(v.Visible))
+	}
+	if len(v.Visible) < 2 {
+		t.Errorf("budget expansion did nothing: %d visible", len(v.Visible))
+	}
+	total := 0
+	for _, id := range v.Visible {
+		total += h.Nodes[id].Size
+	}
+	if total != g.NumNodes() {
+		t.Errorf("coverage = %d, want %d", total, g.NumNodes())
+	}
+}
+
+func TestViewEdgesAggregateWeights(t *testing.T) {
+	g := cliqueRing(3, 5)
+	h := Build(g, Options{MaxLeafSize: 5, Seed: 3})
+	v := h.NewView()
+	v.Expand(h.Root)
+	edges := v.Edges()
+	// With the root expanded there must be some aggregated edges between
+	// visible supernodes (the ring bridges).
+	if len(edges) == 0 {
+		t.Fatal("no aggregated edges")
+	}
+	for _, e := range edges {
+		if e.Weight < 1 {
+			t.Errorf("edge weight = %d", e.Weight)
+		}
+		if e.From == e.To {
+			t.Error("self superedge")
+		}
+	}
+}
+
+func TestExpandLeafFails(t *testing.T) {
+	g := cliqueRing(2, 4)
+	h := Build(g, Options{MaxLeafSize: 2, Seed: 1})
+	v := h.NewView()
+	// Fully expand.
+	for {
+		expanded := false
+		for _, id := range append([]int(nil), v.Visible...) {
+			if v.Expand(id) {
+				expanded = true
+			}
+		}
+		if !expanded {
+			break
+		}
+	}
+	// All visible are leaves now; expanding any must fail.
+	for _, id := range v.Visible {
+		if v.Expand(id) {
+			t.Fatalf("expanded a leaf %d", id)
+		}
+	}
+	if len(v.Visible) != g.NumNodes() {
+		t.Errorf("full expansion shows %d, want %d", len(v.Visible), g.NumNodes())
+	}
+}
+
+func TestCollapseRootFails(t *testing.T) {
+	g := cliqueRing(2, 4)
+	h := Build(g, Options{Seed: 1})
+	v := h.NewView()
+	if v.Collapse(h.Root) {
+		t.Error("collapsed the root")
+	}
+}
+
+// Property: hierarchies over random graphs always satisfy the invariants,
+// and any sequence of expands keeps coverage exact.
+func TestHierarchyInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + int(seed%50+50)%50
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.Node(iri(fmt.Sprintf("n%d", i)))
+		}
+		for i := 0; i < n*2; i++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			g.AddEdge(iri(fmt.Sprintf("n%d", a)), iri(fmt.Sprintf("n%d", b)), "http://e/p")
+		}
+		h := Build(g, Options{MaxLeafSize: 6, Seed: seed})
+		if err := h.CheckInvariants(); err != nil {
+			return false
+		}
+		v := h.NewView()
+		for step := 0; step < 10; step++ {
+			if len(v.Visible) == 0 {
+				return false
+			}
+			v.Expand(v.Visible[rng.Intn(len(v.Visible))])
+			total := 0
+			for _, id := range v.Visible {
+				total += h.Nodes[id].Size
+			}
+			if total != g.NumNodes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepthBounded(t *testing.T) {
+	g := cliqueRing(4, 4)
+	h := Build(g, Options{MaxLeafSize: 2, MaxDepth: 3, Seed: 1})
+	if d := h.Depth(); d > 4 { // +1 for singleton leaf layer
+		t.Errorf("depth = %d exceeds bound", d)
+	}
+}

@@ -1,0 +1,113 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+func TestWriteGroupsSubjectsAndPredicates(t *testing.T) {
+	triples := []rdf.Triple{
+		rdf.T(rdf.IRI("http://e/alice"), rdf.RDFType, rdf.IRI("http://e/Person")),
+		rdf.T(rdf.IRI("http://e/alice"), "http://e/name", rdf.NewLiteral("Alice")),
+		rdf.T(rdf.IRI("http://e/alice"), "http://e/knows", rdf.IRI("http://e/bob")),
+		rdf.T(rdf.IRI("http://e/alice"), "http://e/knows", rdf.IRI("http://e/carol")),
+	}
+	out := Format(triples, map[string]string{"e": "http://e/"})
+	if !strings.Contains(out, "@prefix e: <http://e/> .") {
+		t.Errorf("missing prefix decl:\n%s", out)
+	}
+	if !strings.Contains(out, "e:alice a e:Person") {
+		t.Errorf("'a' shorthand missing:\n%s", out)
+	}
+	if !strings.Contains(out, "e:knows e:bob, e:carol") {
+		t.Errorf("object list not grouped:\n%s", out)
+	}
+	if strings.Count(out, "e:alice") != 1 {
+		t.Errorf("subject repeated:\n%s", out)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	src := []rdf.Triple{
+		rdf.T(rdf.IRI("http://e/s"), "http://e/p", rdf.NewLangLiteral("héllo", "en")),
+		rdf.T(rdf.IRI("http://e/s"), "http://e/q", rdf.NewInteger(42)),
+		rdf.T(rdf.BlankNode("b1"), "http://e/p", rdf.NewLiteral("with \"quotes\" and\nnewline")),
+		rdf.T(rdf.IRI("http://e/s"), rdf.RDFType, rdf.IRI("http://e/Thing")),
+	}
+	out := Format(src, map[string]string{"e": "http://e/", "xsd": rdf.XSDNS})
+	got, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out)
+	}
+	if len(got) != len(src) {
+		t.Fatalf("round trip %d != %d triples\n%s", len(got), len(src), out)
+	}
+	set := map[rdf.Triple]bool{}
+	for _, tr := range got {
+		set[tr] = true
+	}
+	for _, tr := range src {
+		if !set[tr] {
+			t.Errorf("lost triple %v\n%s", tr, out)
+		}
+	}
+}
+
+func TestWriteUnusedPrefixOmitted(t *testing.T) {
+	out := Format([]rdf.Triple{
+		rdf.T(rdf.IRI("http://other/x"), "http://other/p", rdf.NewLiteral("v")),
+	}, map[string]string{"e": "http://e/"})
+	if strings.Contains(out, "@prefix") {
+		t.Errorf("unused prefix declared:\n%s", out)
+	}
+	if !strings.Contains(out, "<http://other/x>") {
+		t.Errorf("full IRI missing:\n%s", out)
+	}
+}
+
+func TestWriteUnsafeLocalNameFallsBack(t *testing.T) {
+	// Local name ending with '.' cannot be a prefixed name.
+	out := Format([]rdf.Triple{
+		rdf.T(rdf.IRI("http://e/bad."), "http://e/p", rdf.NewLiteral("v")),
+	}, map[string]string{"e": "http://e/"})
+	if !strings.Contains(out, "<http://e/bad.>") {
+		t.Errorf("unsafe local name not escaped to full IRI:\n%s", out)
+	}
+}
+
+func TestWriteDatatypeShortening(t *testing.T) {
+	out := Format([]rdf.Triple{
+		rdf.T(rdf.IRI("http://e/s"), "http://e/p", rdf.NewInteger(5)),
+	}, map[string]string{"xsd": rdf.XSDNS, "e": "http://e/"})
+	if !strings.Contains(out, `"5"^^xsd:integer`) {
+		t.Errorf("datatype not shortened:\n%s", out)
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var b strings.Builder
+	err := Write(&b, []rdf.Triple{{S: rdf.NewLiteral("bad"), P: "p", O: rdf.IRI("o")}}, nil)
+	if err == nil {
+		t.Error("invalid triple accepted")
+	}
+}
+
+func TestMiniRoundTripThroughWriter(t *testing.T) {
+	// Parse a document, re-serialize, re-parse: triple sets must agree.
+	src := `
+@prefix ex: <http://example.org/> .
+ex:a a ex:T ; ex:p "x", "y"@en, 3.5 ; ex:q ex:b .
+ex:b ex:p ex:a .
+`
+	orig := mustParse(t, src)
+	out := Format(orig, map[string]string{"ex": "http://example.org/"})
+	again, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if len(again) != len(orig) {
+		t.Fatalf("%d != %d\n%s", len(again), len(orig), out)
+	}
+}

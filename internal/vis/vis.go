@@ -1,0 +1,282 @@
+// Package vis is the visualization abstraction layer: the specification
+// types covering every visualization kind catalogued in the survey's
+// Tables 1–2, a pixel-budget model (Shneiderman's "squeeze a billion records
+// into a million pixels" constraint, ref [119]), and SVG/text renderers so
+// render cost is measurable without a browser.
+package vis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Type enumerates the visualization types appearing in the survey's tables
+// (Table 1 legend: B, C, CI, G, M, P, PC, S, SG, T, TL, TR + derived forms).
+type Type int
+
+// Visualization types.
+const (
+	BarChart Type = iota
+	LineChart
+	PieChart
+	Scatter
+	Bubble
+	Map
+	Treemap
+	Timeline
+	Tree
+	GraphVis
+	Circles
+	ParallelCoords
+	Streamgraph
+	Histogram
+	Table
+)
+
+// String returns the type's display name.
+func (t Type) String() string {
+	names := [...]string{
+		"bar chart", "line chart", "pie chart", "scatter plot", "bubble chart",
+		"map", "treemap", "timeline", "tree", "graph", "circles",
+		"parallel coordinates", "streamgraph", "histogram", "table",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// DataPoint is one (label, x, y, size) tuple; unused channels are zero.
+type DataPoint struct {
+	Label string
+	X, Y  float64
+	Size  float64
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string
+	Points []DataPoint
+}
+
+// Spec is a renderable visualization specification — the "visualization
+// abstraction" stage of the LDVM pipeline.
+type Spec struct {
+	Type   Type
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height in pixels (defaults 640×400).
+	Width, Height int
+}
+
+func (s *Spec) normalize() {
+	if s.Width <= 0 {
+		s.Width = 640
+	}
+	if s.Height <= 0 {
+		s.Height = 400
+	}
+}
+
+// PointCount returns the total number of data points in the spec.
+func (s *Spec) PointCount() int {
+	n := 0
+	for _, sr := range s.Series {
+		n += len(sr.Points)
+	}
+	return n
+}
+
+// PixelBudget models a display: a spec "fits" when its point count does not
+// exceed the available pixels — the visual-scalability constraint that
+// forces reduction before rendering.
+type PixelBudget struct {
+	Width, Height int
+}
+
+// Pixels returns the total pixel count.
+func (b PixelBudget) Pixels() int { return b.Width * b.Height }
+
+// Fits reports whether the spec's point count is within the budget.
+func (b PixelBudget) Fits(s *Spec) bool { return s.PointCount() <= b.Pixels() }
+
+// ReductionFactor returns how many source objects each rendered point must
+// stand for when n objects are shown on this budget (≥ 1).
+func (b PixelBudget) ReductionFactor(n int) float64 {
+	if n <= b.Pixels() {
+		return 1
+	}
+	return float64(n) / float64(b.Pixels())
+}
+
+// RenderSVG renders the spec to an SVG document. Supported types: bar
+// chart, histogram, line chart, scatter, bubble, pie, timeline; other types
+// fall back to scatter-style point marks so every spec renders something
+// measurable.
+func RenderSVG(s *Spec) string {
+	s.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, s.Width, s.Height)
+	fmt.Fprintf(&b, `<title>%s</title>`, escape(s.Title))
+	const margin = 40.0
+	w := float64(s.Width) - 2*margin
+	h := float64(s.Height) - 2*margin
+	minX, maxX, minY, maxY := bounds(s)
+	sx := func(x float64) float64 {
+		if maxX == minX {
+			return margin + w/2
+		}
+		return margin + (x-minX)/(maxX-minX)*w
+	}
+	sy := func(y float64) float64 {
+		if maxY == minY {
+			return margin + h/2
+		}
+		return margin + h - (y-minY)/(maxY-minY)*h
+	}
+	switch s.Type {
+	case BarChart, Histogram:
+		for _, sr := range s.Series {
+			n := len(sr.Points)
+			if n == 0 {
+				continue
+			}
+			bw := w / float64(n) * 0.8
+			for i, p := range sr.Points {
+				x := margin + (float64(i)+0.1)*w/float64(n)
+				y := sy(p.Y)
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="steelblue"><title>%s: %g</title></rect>`,
+					x, y, bw, margin+h-y, escape(p.Label), p.Y)
+			}
+		}
+	case LineChart, Timeline, Streamgraph:
+		for _, sr := range s.Series {
+			var pts []string
+			for _, p := range sr.Points {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(p.X), sy(p.Y)))
+			}
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="steelblue" points="%s"/>`, strings.Join(pts, " "))
+		}
+	case PieChart:
+		total := 0.0
+		for _, sr := range s.Series {
+			for _, p := range sr.Points {
+				total += math.Abs(p.Y)
+			}
+		}
+		if total > 0 {
+			cx, cy := float64(s.Width)/2, float64(s.Height)/2
+			r := math.Min(w, h) / 2
+			angle := -math.Pi / 2
+			for _, sr := range s.Series {
+				for i, p := range sr.Points {
+					frac := math.Abs(p.Y) / total
+					a2 := angle + frac*2*math.Pi
+					large := 0
+					if frac > 0.5 {
+						large = 1
+					}
+					fmt.Fprintf(&b,
+						`<path d="M%.1f,%.1f L%.1f,%.1f A%.1f,%.1f 0 %d 1 %.1f,%.1f Z" fill="hsl(%d,60%%,55%%)"><title>%s</title></path>`,
+						cx, cy, cx+r*math.Cos(angle), cy+r*math.Sin(angle),
+						r, r, large, cx+r*math.Cos(a2), cy+r*math.Sin(a2),
+						(i*47)%360, escape(p.Label))
+					angle = a2
+				}
+			}
+		}
+	default: // Scatter, Bubble, Map, GraphVis, Treemap, ... point marks
+		for _, sr := range s.Series {
+			for _, p := range sr.Points {
+				r := 2.0
+				if s.Type == Bubble && p.Size > 0 {
+					r = 2 + math.Sqrt(p.Size)
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="steelblue" fill-opacity="0.6"/>`,
+					sx(p.X), sy(p.Y), r)
+			}
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func bounds(s *Spec) (minX, maxX, minY, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	any := false
+	for _, sr := range s.Series {
+		for _, p := range sr.Points {
+			any = true
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if !any {
+		return 0, 1, 0, 1
+	}
+	if minY > 0 && (s.Type == BarChart || s.Type == Histogram) {
+		minY = 0 // bars grow from zero
+	}
+	return
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// formatNum prints integral values without scientific notation (axis labels
+// like populations read as 4936349, not 4.936349e+06).
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// RenderText renders a compact ASCII view (bar charts and histograms as
+// horizontal bars, other types as a point summary) for terminal front-ends.
+func RenderText(s *Spec) string {
+	s.normalize()
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	switch s.Type {
+	case BarChart, Histogram, PieChart:
+		maxV, maxLabel := 0.0, 0
+		for _, sr := range s.Series {
+			for _, p := range sr.Points {
+				maxV = math.Max(maxV, math.Abs(p.Y))
+				if len(p.Label) > maxLabel {
+					maxLabel = len(p.Label)
+				}
+			}
+		}
+		if maxV == 0 {
+			maxV = 1
+		}
+		for _, sr := range s.Series {
+			for _, p := range sr.Points {
+				barLen := int(math.Abs(p.Y) / maxV * 40)
+				fmt.Fprintf(&b, "%-*s |%s %s\n", maxLabel, p.Label, strings.Repeat("█", barLen), formatNum(p.Y))
+			}
+		}
+	default:
+		for _, sr := range s.Series {
+			fmt.Fprintf(&b, "series %q: %d points", sr.Name, len(sr.Points))
+			if n := len(sr.Points); n > 0 {
+				minX, maxX, minY, maxY := bounds(&Spec{Series: []Series{sr}})
+				fmt.Fprintf(&b, " x∈[%g,%g] y∈[%g,%g]", minX, maxX, minY, maxY)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

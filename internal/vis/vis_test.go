@@ -1,0 +1,182 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+)
+
+func barSpec() *Spec {
+	return &Spec{
+		Type:  BarChart,
+		Title: "Population",
+		Series: []Series{{
+			Name: "cities",
+			Points: []DataPoint{
+				{Label: "Athens", Y: 664},
+				{Label: "Bordeaux", Y: 252},
+			},
+		}},
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty := BarChart; ty <= Table; ty++ {
+		if ty.String() == "" || strings.HasPrefix(ty.String(), "Type(") {
+			t.Errorf("type %d has no name", ty)
+		}
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Error("unknown type label wrong")
+	}
+}
+
+func TestPointCount(t *testing.T) {
+	s := barSpec()
+	if s.PointCount() != 2 {
+		t.Errorf("PointCount = %d", s.PointCount())
+	}
+}
+
+func TestPixelBudget(t *testing.T) {
+	b := PixelBudget{Width: 100, Height: 100}
+	if b.Pixels() != 10000 {
+		t.Errorf("Pixels = %d", b.Pixels())
+	}
+	if !b.Fits(barSpec()) {
+		t.Error("tiny spec should fit")
+	}
+	if b.ReductionFactor(5000) != 1 {
+		t.Error("under-budget reduction != 1")
+	}
+	if b.ReductionFactor(1000000) != 100 {
+		t.Errorf("reduction = %g, want 100", b.ReductionFactor(1000000))
+	}
+}
+
+func TestRenderSVGBar(t *testing.T) {
+	svg := RenderSVG(barSpec())
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	if strings.Count(svg, "<rect") != 2 {
+		t.Errorf("rect count = %d, want 2", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "Athens") {
+		t.Error("labels missing")
+	}
+}
+
+func TestRenderSVGLine(t *testing.T) {
+	s := &Spec{Type: LineChart, Series: []Series{{
+		Points: []DataPoint{{X: 0, Y: 1}, {X: 1, Y: 3}, {X: 2, Y: 2}},
+	}}}
+	svg := RenderSVG(s)
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("no polyline")
+	}
+}
+
+func TestRenderSVGPie(t *testing.T) {
+	s := &Spec{Type: PieChart, Series: []Series{{
+		Points: []DataPoint{{Label: "a", Y: 30}, {Label: "b", Y: 70}},
+	}}}
+	svg := RenderSVG(s)
+	if strings.Count(svg, "<path") != 2 {
+		t.Errorf("pie slices = %d", strings.Count(svg, "<path"))
+	}
+}
+
+func TestRenderSVGScatterFallback(t *testing.T) {
+	s := &Spec{Type: Scatter, Series: []Series{{
+		Points: []DataPoint{{X: 1, Y: 2}, {X: 3, Y: 4}},
+	}}}
+	svg := RenderSVG(s)
+	if strings.Count(svg, "<circle") != 2 {
+		t.Errorf("circles = %d", strings.Count(svg, "<circle"))
+	}
+	// Unknown-ish types also render as points.
+	s.Type = Treemap
+	if !strings.Contains(RenderSVG(s), "<circle") {
+		t.Error("fallback render failed")
+	}
+}
+
+func TestRenderSVGBubbleSizes(t *testing.T) {
+	s := &Spec{Type: Bubble, Series: []Series{{
+		Points: []DataPoint{{X: 1, Y: 1, Size: 100}},
+	}}}
+	svg := RenderSVG(s)
+	if !strings.Contains(svg, `r="12.0"`) { // 2 + sqrt(100)
+		t.Errorf("bubble radius wrong: %s", svg)
+	}
+}
+
+func TestRenderSVGEscapesTitles(t *testing.T) {
+	s := barSpec()
+	s.Title = `<script>"attack" & more</script>`
+	svg := RenderSVG(s)
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;script&gt;") {
+		t.Error("escaped form missing")
+	}
+}
+
+func TestRenderSVGEmptySpec(t *testing.T) {
+	s := &Spec{Type: Scatter}
+	svg := RenderSVG(s)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("empty spec did not render")
+	}
+}
+
+func TestRenderTextBars(t *testing.T) {
+	out := RenderText(barSpec())
+	if !strings.Contains(out, "Athens") || !strings.Contains(out, "█") {
+		t.Errorf("text render = %q", out)
+	}
+	// Longest bar belongs to Athens.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var athens, bordeaux int
+	for _, l := range lines {
+		if strings.Contains(l, "Athens") {
+			athens = strings.Count(l, "█")
+		}
+		if strings.Contains(l, "Bordeaux") {
+			bordeaux = strings.Count(l, "█")
+		}
+	}
+	if athens <= bordeaux {
+		t.Errorf("bar lengths: athens=%d bordeaux=%d", athens, bordeaux)
+	}
+}
+
+func TestRenderTextScatterSummary(t *testing.T) {
+	s := &Spec{Type: Scatter, Series: []Series{{
+		Name:   "pts",
+		Points: []DataPoint{{X: 1, Y: 2}, {X: 3, Y: 4}},
+	}}}
+	out := RenderText(s)
+	if !strings.Contains(out, "2 points") {
+		t.Errorf("summary = %q", out)
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	s := &Spec{}
+	s.normalize()
+	if s.Width != 640 || s.Height != 400 {
+		t.Errorf("defaults = %dx%d", s.Width, s.Height)
+	}
+}
+
+func TestFormatNumAvoidsExponent(t *testing.T) {
+	s := &Spec{Type: BarChart, Series: []Series{{
+		Points: []DataPoint{{Label: "big", Y: 4936349}},
+	}}}
+	out := RenderText(s)
+	if !strings.Contains(out, "4936349") || strings.Contains(out, "e+06") {
+		t.Errorf("large value badly formatted: %q", out)
+	}
+}

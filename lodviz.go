@@ -1,0 +1,198 @@
+// Package lodviz is a scalable exploration and visualization framework for
+// the Web of (Big) Linked Data.
+//
+// It is a full, from-scratch Go implementation of the system design argued
+// for in "Exploration and Visualization in the Web of Big Linked Data: A
+// Survey of the State of the Art" (Bikakis & Sellis, LWDM/EDBT 2016): an RDF
+// substrate (data model, N-Triples/Turtle parsers, dictionary-encoded triple
+// store, SPARQL engine) and, on top of it, every technique family the survey
+// reviews — hierarchical aggregation (HETree), sampling, binning,
+// progressive/incremental computation, adaptive indexing, disk-backed
+// spatial graph visualization, supernode abstraction, edge bundling, faceted
+// browsing, keyword search, visualization recommendation, caching and
+// prefetching, RDF Data Cubes, geospatial exploration, and ontology
+// visualization.
+//
+// The root package is the curated façade; the implementation lives in
+// internal/ subpackages. Start with:
+//
+//	ds, err := lodviz.LoadTurtle(src)
+//	res, err := ds.Query(`SELECT ?s WHERE { ?s a <http://...> }`)
+//	ex := ds.Explore(lodviz.DefaultPreferences())
+//	spec, svg, err := ex.Visualize(`SELECT ?label ?population WHERE { ... }`)
+package lodviz
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/lodviz/lodviz/internal/core"
+	"github.com/lodviz/lodviz/internal/facet"
+	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/ntriples"
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/registry"
+	"github.com/lodviz/lodviz/internal/sparql"
+	"github.com/lodviz/lodviz/internal/store"
+	"github.com/lodviz/lodviz/internal/turtle"
+	"github.com/lodviz/lodviz/internal/vis"
+)
+
+// Re-exported core types. These aliases form the public vocabulary of the
+// API; the implementations live in internal packages.
+type (
+	// Term is an RDF term (IRI, blank node, or literal).
+	Term = rdf.Term
+	// IRI is an RDF IRI.
+	IRI = rdf.IRI
+	// Literal is an RDF literal.
+	Literal = rdf.Literal
+	// BlankNode is an RDF blank node.
+	BlankNode = rdf.BlankNode
+	// Triple is an RDF statement.
+	Triple = rdf.Triple
+	// Results holds SPARQL query results.
+	Results = sparql.Results
+	// Binding is one SPARQL solution row.
+	Binding = sparql.Binding
+	// Explorer is a stateful exploration session.
+	Explorer = core.Explorer
+	// Preferences configures an exploration session.
+	Preferences = core.Preferences
+	// VisSpec is a renderable visualization specification.
+	VisSpec = vis.Spec
+	// VisSeries is one named data series of a spec.
+	VisSeries = vis.Series
+	// VisPoint is one data point of a series.
+	VisPoint = vis.DataPoint
+	// VisType enumerates visualization types.
+	VisType = vis.Type
+	// PixelBudget models the display constraint every view must fit.
+	PixelBudget = vis.PixelBudget
+	// FacetSession is a faceted-browsing session.
+	FacetSession = facet.Session
+	// FacetFilter is one conjunctive facet restriction.
+	FacetFilter = facet.Filter
+)
+
+// Visualization type constants (the survey's Table-1 catalogue).
+const (
+	BarChart       = vis.BarChart
+	LineChart      = vis.LineChart
+	PieChart       = vis.PieChart
+	Scatter        = vis.Scatter
+	Bubble         = vis.Bubble
+	MapVis         = vis.Map
+	Treemap        = vis.Treemap
+	Timeline       = vis.Timeline
+	TreeVis        = vis.Tree
+	GraphVis       = vis.GraphVis
+	Circles        = vis.Circles
+	ParallelCoords = vis.ParallelCoords
+	Streamgraph    = vis.Streamgraph
+	Histogram      = vis.Histogram
+	TableVis       = vis.Table
+)
+
+// NewLiteral returns a plain string literal.
+func NewLiteral(lexical string) Literal { return rdf.NewLiteral(lexical) }
+
+// NewInteger returns an xsd:integer literal.
+func NewInteger(v int64) Literal { return rdf.NewInteger(v) }
+
+// NewDouble returns an xsd:double literal.
+func NewDouble(v float64) Literal { return rdf.NewDouble(v) }
+
+// DefaultPreferences returns laptop-scale exploration defaults.
+func DefaultPreferences() Preferences { return core.DefaultPreferences() }
+
+// Dataset is a loaded RDF dataset ready for querying and exploration.
+type Dataset struct {
+	st *store.Store
+}
+
+// LoadTurtle parses a Turtle document into a dataset.
+func LoadTurtle(src string) (*Dataset, error) {
+	triples, err := turtle.ParseString(src)
+	if err != nil {
+		return nil, fmt.Errorf("lodviz: %w", err)
+	}
+	st, err := store.Load(triples)
+	if err != nil {
+		return nil, fmt.Errorf("lodviz: %w", err)
+	}
+	return &Dataset{st: st}, nil
+}
+
+// LoadNTriples streams an N-Triples document into a dataset.
+func LoadNTriples(r io.Reader) (*Dataset, error) {
+	triples, err := ntriples.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("lodviz: %w", err)
+	}
+	st, err := store.Load(triples)
+	if err != nil {
+		return nil, fmt.Errorf("lodviz: %w", err)
+	}
+	return &Dataset{st: st}, nil
+}
+
+// FromTriples builds a dataset from in-memory triples.
+func FromTriples(triples []Triple) (*Dataset, error) {
+	st, err := store.Load(triples)
+	if err != nil {
+		return nil, fmt.Errorf("lodviz: %w", err)
+	}
+	return &Dataset{st: st}, nil
+}
+
+// MiniLOD returns the embedded demonstration dataset (cities, countries,
+// people, and a tiny ontology).
+func MiniLOD() *Dataset { return &Dataset{st: gen.MiniLODStore()} }
+
+// Len returns the number of triples in the dataset.
+func (d *Dataset) Len() int { return d.st.Len() }
+
+// Add inserts a triple (the dynamic-data path: no reload required).
+func (d *Dataset) Add(t Triple) error { return d.st.Add(t) }
+
+// Query runs a SPARQL SELECT or ASK query.
+func (d *Dataset) Query(q string) (*Results, error) { return sparql.Exec(d.st, q) }
+
+// Explore starts an exploration session.
+func (d *Dataset) Explore(p Preferences) *Explorer { return core.NewExplorer(d.st, p) }
+
+// Store exposes the underlying triple store for advanced use (the internal
+// API surface; subject to change).
+func (d *Dataset) Store() *store.Store { return d.st }
+
+// RenderSVG renders a visualization specification to SVG.
+func RenderSVG(s *VisSpec) string { return vis.RenderSVG(s) }
+
+// RenderText renders a visualization specification as terminal text.
+func RenderText(s *VisSpec) string { return vis.RenderText(s) }
+
+// Survey-table regeneration (experiments E1 and E2).
+
+// Table1 renders the survey's Table 1 (generic visualization systems) from
+// the machine-readable registry.
+func Table1() string { return registry.RenderTable1() }
+
+// Table2 renders the survey's Table 2 (graph-based visualization systems).
+func Table2() string { return registry.RenderTable2() }
+
+// TableCSV renders a survey table as CSV (1 or 2).
+func TableCSV(n int) string {
+	switch n {
+	case 1:
+		return registry.RenderCSV(registry.Table1)
+	case 2:
+		return registry.RenderCSV(registry.Table2)
+	default:
+		return ""
+	}
+}
+
+// Observations renders the survey's Section-4 aggregate observations,
+// computed from the registry.
+func Observations() string { return registry.RenderObservations() }
