@@ -1,0 +1,35 @@
+# Development targets mirroring the CI jobs (.github/workflows/ci.yml).
+# `make check` runs everything CI runs, locally.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke lint fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent query-engine packages.
+race:
+	$(GO) test -race ./internal/store/... ./internal/sparql/...
+
+# Full benchmark suite (slow; see bench-smoke for the CI variant).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# One-iteration smoke of the BGP join benchmarks: verifies the parallel
+# engine's benchmark path executes, without timing noise gating CI.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BGP -benchtime=1x .
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+check: build lint test race bench-smoke

@@ -372,6 +372,58 @@ func BenchmarkE12PatternMatch(b *testing.B) {
 	}
 }
 
+// E13 — parallel BGP join engine: the same multi-pattern join evaluated
+// sequentially and by the worker-pool pipeline, over ≥100k generated triples.
+
+func bgpJoinStore(b *testing.B) *store.Store {
+	b.Helper()
+	triples := gen.EntityDataset(gen.EntityOptions{
+		Entities: 20000, NumericProps: 2, CategoryProps: 2, LinkProps: 1, Seed: 13,
+	})
+	if len(triples) < 100000 {
+		b.Fatalf("dataset too small: %d triples", len(triples))
+	}
+	st, err := store.Load(triples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func bgpJoinQuery(b *testing.B) *sparql.Query {
+	b.Helper()
+	q := fmt.Sprintf(`SELECT ?e ?o ?v WHERE { ?e <%s> "category-2" . ?e <%s> ?o . ?o <%s> ?v . }`,
+		string(gen.Prop("cat0")), string(gen.Prop("rel0")), string(gen.Prop("num0")))
+	parsed, err := sparql.Parse(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return parsed
+}
+
+func benchBGPJoin(b *testing.B, parallelism int) {
+	st := bgpJoinStore(b)
+	parsed := bgpJoinQuery(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparql.EvalOpts(st, parsed, sparql.Options{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkBGPJoinSequential(b *testing.B) { benchBGPJoin(b, 1) }
+
+func BenchmarkBGPJoinParallel(b *testing.B) { benchBGPJoin(b, 0) }
+
+// BenchmarkBGPJoinParallel4 pins the pool at 4 workers for machines where
+// NumCPU is large enough that scheduling noise dominates.
+func BenchmarkBGPJoinParallel4(b *testing.B) { benchBGPJoin(b, 4) }
+
 func BenchmarkE12SPARQLJoin(b *testing.B) {
 	st, _ := store.Load(gen.EntityDataset(gen.EntityOptions{
 		Entities: 5000, NumericProps: 1, CategoryProps: 1, LinkProps: 1, Seed: 12,

@@ -1,0 +1,3 @@
+module github.com/lodviz/lodviz
+
+go 1.22

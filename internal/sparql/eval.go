@@ -3,6 +3,7 @@ package sparql
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/lodviz/lodviz/internal/rdf"
 	"github.com/lodviz/lodviz/internal/store"
@@ -11,12 +12,28 @@ import (
 // engine evaluates parsed queries against a store.
 type engine struct {
 	st *store.Store
+	// par is the BGP worker count; <=1 evaluates sequentially.
+	par int
+	// sem is the engine-wide budget of extra worker slots (par-1 tokens),
+	// shared by nested parMap calls so total fan-out stays bounded.
+	sem chan struct{}
+	// noReorder disables cost-based join reordering (tests compare the
+	// naive textual order against the planned order).
+	noReorder bool
+	// cards lazily caches the store's per-predicate cardinality table for
+	// the duration of one query; cardsOnce makes the fetch safe from
+	// concurrent worker goroutines.
+	cards     map[rdf.IRI]store.PredCardinality
+	cardsOnce sync.Once
 }
 
 // evalGroup evaluates a group graph pattern, extending each input binding.
 func (e *engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
 	cur := input
-	elems := e.reorderTriplePatterns(g.Elems)
+	elems := g.Elems
+	if !e.noReorder {
+		elems = e.reorderTriplePatterns(elems)
+	}
 	for _, el := range elems {
 		var err error
 		switch el := el.(type) {
@@ -56,11 +73,13 @@ func (e *engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
 	return cur, nil
 }
 
-// reorderTriplePatterns greedily orders runs of triple patterns so the most
-// selective pattern runs first: primarily by bound positions (weighted
-// S > O > P), then — among equally bound candidates — by the store's
-// index-estimated cardinality of the pattern's constant part, so
-// `?s :special "yes"` beats `?s rdf:type :Item` regardless of author order.
+// reorderTriplePatterns greedily orders runs of triple patterns by estimated
+// cost: at each step it picks the pattern with the smallest expected fan-out
+// given the variables already bound, so `?s :special "yes"` beats
+// `?s rdf:type :Item`, and a pattern joining on an already-bound variable
+// beats an unconstrained scan, regardless of author order. Estimates combine
+// the store's exact index-range counts over the constant positions with the
+// per-predicate cardinality table (store.Cardinalities) for join positions.
 // Non-pattern elements keep their positions.
 func (e *engine) reorderTriplePatterns(elems []GroupElem) []GroupElem {
 	out := make([]GroupElem, 0, len(elems))
@@ -85,30 +104,30 @@ func (e *engine) reorderTriplePatterns(elems []GroupElem) []GroupElem {
 			run = append(run, next)
 			j++
 		}
-		// Cardinality estimates over the constant parts are order-
-		// independent; compute them once per run.
-		ests := make(map[int]int, len(run))
+		// Base estimates over the constant positions are independent of
+		// the bound set; compute them once per run, not once per greedy
+		// step.
+		bases := make([]float64, len(run))
 		for k, cand := range run {
-			ests[k] = e.estimate(cand)
+			bases[k] = float64(e.estimate(cand))
 		}
-		// Greedy selection: repeatedly pick the best pattern given the
-		// variables bound so far.
+		// Greedy selection: repeatedly pick the cheapest pattern given
+		// the variables bound so far. Ties go to the more-bound pattern,
+		// then to textual order (stable across runs).
 		for len(run) > 0 {
 			best := 0
-			bestScore, bestEst := -1, 0
-			for k, cand := range run {
-				s := patternScore(cand, bound)
-				if s > bestScore || (s == bestScore && ests[k] < bestEst) {
-					best, bestScore, bestEst = k, s, ests[k]
+			bestCost := e.fanoutWithBase(run[0], bases[0], bound)
+			bestScore := patternScore(run[0], bound)
+			for k := 1; k < len(run); k++ {
+				c := e.fanoutWithBase(run[k], bases[k], bound)
+				s := patternScore(run[k], bound)
+				if c < bestCost || (c == bestCost && s > bestScore) {
+					best, bestCost, bestScore = k, c, s
 				}
 			}
 			chosen := run[best]
 			run = append(run[:best], run[best+1:]...)
-			// Keep estimate map aligned with the shrinking slice.
-			for k := best; k < len(run); k++ {
-				ests[k] = ests[k+1]
-			}
-			delete(ests, len(run))
+			bases = append(bases[:best], bases[best+1:]...)
 			out = append(out, chosen)
 			for _, n := range []Node{chosen.S, chosen.P, chosen.O} {
 				if n.IsVar() {
@@ -137,6 +156,60 @@ func (e *engine) estimate(tp TriplePattern) int {
 	return e.st.EstimateCount(pat)
 }
 
+// estimateFanout estimates how many solutions evaluating tp produces per
+// input binding, given the variables bound by earlier elements. The base is
+// the exact index-range count over the constant positions; each variable
+// position that is already bound by a join divides the base by that
+// position's distinct-value count (per-predicate when the predicate is
+// constant, the dictionary size as an optimistic fallback otherwise), since a
+// concrete join value selects ~1/distinct of the range.
+func (e *engine) estimateFanout(tp TriplePattern, bound map[string]bool) float64 {
+	return e.fanoutWithBase(tp, float64(e.estimate(tp)), bound)
+}
+
+// fanoutWithBase is estimateFanout with the constant-position base estimate
+// supplied by the caller (the reorder loop caches it per run).
+func (e *engine) fanoutWithBase(tp TriplePattern, base float64, bound map[string]bool) float64 {
+	if base == 0 {
+		return 0
+	}
+	var card store.PredCardinality
+	haveCard := false
+	if !tp.P.IsVar() {
+		if p, ok := tp.P.Term.(rdf.IRI); ok {
+			card, haveCard = e.allCards()[p]
+		}
+	}
+	div := func(perPred int) float64 {
+		if haveCard && perPred > 0 {
+			return float64(perPred)
+		}
+		if n := e.st.NumTerms(); n > 0 {
+			return float64(n)
+		}
+		return 1
+	}
+	est := base
+	if tp.S.IsVar() && bound[tp.S.Var] {
+		est /= div(card.DistinctSubjects)
+	}
+	if tp.O.IsVar() && bound[tp.O.Var] {
+		est /= div(card.DistinctObjects)
+	}
+	if tp.P.IsVar() && bound[tp.P.Var] {
+		// No per-position stat for predicates; assume they are few.
+		est /= float64(len(e.allCards()) + 1)
+	}
+	return est
+}
+
+// allCards returns the per-predicate cardinality table, fetching it once per
+// query.
+func (e *engine) allCards() map[rdf.IRI]store.PredCardinality {
+	e.cardsOnce.Do(func() { e.cards = e.st.Cardinalities() })
+	return e.cards
+}
+
 func collectVars(el GroupElem, bound map[string]bool) {
 	switch el := el.(type) {
 	case Bind:
@@ -148,6 +221,8 @@ func collectVars(el GroupElem, bound map[string]bool) {
 	}
 }
 
+// patternScore is the reorder tie-breaker: how many positions are bound,
+// weighted S > O > P to favor the store's cheapest index scans.
 func patternScore(tp TriplePattern, bound map[string]bool) int {
 	score := 0
 	isBound := func(n Node) bool { return !n.IsVar() || bound[n.Var] }
@@ -163,8 +238,19 @@ func patternScore(tp TriplePattern, bound map[string]bool) int {
 	return score
 }
 
-// evalTriplePattern extends each binding with matches from the store.
+// evalTriplePattern extends each binding with matches from the store. Large
+// binding sets are partitioned into chunks and probed concurrently by the
+// engine's worker pool; the index-sequenced merge keeps the output order
+// identical to the sequential loop.
 func (e *engine) evalTriplePattern(tp TriplePattern, input []Binding) []Binding {
+	out, _ := e.parMap(input, func(chunk []Binding) ([]Binding, error) {
+		return e.evalTriplePatternChunk(tp, chunk), nil
+	})
+	return out
+}
+
+// evalTriplePatternChunk is the sequential probe loop over one chunk.
+func (e *engine) evalTriplePatternChunk(tp TriplePattern, input []Binding) []Binding {
 	var out []Binding
 	for _, b := range input {
 		pat, vars := concretize(tp, b)
@@ -226,21 +312,24 @@ func unify(b Binding, vars [3]string, t rdf.Triple) (Binding, bool) {
 }
 
 // evalOptional implements left join: bindings that match the inner group are
-// extended; the rest pass through unchanged.
+// extended; the rest pass through unchanged. Each input binding's inner
+// evaluation is independent, so large inputs fan out to the worker pool.
 func (e *engine) evalOptional(opt Optional, input []Binding) ([]Binding, error) {
-	var out []Binding
-	for _, b := range input {
-		matched, err := e.evalGroup(opt.Inner, []Binding{b})
-		if err != nil {
-			return nil, err
+	return e.parMap(input, func(chunk []Binding) ([]Binding, error) {
+		var out []Binding
+		for _, b := range chunk {
+			matched, err := e.evalGroup(opt.Inner, []Binding{b})
+			if err != nil {
+				return nil, err
+			}
+			if len(matched) > 0 {
+				out = append(out, matched...)
+			} else {
+				out = append(out, b)
+			}
 		}
-		if len(matched) > 0 {
-			out = append(out, matched...)
-		} else {
-			out = append(out, b)
-		}
-	}
-	return out, nil
+		return out, nil
+	})
 }
 
 func (e *engine) evalUnion(u Union, input []Binding) ([]Binding, error) {

@@ -1,0 +1,160 @@
+package sparql
+
+import (
+	"runtime"
+
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// The parallel BGP pipeline: intermediate binding sets are partitioned into
+// contiguous chunks, workers probe the store's index ranges for each chunk
+// concurrently (the store's permutation indexes are read-only under RLock,
+// so probes never contend on data), and a sequencer merges the per-chunk
+// outputs back in chunk order. Because every chunk preserves the sequential
+// probe order internally and chunks are emitted in index order, the merged
+// output is byte-for-byte identical to the sequential loop — queries without
+// ORDER BY stay deterministic for free.
+//
+// Worker accounting is engine-wide: an engine holds par-1 spare-worker
+// tokens, every parMap call runs the calling goroutine as one worker and
+// borrows extra workers non-blockingly from that budget. Nested fan-out
+// (OPTIONAL chunks whose inner groups fan out again) therefore degrades to
+// inline evaluation instead of multiplying goroutines, and total concurrency
+// stays bounded by Parallelism.
+
+// parallelThreshold is the minimum binding-set size before fan-out pays for
+// the goroutine and channel overhead; smaller inputs run sequentially.
+const parallelThreshold = 32
+
+// chunksPerWorker oversubscribes chunks relative to workers so a straggler
+// chunk (one hub entity with a huge index range) doesn't idle the pool.
+const chunksPerWorker = 4
+
+// Options configure query evaluation.
+type Options struct {
+	// Parallelism is the worker count for basic-graph-pattern evaluation.
+	// 0 selects runtime.NumCPU(); values below 0 and 1 force sequential
+	// evaluation. Results are identical (including order) at every
+	// setting.
+	Parallelism int
+}
+
+// workers resolves the option to an effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism == 0 {
+		return runtime.NumCPU()
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}
+
+// newEngine builds an engine for one query evaluation.
+func newEngine(st *store.Store, opt Options) *engine {
+	e := &engine{st: st, par: opt.workers()}
+	if e.par > 1 {
+		e.sem = make(chan struct{}, e.par-1)
+	}
+	return e
+}
+
+// chunkResult carries one chunk's output to the merger.
+type chunkResult struct {
+	idx  int
+	rows []Binding
+	err  error
+}
+
+// parMap runs fn over contiguous chunks of input on the engine's worker
+// budget and concatenates the per-chunk outputs in chunk index order, so the
+// result is exactly fn(input)'s sequential output. fn must be safe for
+// concurrent calls on disjoint chunks. Inputs below parallelThreshold, an
+// engine with par<=1, or an exhausted worker budget evaluate inline with no
+// goroutines spawned.
+func (e *engine) parMap(input []Binding, fn func(chunk []Binding) ([]Binding, error)) ([]Binding, error) {
+	if e.par <= 1 || len(input) < parallelThreshold {
+		return fn(input)
+	}
+	workers := e.par
+	if workers > len(input) {
+		workers = len(input)
+	}
+	// Borrow extra workers beyond the calling goroutine. Non-blocking:
+	// a nested call finding the budget spent stays inline rather than
+	// deadlocking on tokens held by its ancestors.
+	extra := 0
+acquire:
+	for extra < workers-1 {
+		select {
+		case e.sem <- struct{}{}:
+			extra++
+		default:
+			break acquire
+		}
+	}
+	if extra == 0 {
+		return fn(input)
+	}
+
+	nchunks := (extra + 1) * chunksPerWorker
+	chunkSize := (len(input) + nchunks - 1) / nchunks
+	nchunks = (len(input) + chunkSize - 1) / chunkSize
+
+	work := make(chan int, nchunks)
+	for i := 0; i < nchunks; i++ {
+		work <- i
+	}
+	close(work)
+	results := make(chan chunkResult, nchunks)
+	worker := func() {
+		for idx := range work {
+			lo := idx * chunkSize
+			hi := lo + chunkSize
+			if hi > len(input) {
+				hi = len(input)
+			}
+			rows, err := fn(input[lo:hi])
+			results <- chunkResult{idx: idx, rows: rows, err: err}
+		}
+	}
+	for i := 0; i < extra; i++ {
+		go func() {
+			defer func() { <-e.sem }() // return the token as soon as this worker drains
+			worker()
+		}()
+	}
+	worker() // the caller is worker zero
+
+	// Index-sequenced merge: chunks finish in any order; buffer the
+	// out-of-order ones and append each as its turn comes, so the output
+	// (and the reported error, if any) match sequential evaluation.
+	pending := make(map[int]chunkResult, nchunks)
+	next := 0
+	var out []Binding
+	var firstErr error
+	for received := 0; received < nchunks; received++ {
+		r := <-results
+		pending[r.idx] = r
+		for {
+			c, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if firstErr != nil {
+				continue
+			}
+			if c.err != nil {
+				firstErr = c.err
+				continue
+			}
+			out = append(out, c.rows...)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -21,18 +21,30 @@ type Results struct {
 	Ask bool
 }
 
-// Exec parses and evaluates a SPARQL query against the store.
+// Exec parses and evaluates a SPARQL query against the store with default
+// options (parallel BGP evaluation across runtime.NumCPU() workers).
 func Exec(st *store.Store, query string) (*Results, error) {
+	return ExecOpts(st, query, Options{})
+}
+
+// ExecOpts parses and evaluates a SPARQL query with explicit options.
+func ExecOpts(st *store.Store, query string, opt Options) (*Results, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return Eval(st, q)
+	return EvalOpts(st, q, opt)
 }
 
-// Eval evaluates a parsed query against the store.
+// Eval evaluates a parsed query against the store with default options.
 func Eval(st *store.Store, q *Query) (*Results, error) {
-	e := &engine{st: st}
+	return EvalOpts(st, q, Options{})
+}
+
+// EvalOpts evaluates a parsed query against the store. Evaluation order and
+// results are identical at every parallelism setting; see Options.
+func EvalOpts(st *store.Store, q *Query, opt Options) (*Results, error) {
+	e := newEngine(st, opt)
 	sols, err := e.evalGroup(q.Where, []Binding{{}})
 	if err != nil {
 		return nil, err

@@ -76,6 +76,86 @@ func (st *Store) ComputeStats() Stats {
 	return s
 }
 
+// PredCardinality holds the per-predicate cardinalities the SPARQL planner
+// uses for join-selectivity estimation: how many statements use the
+// predicate, and how many distinct terms appear on each side. The expected
+// fan-out of probing `?s <p> ?o` with ?s already bound is
+// Triples/DistinctSubjects; with ?o bound it is Triples/DistinctObjects.
+type PredCardinality struct {
+	Triples          int
+	DistinctSubjects int
+	DistinctObjects  int
+}
+
+// Cardinalities returns the per-predicate cardinality table. The result is
+// cached inside the store and recomputed lazily after mutations, so steady
+// read-mostly query workloads pay for the O(n) scan once. Callers must treat
+// the returned map as read-only.
+func (st *Store) Cardinalities() map[rdf.IRI]PredCardinality {
+	st.mu.RLock()
+	if c := st.cards; c != nil {
+		st.mu.RUnlock()
+		return c
+	}
+	st.mu.RUnlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cards == nil {
+		st.cards = st.computeCardinalitiesLocked()
+	}
+	return st.cards
+}
+
+// PredicateCardinality returns the cardinality record for one predicate.
+func (st *Store) PredicateCardinality(p rdf.IRI) (PredCardinality, bool) {
+	c, ok := st.Cardinalities()[p]
+	return c, ok
+}
+
+// computeCardinalitiesLocked scans base + delta once, in ID space, skipping
+// tombstones. Caller holds mu.
+func (st *Store) computeCardinalitiesLocked() map[rdf.IRI]PredCardinality {
+	type acc struct {
+		triples int
+		subj    map[ID]struct{}
+		obj     map[ID]struct{}
+	}
+	per := map[ID]*acc{}
+	visit := func(e enc) {
+		if _, dead := st.deleted[e]; dead {
+			return
+		}
+		a := per[e.p]
+		if a == nil {
+			a = &acc{subj: map[ID]struct{}{}, obj: map[ID]struct{}{}}
+			per[e.p] = a
+		}
+		a.triples++
+		a.subj[e.s] = struct{}{}
+		a.obj[e.o] = struct{}{}
+	}
+	for _, e := range st.pos {
+		visit(e)
+	}
+	for _, e := range st.delta {
+		visit(e)
+	}
+	out := make(map[rdf.IRI]PredCardinality, len(per))
+	for pid, a := range per {
+		p, ok := st.terms[pid].(rdf.IRI)
+		if !ok {
+			continue
+		}
+		out[p] = PredCardinality{
+			Triples:          a.triples,
+			DistinctSubjects: len(a.subj),
+			DistinctObjects:  len(a.obj),
+		}
+	}
+	return out
+}
+
 // DegreeHistogram returns, for each out-degree d present, how many subjects
 // have exactly d outgoing statements — the degree profile graph visualizers
 // need for layout and abstraction decisions.

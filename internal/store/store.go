@@ -39,6 +39,10 @@ type Store struct {
 	deleted map[enc]struct{}
 
 	size int // live triple count
+
+	// cards caches per-predicate cardinalities for the query planner;
+	// nil means stale. Guarded by mu, invalidated on every mutation.
+	cards map[rdf.IRI]PredCardinality
 }
 
 // New returns an empty store.
@@ -110,6 +114,7 @@ func (st *Store) addEncLocked(e enc) {
 	if _, dead := st.deleted[e]; dead {
 		delete(st.deleted, e)
 		st.size++
+		st.cards = nil
 		return
 	}
 	if st.containsLocked(e) {
@@ -117,6 +122,7 @@ func (st *Store) addEncLocked(e enc) {
 	}
 	st.delta = append(st.delta, e)
 	st.size++
+	st.cards = nil
 	if len(st.delta) > 1024 && len(st.delta) > len(st.spo)/8 {
 		st.mergeLocked()
 	}
@@ -148,6 +154,7 @@ func (st *Store) Delete(t rdf.Triple) bool {
 	}
 	st.deleted[e] = struct{}{}
 	st.size--
+	st.cards = nil
 	if len(st.deleted) > 1024 && len(st.deleted) > len(st.spo)/8 {
 		st.mergeLocked()
 	}

@@ -156,8 +156,27 @@ func (d *Dataset) Len() int { return d.st.Len() }
 // Add inserts a triple (the dynamic-data path: no reload required).
 func (d *Dataset) Add(t Triple) error { return d.st.Add(t) }
 
-// Query runs a SPARQL SELECT or ASK query.
+// QueryOptions configure SPARQL evaluation.
+type QueryOptions struct {
+	// Parallelism is the worker count for basic-graph-pattern evaluation.
+	// 0 (the default) selects runtime.NumCPU(); 1 forces sequential
+	// evaluation. Every setting returns identical results in identical
+	// order — parallelism only changes how fast they arrive.
+	Parallelism int
+}
+
+// Query runs a SPARQL SELECT or ASK query with default options: triple
+// patterns are cost-reordered using the store's cardinality statistics and
+// evaluated by a parallel worker pool sized to runtime.NumCPU().
 func (d *Dataset) Query(q string) (*Results, error) { return sparql.Exec(d.st, q) }
+
+// QueryOpts runs a SPARQL query with explicit options:
+//
+//	res, err := ds.QueryOpts(q, lodviz.QueryOptions{Parallelism: 1}) // sequential
+//	res, err := ds.QueryOpts(q, lodviz.QueryOptions{})               // NumCPU workers
+func (d *Dataset) QueryOpts(q string, opt QueryOptions) (*Results, error) {
+	return sparql.ExecOpts(d.st, q, sparql.Options{Parallelism: opt.Parallelism})
+}
 
 // Explore starts an exploration session.
 func (d *Dataset) Explore(p Preferences) *Explorer { return core.NewExplorer(d.st, p) }

@@ -173,3 +173,38 @@ SELECT ?label ?population WHERE { ?c a ex:City ; rdfs:label ?label ; ex:populati
 		t.Error("text rendering empty")
 	}
 }
+
+func TestQueryOptsParallelismEquivalent(t *testing.T) {
+	ds, err := GenerateEntities(EntityOptions{Entities: 2000, CategoryProps: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT ?e ?c WHERE { ?e a ?c . ?e <http://lodviz.example.org/prop/cat0> ?v . }`
+	seq, err := ds.QueryOpts(q, QueryOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ds.QueryOpts(q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := ds.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i, other := range []*Results{par, def} {
+		if len(other.Rows) != len(seq.Rows) {
+			t.Fatalf("variant %d: %d rows, want %d", i, len(other.Rows), len(seq.Rows))
+		}
+		for j := range seq.Rows {
+			for _, v := range seq.Vars {
+				if seq.Rows[j][v] != other.Rows[j][v] {
+					t.Fatalf("variant %d: row %d differs", i, j)
+				}
+			}
+		}
+	}
+}
