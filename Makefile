@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint fmt check
+.PHONY: build test race bench bench-smoke lint fmt check cover-server fuzz-smoke serve
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,26 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent query-engine packages.
+# Race-detector pass over the concurrent packages: query engine, store,
+# HTTP server, and the sharded response cache.
 race:
-	$(GO) test -race ./internal/store/... ./internal/sparql/...
+	$(GO) test -race ./internal/store/... ./internal/sparql/... ./internal/server/...
+
+# Coverage gate for the HTTP server subsystem (the CI threshold).
+cover-server:
+	$(GO) test -covermode=atomic -coverprofile=server-cover.out ./internal/server/...
+	@total=$$($(GO) tool cover -func=server-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/server coverage: $$total%"; \
+	awk "BEGIN { exit !($$total >= 80) }" || { echo "FAIL: coverage $$total% < 80%"; exit 1; }
+
+# Short coverage-guided fuzz smoke over the text-format parsers.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseQuery -fuzztime=10s ./internal/sparql
+	$(GO) test -fuzz=FuzzNTriples -fuzztime=10s ./internal/ntriples
+
+# Run the exploration server on the embedded demo dataset.
+serve:
+	$(GO) run ./cmd/lodvizd -addr :8080
 
 # Full benchmark suite (slow; see bench-smoke for the CI variant).
 bench:
@@ -32,4 +49,4 @@ lint:
 fmt:
 	gofmt -w .
 
-check: build lint test race bench-smoke
+check: build lint test race bench-smoke cover-server

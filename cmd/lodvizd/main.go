@@ -1,0 +1,113 @@
+// Command lodvizd serves a lodviz dataset over HTTP: a SPARQL 1.1 Protocol
+// endpoint (/sparql, JSON results) plus the exploration endpoints /facets,
+// /graph/neighborhood, /hetree, /stats, an N-Triples ingestion endpoint
+// (POST /triples), and /healthz.
+//
+// Usage:
+//
+//	lodvizd [flags]
+//
+//	-addr string        listen address (default ":8080")
+//	-data string        dataset to load: a .nt/.ntriples or .ttl/.turtle
+//	                    file (default: the embedded MiniLOD demo dataset)
+//	-parallelism int    SPARQL worker count (default: NumCPU)
+//	-cache int          response-cache capacity in entries; -1 disables
+//	                    (default 4096)
+//	-max-inflight int   concurrent requests allowed per endpoint before
+//	                    shedding with 429 (default 64)
+//	-timeout duration   per-query evaluation timeout (default 30s)
+//	-facet-values int   max values listed per facet on /facets (default 25)
+//
+// Repeated identical exploration requests are served from a sharded LRU
+// cache keyed by the normalized request and the store's content generation;
+// any write (POST /triples) advances the generation and thereby invalidates
+// every cached response at once.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/ntriples"
+	"github.com/lodviz/lodviz/internal/server"
+	"github.com/lodviz/lodviz/internal/store"
+	"github.com/lodviz/lodviz/internal/turtle"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "dataset file (.nt, .ntriples, .ttl, .turtle); empty loads the embedded MiniLOD demo")
+	parallelism := flag.Int("parallelism", 0, "SPARQL worker count (0 = NumCPU)")
+	cacheSize := flag.Int("cache", 0, "response-cache capacity in entries (0 = default 4096, negative disables)")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent requests per endpoint before 429 shedding (0 = default 64)")
+	timeout := flag.Duration("timeout", 0, "per-query evaluation timeout (0 = default 30s)")
+	facetValues := flag.Int("facet-values", 0, "max values listed per facet (0 = default 25)")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	st, err := loadStore(*data)
+	if err != nil {
+		logger.Error("loading dataset", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("dataset loaded", "source", sourceName(*data), "triples", st.Len(), "terms", st.NumTerms())
+
+	srv := server.New(st, server.Config{
+		Parallelism:    *parallelism,
+		CacheCapacity:  *cacheSize,
+		MaxInFlight:    *maxInFlight,
+		QueryTimeout:   *timeout,
+		MaxFacetValues: *facetValues,
+		Logger:         logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		logger.Error("server", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("stopped", "uptime", time.Since(start).Round(time.Second).String())
+}
+
+func loadStore(path string) (*store.Store, error) {
+	if path == "" {
+		return gen.MiniLODStore(), nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch ext := filepath.Ext(path); ext {
+	case ".nt", ".ntriples":
+		triples, err := ntriples.ParseString(string(raw))
+		if err != nil {
+			return nil, err
+		}
+		return store.Load(triples)
+	case ".ttl", ".turtle":
+		triples, err := turtle.ParseString(string(raw))
+		if err != nil {
+			return nil, err
+		}
+		return store.Load(triples)
+	default:
+		return nil, fmt.Errorf("unsupported dataset extension %q (want .nt, .ntriples, .ttl, .turtle)", ext)
+	}
+}
+
+func sourceName(path string) string {
+	if path == "" {
+		return "minilod (embedded)"
+	}
+	return path
+}

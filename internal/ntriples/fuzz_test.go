@@ -1,0 +1,76 @@
+package ntriples
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzNTriples throws arbitrary documents at the N-Triples reader. The
+// invariants: no panics, and anything that parses must round-trip through
+// Format/ParseString to the same triples (the serializer and parser agree).
+func FuzzNTriples(f *testing.F) {
+	seeds := []string{
+		"<http://e/s> <http://e/p> <http://e/o> .\n",
+		"<http://e/s> <http://e/p> \"literal\" .\n",
+		"<http://e/s> <http://e/p> \"tag\"@en .\n",
+		"<http://e/s> <http://e/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+		"_:b0 <http://e/p> _:b1 .\n",
+		"# comment\n\n<http://e/s> <http://e/p> \"esc \\\" \\n \\\\ \\u00e9\" .\n",
+		"<http://e/s> <http://e/p> \"\\U0001F600\" .\n",
+		"malformed line\n",
+		"<http://e/s> <http://e/p> .\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		triples, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		// The spec requires UTF-8 documents. The parser is byte-transparent
+		// about ill-formed sequences inside literals, but the serializer
+		// re-encodes them, so canonical round-tripping only holds for valid
+		// UTF-8 input.
+		if !utf8.ValidString(doc) {
+			return
+		}
+		// Round-trip: serialize and re-parse; the triples must survive.
+		back, err := ParseString(Format(triples))
+		if err != nil {
+			t.Fatalf("re-parsing serialized output failed: %v\ninput: %q\nserialized: %q",
+				err, doc, Format(triples))
+		}
+		if len(back) != len(triples) {
+			t.Fatalf("round-trip triple count %d != %d", len(back), len(triples))
+		}
+		for i := range triples {
+			if back[i] != triples[i] {
+				t.Fatalf("round-trip mismatch at %d: %v != %v", i, back[i], triples[i])
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsAsUnit runs the seed corpus as a plain test so `go test`
+// exercises the round-trip invariant without the fuzz engine.
+func TestFuzzSeedsAsUnit(t *testing.T) {
+	doc := "<http://e/s> <http://e/p> \"esc \\\" \\n tab\\t\" .\n" +
+		"_:b0 <http://e/p> \"caf\\u00e9\"@fr .\n"
+	triples, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(Format(triples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != triples[0] || back[1] != triples[1] {
+		t.Fatalf("round-trip mismatch: %v vs %v", back, triples)
+	}
+	if !strings.Contains(Format(triples), "@fr") {
+		t.Fatalf("language tag lost: %s", Format(triples))
+	}
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// synthStore builds a join-heavy synthetic dataset: n items, each typed,
+// named, and linked to one of n/10 hub entities which are named in turn.
+// The benchmark query walks item -> hub -> name, which is expensive enough
+// cold that the cache-hit ratio is unambiguous.
+func synthStore(tb testing.TB, n int) *store.Store {
+	tb.Helper()
+	const ns = "http://bench.example/"
+	var triples []rdf.Triple
+	typ := rdf.IRI(ns + "Item")
+	for i := 0; i < n; i++ {
+		item := rdf.IRI(fmt.Sprintf("%sitem/%d", ns, i))
+		hub := rdf.IRI(fmt.Sprintf("%shub/%d", ns, i%(n/10)))
+		triples = append(triples,
+			rdf.Triple{S: item, P: rdf.RDFType, O: typ},
+			rdf.Triple{S: item, P: rdf.IRI(ns + "name"), O: rdf.NewLiteral(fmt.Sprintf("item %d", i))},
+			rdf.Triple{S: item, P: rdf.IRI(ns + "ref"), O: hub},
+		)
+	}
+	for i := 0; i < n/10; i++ {
+		hub := rdf.IRI(fmt.Sprintf("%shub/%d", ns, i))
+		triples = append(triples, rdf.Triple{S: hub, P: rdf.IRI(ns + "name"), O: rdf.NewLiteral(fmt.Sprintf("hub %d", i))})
+	}
+	st, err := store.Load(triples)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st
+}
+
+const benchQuery = `SELECT ?item ?hubName WHERE {
+  ?item a <http://bench.example/Item> .
+  ?item <http://bench.example/ref> ?hub .
+  ?hub <http://bench.example/name> ?hubName
+}`
+
+func benchURL(ts *httptest.Server) string {
+	return ts.URL + "/sparql?query=" + url.QueryEscape(benchQuery)
+}
+
+func timedGet(tb testing.TB, client *http.Client, u, wantCache string) time.Duration {
+	tb.Helper()
+	start := time.Now()
+	resp, err := client.Get(u)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); wantCache != "" && got != wantCache {
+		tb.Fatalf("X-Cache = %q, want %q", got, wantCache)
+	}
+	return elapsed
+}
+
+// TestCacheHitLatency is the acceptance measurement: a repeated identical
+// query must be at least 10x faster served from the cache than evaluated
+// cold. Cold samples bypass the cache via distinct LIMIT offsets baked into
+// otherwise-identical queries; medians over several samples keep scheduler
+// noise out.
+func TestCacheHitLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	st := synthStore(t, 5000)
+	s := New(st, Config{Logger: discardLogger()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{}
+
+	const samples = 5
+	// Cold: each sample is a distinct query text (different LIMIT), so each
+	// one parses, plans, and evaluates the full join.
+	cold := make([]time.Duration, 0, samples)
+	for i := 0; i < samples; i++ {
+		q := fmt.Sprintf("%s LIMIT %d", benchQuery, 100000+i)
+		u := ts.URL + "/sparql?query=" + url.QueryEscape(q)
+		cold = append(cold, timedGet(t, client, u, "MISS"))
+	}
+	// Hot: one warmed query, repeatedly.
+	u := benchURL(ts)
+	timedGet(t, client, u, "MISS")
+	hot := make([]time.Duration, 0, samples)
+	for i := 0; i < samples; i++ {
+		hot = append(hot, timedGet(t, client, u, "HIT"))
+	}
+
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+	sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+	coldMed, hotMed := cold[samples/2], hot[samples/2]
+	t.Logf("cold median = %v, hot median = %v, speedup = %.1fx",
+		coldMed, hotMed, float64(coldMed)/float64(hotMed))
+	if hotMed*10 > coldMed {
+		t.Fatalf("cache hit not >=10x faster: cold median %v, hot median %v", coldMed, hotMed)
+	}
+}
+
+func BenchmarkSPARQLCold(b *testing.B) {
+	st := synthStore(b, 5000)
+	s := New(st, Config{CacheCapacity: -1, Logger: discardLogger()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{}
+	u := benchURL(ts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timedGet(b, client, u, "MISS")
+	}
+}
+
+func BenchmarkSPARQLCacheHit(b *testing.B) {
+	st := synthStore(b, 5000)
+	s := New(st, Config{Logger: discardLogger()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{}
+	u := benchURL(ts)
+	timedGet(b, client, u, "MISS")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timedGet(b, client, u, "HIT")
+	}
+}

@@ -1,0 +1,458 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/lodviz/lodviz/internal/core"
+	"github.com/lodviz/lodviz/internal/facet"
+	"github.com/lodviz/lodviz/internal/graph"
+	"github.com/lodviz/lodviz/internal/ntriples"
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/sparql"
+)
+
+// maxQueryBytes bounds a POSTed SPARQL query body.
+const maxQueryBytes = 1 << 20
+
+// maxIngestBytes bounds one POST /triples body.
+const maxIngestBytes = 64 << 20
+
+// handleSPARQL implements the SPARQL 1.1 Protocol query operation: the query
+// arrives as ?query= on GET, as a form field on an urlencoded POST, or as
+// the raw body with Content-Type application/sparql-query. Results are
+// SPARQL JSON. Responses are cached under the whitespace/comment-normalized
+// query text plus the store generation.
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	q, errStatus, errMsg := sparqlQueryText(r)
+	if errStatus != 0 {
+		writeError(w, errStatus, errMsg)
+		return
+	}
+	key := fmt.Sprintf("sparql|%s|g%d", NormalizeQuery(q), s.st.Generation())
+	s.serveCached(w, r, key, func() ([]byte, string, int) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		defer cancel()
+		res, err := sparql.ExecCtx(ctx, s.st, q, sparql.Options{Parallelism: s.cfg.Parallelism})
+		if err != nil {
+			status, msg := queryError(err)
+			return errorJSON(msg), "application/json", status
+		}
+		body, err := res.JSON()
+		if err != nil {
+			return errorJSON("encoding results: " + err.Error()), "application/json", http.StatusInternalServerError
+		}
+		return body, sparql.JSONContentType, http.StatusOK
+	})
+}
+
+// sparqlQueryText extracts the query string per the SPARQL Protocol; a
+// non-zero status signals a client error.
+func sparqlQueryText(r *http.Request) (q string, errStatus int, errMsg string) {
+	switch r.Method {
+	case http.MethodGet:
+		q = r.URL.Query().Get("query")
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if i := strings.IndexByte(ct, ';'); i >= 0 {
+			ct = ct[:i]
+		}
+		ct = strings.TrimSpace(ct)
+		switch ct {
+		case "application/x-www-form-urlencoded", "":
+			r.Body = http.MaxBytesReader(nil, r.Body, maxQueryBytes)
+			if err := r.ParseForm(); err != nil {
+				return "", http.StatusBadRequest, "parsing form body: " + err.Error()
+			}
+			q = r.PostForm.Get("query")
+		case "application/sparql-query":
+			body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxQueryBytes))
+			if err != nil {
+				return "", http.StatusBadRequest, "reading query body: " + err.Error()
+			}
+			q = string(body)
+		default:
+			return "", http.StatusUnsupportedMediaType, "unsupported Content-Type " + ct +
+				" (use application/x-www-form-urlencoded or application/sparql-query)"
+		}
+	}
+	if strings.TrimSpace(q) == "" {
+		return "", http.StatusBadRequest, "missing query parameter"
+	}
+	return q, 0, ""
+}
+
+func errorJSON(msg string) []byte {
+	b, _ := json.Marshal(errorBody{Error: msg})
+	return b
+}
+
+// facetsResponse is the /facets JSON shape.
+type facetsResponse struct {
+	Count  int         `json:"count"`
+	Facets []facetJSON `json:"facets"`
+}
+
+type facetJSON struct {
+	Predicate string           `json:"predicate"`
+	Total     int              `json:"total"`
+	Values    []facetValueJSON `json:"values"`
+}
+
+type facetValueJSON struct {
+	Term  sparql.JSONTerm `json:"term"`
+	Count int             `json:"count"`
+}
+
+// handleFacets computes facet distributions over the dataset's entity set.
+// Conjunctive restrictions arrive as repeated filter=<predicate>=<value>
+// parameters; max=<n> caps values listed per facet.
+func (s *Server) handleFacets(w http.ResponseWriter, r *http.Request) {
+	// Validate parameters before touching the store; the session itself is
+	// built inside the cache-miss path only (it scans the full entity set).
+	max := s.cfg.MaxFacetValues
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "max must be a positive integer")
+			return
+		}
+		max = n
+	}
+	var filters []facet.Filter
+	for _, f := range r.URL.Query()["filter"] {
+		pred, val, ok := strings.Cut(f, "=")
+		if !ok {
+			writeError(w, http.StatusBadRequest, "filter must be <predicate>=<value>: "+f)
+			return
+		}
+		term, err := parseTermParam(val)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "filter value: "+err.Error())
+			return
+		}
+		filters = append(filters, facet.Filter{Predicate: rdf.IRI(strings.Trim(pred, "<>")), Value: term})
+	}
+	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
+		sess := facet.NewSession(s.st)
+		sess.MaxValuesPerFacet = max
+		for _, f := range filters {
+			sess.Apply(f)
+		}
+		resp := facetsResponse{Count: sess.Count(), Facets: []facetJSON{}}
+		for _, f := range sess.Facets() {
+			fj := facetJSON{Predicate: string(f.Predicate), Total: f.Total, Values: []facetValueJSON{}}
+			for _, v := range f.Values {
+				fj.Values = append(fj.Values, facetValueJSON{Term: sparql.EncodeTerm(v.Term), Count: v.Count})
+			}
+			resp.Facets = append(resp.Facets, fj)
+		}
+		return mustJSON(resp)
+	})
+}
+
+// neighborhoodResponse is the /graph/neighborhood JSON shape: nodes carries
+// the induced vertex set (the start node first), edges refers to nodes by
+// index.
+type neighborhoodResponse struct {
+	Node  string            `json:"node"`
+	Hops  int               `json:"hops"`
+	Nodes []sparql.JSONTerm `json:"nodes"`
+	Edges []edgeJSON        `json:"edges"`
+}
+
+type edgeJSON struct {
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	Label string `json:"label"`
+}
+
+// handleNeighborhood returns the k-hop neighborhood subgraph of one resource
+// (node=<IRI>, hops=<n>, default 1) — the incremental-exploration primitive
+// graph front-ends issue on every node expansion.
+func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
+	nodeParam := r.URL.Query().Get("node")
+	if nodeParam == "" {
+		writeError(w, http.StatusBadRequest, "missing node parameter")
+		return
+	}
+	term, err := parseTermParam(nodeParam)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "node: "+err.Error())
+		return
+	}
+	hops := 1
+	if v := r.URL.Query().Get("hops"); v != "" {
+		hops, err = strconv.Atoi(v)
+		if err != nil || hops < 1 || hops > 8 {
+			writeError(w, http.StatusBadRequest, "hops must be an integer in [1,8]")
+			return
+		}
+	}
+	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
+		g := graph.FromStore(s.st)
+		start, ok := g.Lookup(term)
+		if !ok {
+			return errorJSON("node not found: " + term.String()), "application/json", http.StatusNotFound
+		}
+		ids := g.Neighborhood(start, hops)
+		// Order deterministically: start first, the rest by node id.
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i] == start || ids[j] == start {
+				return ids[i] == start
+			}
+			return ids[i] < ids[j]
+		})
+		pos := make(map[graph.NodeID]int, len(ids))
+		resp := neighborhoodResponse{Node: term.String(), Hops: hops, Edges: []edgeJSON{}}
+		for i, id := range ids {
+			pos[id] = i
+			resp.Nodes = append(resp.Nodes, sparql.EncodeTerm(g.Terms[id]))
+		}
+		for _, e := range g.Edges {
+			from, okF := pos[e.From]
+			to, okT := pos[e.To]
+			if okF && okT {
+				resp.Edges = append(resp.Edges, edgeJSON{From: from, To: to, Label: string(e.Label)})
+			}
+		}
+		return mustJSON(resp)
+	})
+}
+
+// hetreeResponse is the /hetree JSON shape: the budget-bounded level cut of
+// the hierarchical aggregation tree over one numeric property.
+type hetreeResponse struct {
+	Property string           `json:"property"`
+	Mode     string           `json:"mode"`
+	Height   int              `json:"height"`
+	Items    int              `json:"items"`
+	Nodes    []hetreeNodeJSON `json:"nodes"`
+}
+
+type hetreeNodeJSON struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Depth int     `json:"depth"`
+	Leaf  bool    `json:"leaf"`
+}
+
+// handleHETree serves the multilevel numeric overview (prop=<IRI>,
+// budget=<maxNodes>, default 64): the widest tree level that fits the budget.
+func (s *Server) handleHETree(w http.ResponseWriter, r *http.Request) {
+	propParam := r.URL.Query().Get("prop")
+	if propParam == "" {
+		writeError(w, http.StatusBadRequest, "missing prop parameter")
+		return
+	}
+	budget := 64
+	if v := r.URL.Query().Get("budget"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "budget must be a positive integer")
+			return
+		}
+		budget = n
+	}
+	prop := rdf.IRI(strings.Trim(propParam, "<>"))
+	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
+		tree, err := core.NewExplorer(s.st, core.DefaultPreferences()).NumericHierarchy(prop)
+		if err != nil {
+			return errorJSON(err.Error()), "application/json", http.StatusNotFound
+		}
+		resp := hetreeResponse{
+			Property: string(prop),
+			Mode:     tree.Mode().String(),
+			Height:   tree.Height(),
+			Items:    tree.Len(),
+			Nodes:    []hetreeNodeJSON{},
+		}
+		for _, n := range tree.LevelFor(budget) {
+			resp.Nodes = append(resp.Nodes, hetreeNodeJSON{
+				Lo: n.Lo, Hi: n.Hi, Count: n.Count, Mean: n.Mean(),
+				Min: n.Min, Max: n.Max, Depth: n.Depth, Leaf: n.IsLeaf(),
+			})
+		}
+		return mustJSON(resp)
+	})
+}
+
+// statsResponse is the /stats JSON shape.
+type statsResponse struct {
+	Triples    int             `json:"triples"`
+	Terms      int             `json:"terms"`
+	Predicates []predStatJSON  `json:"predicates"`
+	Classes    []classStatJSON `json:"classes"`
+}
+
+type predStatJSON struct {
+	Predicate        string `json:"predicate"`
+	Triples          int    `json:"triples"`
+	DistinctSubjects int    `json:"distinctSubjects"`
+	DistinctObjects  int    `json:"distinctObjects"`
+	LiteralObjects   int    `json:"literalObjects"`
+}
+
+type classStatJSON struct {
+	Class sparql.JSONTerm `json:"class"`
+	Count int             `json:"count"`
+}
+
+// handleStats serves the dataset summary (LODeX-style source statistics).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
+		stats := s.st.ComputeStats()
+		resp := statsResponse{
+			Triples:    stats.Triples,
+			Terms:      stats.Terms,
+			Predicates: []predStatJSON{},
+			Classes:    []classStatJSON{},
+		}
+		for _, p := range stats.Predicates {
+			resp.Predicates = append(resp.Predicates, predStatJSON{
+				Predicate:        string(p.Predicate),
+				Triples:          p.Triples,
+				DistinctSubjects: p.DistinctSubjects,
+				DistinctObjects:  p.DistinctObjects,
+				LiteralObjects:   p.LiteralObjects,
+			})
+		}
+		for cls, n := range stats.Classes {
+			resp.Classes = append(resp.Classes, classStatJSON{Class: sparql.EncodeTerm(cls), Count: n})
+		}
+		sort.Slice(resp.Classes, func(i, j int) bool {
+			if resp.Classes[i].Count != resp.Classes[j].Count {
+				return resp.Classes[i].Count > resp.Classes[j].Count
+			}
+			return resp.Classes[i].Class.Value < resp.Classes[j].Class.Value
+		})
+		return mustJSON(resp)
+	})
+}
+
+// ingestResponse is the POST /triples JSON shape.
+type ingestResponse struct {
+	Added      int    `json:"added"`
+	Triples    int    `json:"triples"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleIngest appends N-Triples from the request body — the dynamic-data
+// path. A successful write advances the store generation, which invalidates
+// every cached response at once.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	triples, err := ntriples.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.st.AddAll(triples); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Added:      len(triples),
+		Triples:    s.st.Len(),
+		Generation: s.st.Generation(),
+	})
+}
+
+// healthzResponse is the /healthz JSON shape.
+type healthzResponse struct {
+	Status     string       `json:"status"`
+	Triples    int          `json:"triples"`
+	Terms      int          `json:"terms"`
+	Generation uint64       `json:"generation"`
+	Cache      *cacheHealth `json:"cache,omitempty"`
+}
+
+type cacheHealth struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// handleHealthz reports liveness plus the serving counters operators watch.
+// Never cached: it must reflect the instant it is asked.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{
+		Status:     "ok",
+		Triples:    s.st.Len(),
+		Terms:      s.st.NumTerms(),
+		Generation: s.st.Generation(),
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.Cache = &cacheHealth{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			Entries: cs.Entries, Capacity: cs.Capacity,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseTermParam reads an RDF term from a query parameter: <iri> or a bare
+// curie-less IRI, _:label blank nodes, and "literal" with optional @lang or
+// ^^<datatype>. A value that is neither is taken as a plain string literal.
+func parseTermParam(s string) (rdf.Term, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("empty term")
+	case strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">"):
+		return rdf.IRI(s[1 : len(s)-1]), nil
+	case strings.HasPrefix(s, "_:"):
+		return rdf.BlankNode(s[2:]), nil
+	case strings.HasPrefix(s, `"`):
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated literal %q", s)
+		}
+		lexical := s[1:end]
+		rest := s[end+1:]
+		switch {
+		case rest == "":
+			return rdf.NewLiteral(lexical), nil
+		case strings.HasPrefix(rest, "@"):
+			return rdf.NewLangLiteral(lexical, rest[1:]), nil
+		case strings.HasPrefix(rest, "^^<") && strings.HasSuffix(rest, ">"):
+			return rdf.NewTypedLiteral(lexical, rdf.IRI(rest[3:len(rest)-1])), nil
+		default:
+			return nil, fmt.Errorf("malformed literal suffix %q", rest)
+		}
+	case strings.Contains(s, ":"):
+		return rdf.IRI(s), nil
+	default:
+		return rdf.NewLiteral(s), nil
+	}
+}
+
+func mustJSON(v any) ([]byte, string, int) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return errorJSON("encoding response: " + err.Error()), "application/json", http.StatusInternalServerError
+	}
+	return b, "application/json", http.StatusOK
+}

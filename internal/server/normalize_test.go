@@ -1,0 +1,42 @@
+package server
+
+import "testing"
+
+func TestNormalizeQuery(t *testing.T) {
+	cases := []struct {
+		name, a, b string
+		equal      bool
+	}{
+		{"whitespace runs", "SELECT ?s  WHERE\n{ ?s ?p ?o }", "SELECT ?s WHERE { ?s ?p ?o }", true},
+		{"leading and trailing", "  ASK { ?s ?p ?o }\n", "ASK { ?s ?p ?o }", true},
+		{"comments stripped", "SELECT ?s WHERE { ?s ?p ?o # match all\n}", "SELECT ?s WHERE { ?s ?p ?o }", true},
+		{"string space preserved", `SELECT ?s WHERE { ?s ?p "a  b" }`, `SELECT ?s WHERE { ?s ?p "a b" }`, false},
+		{"hash inside string kept", `ASK { ?s ?p "a#b" }`, `ASK { ?s ?p "ab" }`, false},
+		{"iri preserved", "ASK { ?s <http://e/a#frag> ?o }", "ASK { ?s <http://e/afrag> ?o }", false},
+		{"escaped quote in string", `ASK { ?s ?p "a\"  b" }`, `ASK { ?s ?p "a\" b" }`, false},
+		{"long string newlines kept", "ASK { ?s ?p \"\"\"line1\n\nline2\"\"\" }", "ASK { ?s ?p \"\"\"line1\nline2\"\"\" }", false},
+		{"distinct queries stay distinct", "ASK { ?s ?p 1 }", "ASK { ?s ?p 2 }", false},
+	}
+	for _, c := range cases {
+		na, nb := NormalizeQuery(c.a), NormalizeQuery(c.b)
+		if (na == nb) != c.equal {
+			t.Errorf("%s: NormalizeQuery equality = %v, want %v\n  a: %q -> %q\n  b: %q -> %q",
+				c.name, na == nb, c.equal, c.a, na, c.b, nb)
+		}
+	}
+}
+
+func TestNormalizeQueryIdempotent(t *testing.T) {
+	q := "SELECT ?s\nWHERE {\n  ?s a <http://e/C> . # typed\n  ?s <http://e/p> 'v  v'\n}"
+	once := NormalizeQuery(q)
+	if NormalizeQuery(once) != once {
+		t.Fatalf("not idempotent: %q -> %q", once, NormalizeQuery(once))
+	}
+}
+
+func TestNormalizeQueryUnterminated(t *testing.T) {
+	// Degenerate inputs must not panic or loop; they normalize to something.
+	for _, q := range []string{`ASK { ?s ?p "unterminated`, "ASK { ?s <unterminated", `'''`, `"`, "#only a comment"} {
+		_ = NormalizeQuery(q)
+	}
+}

@@ -1,0 +1,306 @@
+// Package server exposes a lodviz dataset over HTTP: a SPARQL 1.1 Protocol
+// endpoint plus the exploration endpoints (facets, graph neighborhoods,
+// HETree hierarchies, dataset statistics) that front-ends in the survey's
+// system catalogue ship — one process, JSON in and out, built for repeated,
+// overlapping exploration queries.
+//
+// The serving architecture, in request order:
+//
+//   - structured access logging (method, path, status, bytes, duration,
+//     cache disposition) on every request;
+//   - per-endpoint concurrency limits: each route has a fixed budget of
+//     in-flight requests and sheds the excess with 429 + Retry-After, so one
+//     expensive endpoint cannot starve the others;
+//   - a sharded LRU response cache keyed by (normalized request, store
+//     generation): repeated exploration requests are served straight from
+//     memory, and any store write bumps the generation, which orphans every
+//     cached entry at once — exploration workloads are read-heavy bursts
+//     over a slowly changing dataset, exactly the shape this favors;
+//   - strong ETags on cacheable responses with If-None-Match/304 handling,
+//     so clients and proxies revalidate for free;
+//   - per-request timeouts threaded as context cancellation into the SPARQL
+//     engine, which aborts index scans mid-flight.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/lodviz/lodviz/internal/server/cache"
+	"github.com/lodviz/lodviz/internal/sparql"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Config tunes a Server. The zero value is production-usable: NumCPU query
+// parallelism, a 4096-entry cache, 64 in-flight requests per endpoint, and a
+// 30-second query timeout.
+type Config struct {
+	// Parallelism is the SPARQL engine worker count (0 = NumCPU).
+	Parallelism int
+	// CacheCapacity is the response cache size in entries; 0 selects
+	// cache.DefaultCapacity and negative values disable caching.
+	CacheCapacity int
+	// MaxInFlight caps concurrently served requests per endpoint; excess
+	// requests are shed with 429. Non-positive values select 64.
+	MaxInFlight int
+	// QueryTimeout bounds one request's evaluation; non-positive values
+	// select 30s.
+	QueryTimeout time.Duration
+	// MaxFacetValues caps values listed per facet on /facets
+	// (non-positive = 25).
+	MaxFacetValues int
+	// Logger receives structured access and lifecycle logs (nil = stderr).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.MaxFacetValues <= 0 {
+		c.MaxFacetValues = 25
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return c
+}
+
+// Server serves one dataset. Create with New; the zero value is unusable.
+type Server struct {
+	st    *store.Store
+	cfg   Config
+	cache *cache.Cache // nil when caching is disabled
+	mux   *http.ServeMux
+
+	// limiterHook, when set by tests, runs while the request holds its
+	// concurrency slot — the deterministic way to saturate an endpoint.
+	limiterHook func(route string)
+}
+
+// New builds a Server over st.
+func New(st *store.Store, cfg Config) *Server {
+	s := &Server{st: st, cfg: cfg.withDefaults()}
+	if cfg.CacheCapacity >= 0 {
+		s.cache = cache.New(cfg.CacheCapacity)
+	}
+	s.mux = http.NewServeMux()
+	s.route("/sparql", s.handleSPARQL, "GET", "POST")
+	s.route("/facets", s.handleFacets, "GET")
+	s.route("/graph/neighborhood", s.handleNeighborhood, "GET")
+	s.route("/hetree", s.handleHETree, "GET")
+	s.route("/stats", s.handleStats, "GET")
+	s.route("/triples", s.handleIngest, "POST")
+	s.route("/healthz", s.handleHealthz, "GET")
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// route registers h under path behind the standard middleware stack:
+// access logging outermost, then the per-endpoint concurrency limiter,
+// then method filtering.
+func (s *Server) route(path string, h http.HandlerFunc, methods ...string) {
+	limiter := make(chan struct{}, s.cfg.MaxInFlight)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		startedAt := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.serveLimited(rec, r, path, limiter, h, methods)
+		s.cfg.Logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur", time.Since(startedAt).Round(time.Microsecond).String(),
+			"cache", rec.Header().Get("X-Cache"),
+		)
+	})
+}
+
+func (s *Server) serveLimited(w http.ResponseWriter, r *http.Request, path string, limiter chan struct{}, h http.HandlerFunc, methods []string) {
+	allowed := false
+	for _, m := range methods {
+		if r.Method == m {
+			allowed = true
+			break
+		}
+	}
+	if !allowed {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed on %s", r.Method, path))
+		return
+	}
+	select {
+	case limiter <- struct{}{}:
+		defer func() { <-limiter }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "endpoint concurrency limit reached, retry shortly")
+		return
+	}
+	if s.limiterHook != nil {
+		s.limiterHook(path)
+	}
+	h(w, r)
+}
+
+// statusRecorder captures the status and byte count for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// etagFor computes the strong validator for a response body.
+func etagFor(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%q", strconv.FormatUint(h.Sum64(), 16))
+}
+
+// serveCached answers from the response cache under key, or builds the
+// response, caches it if it is a 200, and serves it. ETag/If-None-Match
+// revalidation applies to hits and misses alike; X-Cache reports the
+// disposition.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, build func() (body []byte, contentType string, status int)) {
+	if s.cache != nil {
+		if e, ok := s.cache.Get(key); ok {
+			serveEntry(w, r, e, "HIT")
+			return
+		}
+	}
+	body, contentType, status := build()
+	e := cache.Entry{Body: body, ETag: etagFor(body), ContentType: contentType, Status: status}
+	if s.cache != nil && status == http.StatusOK {
+		s.cache.Put(key, e)
+	}
+	serveEntry(w, r, e, "MISS")
+}
+
+func serveEntry(w http.ResponseWriter, r *http.Request, e cache.Entry, disposition string) {
+	h := w.Header()
+	h.Set("X-Cache", disposition)
+	h.Set("Content-Type", e.ContentType)
+	if e.Status == http.StatusOK {
+		h.Set("ETag", e.ETag)
+		if match := r.Header.Get("If-None-Match"); match != "" && match == e.ETag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	w.WriteHeader(e.Status)
+	w.Write(e.Body)
+}
+
+// cacheKey builds the cache key for an exploration GET endpoint from its
+// path, its canonicalized query parameters, and the store generation.
+// url.Values.Encode percent-escapes names and values, so two requests whose
+// decoded parameters differ can never collide on a key.
+func (s *Server) cacheKey(r *http.Request) string {
+	params := r.URL.Query()
+	for _, vals := range params {
+		sort.Strings(vals)
+	}
+	return fmt.Sprintf("%s?%s|g%d", r.URL.Path, params.Encode(), s.st.Generation())
+}
+
+// queryError maps a sparql error to an HTTP status: the caller's syntax
+// errors are 400s, timeouts are 504s, everything else is the server's fault.
+func queryError(err error) (int, string) {
+	switch {
+	case errors.Is(err, sparql.ErrParse):
+		return http.StatusBadRequest, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "query timed out"
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, "client closed request"
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away mid-query, nobody will read the response, but the access log should
+// not claim a server error.
+const statusClientClosedRequest = 499
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: in-flight requests get up to 10 seconds to finish. It returns
+// nil on a clean shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.cfg.Logger.Info("shutting down", "addr", ln.Addr().String())
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.cfg.Logger.Info("listening", "addr", ln.Addr().String())
+	return s.Serve(ctx, ln)
+}

@@ -1,0 +1,666 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/sparql"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+const exNS = "http://lodviz.example.org/mini/"
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *store.Store) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger()
+	}
+	st := gen.MiniLODStore()
+	s := New(st, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, st
+}
+
+// sparqlDoc mirrors the SPARQL JSON results document.
+type sparqlDoc struct {
+	Head struct {
+		Vars []string `json:"vars"`
+	} `json:"head"`
+	Boolean *bool `json:"boolean"`
+	Results *struct {
+		Bindings []map[string]struct {
+			Type     string `json:"type"`
+			Value    string `json:"value"`
+			Lang     string `json:"xml:lang"`
+			Datatype string `json:"datatype"`
+		} `json:"bindings"`
+	} `json:"results"`
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("decoding %s: %v\nbody: %s", url, err, body)
+		}
+	}
+	return resp
+}
+
+func TestSPARQLSelectGet(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	q := `SELECT ?city ?pop WHERE { ?city <` + exNS + `country> <` + exNS + `greece> . ?city <` + exNS + `population> ?pop } ORDER BY DESC(?pop)`
+	var doc sparqlDoc
+	resp := getJSON(t, ts.URL+"/sparql?query="+url.QueryEscape(q), &doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if len(doc.Head.Vars) != 2 || doc.Head.Vars[0] != "city" || doc.Head.Vars[1] != "pop" {
+		t.Fatalf("vars = %v", doc.Head.Vars)
+	}
+	if len(doc.Results.Bindings) != 2 {
+		t.Fatalf("got %d rows, want 2 (athens, thessaloniki)", len(doc.Results.Bindings))
+	}
+	first := doc.Results.Bindings[0]
+	if first["city"].Type != "uri" || first["city"].Value != exNS+"athens" {
+		t.Fatalf("first city = %+v, want athens", first["city"])
+	}
+	if first["pop"].Type != "literal" || first["pop"].Value != "664046" {
+		t.Fatalf("first pop = %+v", first["pop"])
+	}
+	if first["pop"].Datatype == "" {
+		t.Fatal("numeric literal should carry a datatype")
+	}
+}
+
+func TestSPARQLAsk(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	q := `ASK { <` + exNS + `athens> <` + exNS + `country> <` + exNS + `greece> }`
+	var doc sparqlDoc
+	resp := getJSON(t, ts.URL+"/sparql?query="+url.QueryEscape(q), &doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if doc.Boolean == nil || !*doc.Boolean {
+		t.Fatalf("boolean = %v, want true", doc.Boolean)
+	}
+}
+
+func TestSPARQLPostForm(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	q := `SELECT ?s WHERE { ?s a <` + exNS + `Country> }`
+	resp, err := http.PostForm(ts.URL+"/sparql", url.Values{"query": {q}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var doc sparqlDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results.Bindings) != 3 {
+		t.Fatalf("got %d countries, want 3", len(doc.Results.Bindings))
+	}
+}
+
+func TestSPARQLPostRawBody(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	q := `ASK { ?s ?p ?o }`
+	resp, err := http.Post(ts.URL+"/sparql", "application/sparql-query", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSPARQLUnsupportedMediaType(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/sparql", "text/plain", strings.NewReader("ASK {?s ?p ?o}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("status = %d, want 415", resp.StatusCode)
+	}
+}
+
+func TestSPARQLMalformedQuery400(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	var e errorBody
+	resp := getJSON(t, ts.URL+"/sparql?query="+url.QueryEscape("SELECT WHERE garbage {{{"), &e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	if e.Error == "" {
+		t.Fatal("error body missing \"error\" field")
+	}
+}
+
+func TestSPARQLMissingQuery400(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	var e errorBody
+	resp := getJSON(t, ts.URL+"/sparql", &e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(e.Error, "missing query") {
+		t.Fatalf("error = %q", e.Error)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sparql", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSPARQLTimeout504(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{QueryTimeout: time.Nanosecond})
+	var e errorBody
+	resp := getJSON(t, ts.URL+"/sparql?query="+url.QueryEscape("SELECT ?s WHERE { ?s ?p ?o }"), &e)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body: %+v)", resp.StatusCode, e)
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	u := ts.URL + "/sparql?query=" + url.QueryEscape("SELECT ?s WHERE { ?s a <"+exNS+"City> }")
+	var first, second sparqlDoc
+	r1 := getJSON(t, u, &first)
+	if got := r1.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first X-Cache = %q, want MISS", got)
+	}
+	r2 := getJSON(t, u, &second)
+	if got := r2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("second X-Cache = %q, want HIT", got)
+	}
+	if len(first.Results.Bindings) != len(second.Results.Bindings) {
+		t.Fatal("hit returned different row count than miss")
+	}
+	if r1.Header.Get("ETag") == "" || r1.Header.Get("ETag") != r2.Header.Get("ETag") {
+		t.Fatalf("ETags differ: %q vs %q", r1.Header.Get("ETag"), r2.Header.Get("ETag"))
+	}
+}
+
+// TestCacheNormalizedQueryShared asserts the whitespace/comment-insensitive
+// keying: a reformatted spelling of a cached query is a HIT.
+func TestCacheNormalizedQueryShared(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	q1 := "SELECT ?s WHERE { ?s a <" + exNS + "City> }"
+	q2 := "SELECT   ?s\nWHERE {\n  ?s a <" + exNS + "City> # find the cities\n}"
+	getJSON(t, ts.URL+"/sparql?query="+url.QueryEscape(q1), nil)
+	resp := getJSON(t, ts.URL+"/sparql?query="+url.QueryEscape(q2), nil)
+	if got := resp.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("reformatted query X-Cache = %q, want HIT", got)
+	}
+}
+
+func TestETag304RoundTrip(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	u := ts.URL + "/stats"
+	resp := getJSON(t, u, nil)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on cacheable response")
+	}
+	req, _ := http.NewRequest(http.MethodGet, u, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("status = %d, want 304", resp2.StatusCode)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	if len(body) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(body))
+	}
+	if resp2.Header.Get("ETag") != etag {
+		t.Fatalf("304 ETag = %q, want %q", resp2.Header.Get("ETag"), etag)
+	}
+}
+
+// TestWriteInvalidatesCache is the invalidation contract end-to-end over
+// HTTP: cache a query, POST a triple that changes its answer, and observe a
+// MISS with the new row included.
+func TestWriteInvalidatesCache(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	q := "SELECT ?s WHERE { ?s a <" + exNS + "City> }"
+	u := ts.URL + "/sparql?query=" + url.QueryEscape(q)
+
+	var before sparqlDoc
+	getJSON(t, u, &before)
+	resp := getJSON(t, u, nil)
+	if resp.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("warmup did not cache (X-Cache = %q)", resp.Header.Get("X-Cache"))
+	}
+
+	nt := "<" + exNS + "sparta> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <" + exNS + "City> .\n"
+	ing, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(nt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ingResp ingestResponse
+	if err := json.NewDecoder(ing.Body).Decode(&ingResp); err != nil {
+		t.Fatal(err)
+	}
+	ing.Body.Close()
+	if ing.StatusCode != http.StatusOK || ingResp.Added != 1 {
+		t.Fatalf("ingest status = %d, added = %d", ing.StatusCode, ingResp.Added)
+	}
+
+	var after sparqlDoc
+	resp = getJSON(t, u, &after)
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("post-write X-Cache = %q, want MISS", got)
+	}
+	if len(after.Results.Bindings) != len(before.Results.Bindings)+1 {
+		t.Fatalf("post-write rows = %d, want %d", len(after.Results.Bindings), len(before.Results.Bindings)+1)
+	}
+}
+
+func TestIngestMalformed400(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader("this is not n-triples\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// Test429UnderSaturation fills the one concurrency slot with a request
+// parked inside the limiter hook, then asserts the next request is shed.
+func Test429UnderSaturation(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s, ts, _ := newTestServer(t, Config{MaxInFlight: 1})
+	s.limiterHook = func(route string) {
+		if route == "/healthz" {
+			entered <- struct{}{}
+			<-block
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered // the slot is now held
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("429 body not a JSON error: %v %+v", err, e)
+	}
+	close(block)
+	wg.Wait()
+
+	// The slot is free again: the endpoint recovers.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestFacets(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	var resp facetsResponse
+	r := getJSON(t, ts.URL+"/facets", &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if resp.Count == 0 || len(resp.Facets) == 0 {
+		t.Fatalf("facets empty: %+v", resp)
+	}
+	// The filtered view must be a subset.
+	var filtered facetsResponse
+	fu := ts.URL + "/facets?filter=" + url.QueryEscape(exNS+"country=<"+exNS+"greece>")
+	getJSON(t, fu, &filtered)
+	if filtered.Count >= resp.Count || filtered.Count == 0 {
+		t.Fatalf("filtered count = %d, want 0 < n < %d", filtered.Count, resp.Count)
+	}
+}
+
+func TestFacetsBadFilter400(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	var e errorBody
+	r := getJSON(t, ts.URL+"/facets?filter=nocut", &e)
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", r.StatusCode)
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	var resp neighborhoodResponse
+	u := ts.URL + "/graph/neighborhood?node=" + url.QueryEscape("<"+exNS+"athens>")
+	r := getJSON(t, u, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if len(resp.Nodes) < 2 || resp.Nodes[0].Value != exNS+"athens" {
+		t.Fatalf("nodes = %+v, want athens first with neighbors", resp.Nodes)
+	}
+	if len(resp.Edges) == 0 {
+		t.Fatal("no edges in neighborhood")
+	}
+	for _, e := range resp.Edges {
+		if e.From < 0 || e.From >= len(resp.Nodes) || e.To < 0 || e.To >= len(resp.Nodes) {
+			t.Fatalf("edge index out of range: %+v", e)
+		}
+	}
+	// 2 hops reaches strictly more of MiniLOD than 1.
+	var wide neighborhoodResponse
+	getJSON(t, u+"&hops=2", &wide)
+	if len(wide.Nodes) <= len(resp.Nodes) {
+		t.Fatalf("2-hop nodes = %d, want > %d", len(wide.Nodes), len(resp.Nodes))
+	}
+}
+
+func TestNeighborhoodUnknownNode404(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	r := getJSON(t, ts.URL+"/graph/neighborhood?node="+url.QueryEscape("<http://nope.example/x>"), &errorBody{})
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", r.StatusCode)
+	}
+}
+
+func TestHETree(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	var resp hetreeResponse
+	u := ts.URL + "/hetree?prop=" + url.QueryEscape("<"+exNS+"population>") + "&budget=4"
+	r := getJSON(t, u, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if resp.Items != 8 { // 3 countries + 5 cities carry ex:population
+		t.Fatalf("items = %d, want 8", resp.Items)
+	}
+	if len(resp.Nodes) == 0 || len(resp.Nodes) > 4 {
+		t.Fatalf("nodes = %d, want 1..4 under budget", len(resp.Nodes))
+	}
+	total := 0
+	for _, n := range resp.Nodes {
+		total += n.Count
+	}
+	if total != resp.Items {
+		t.Fatalf("level counts sum to %d, want %d", total, resp.Items)
+	}
+}
+
+func TestHETreeUnknownProp404(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	r := getJSON(t, ts.URL+"/hetree?prop="+url.QueryEscape("<http://nope.example/p>"), &errorBody{})
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", r.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts, st := newTestServer(t, Config{})
+	var resp statsResponse
+	r := getJSON(t, ts.URL+"/stats", &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if resp.Triples != st.Len() {
+		t.Fatalf("triples = %d, want %d", resp.Triples, st.Len())
+	}
+	if len(resp.Predicates) == 0 || len(resp.Classes) == 0 {
+		t.Fatalf("stats empty: %+v", resp)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, st := newTestServer(t, Config{})
+	var resp healthzResponse
+	r := getJSON(t, ts.URL+"/healthz", &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if resp.Status != "ok" || resp.Triples != st.Len() || resp.Cache == nil {
+		t.Fatalf("healthz = %+v", resp)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{CacheCapacity: -1})
+	u := ts.URL + "/stats"
+	getJSON(t, u, nil)
+	resp := getJSON(t, u, nil)
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("X-Cache = %q with caching disabled, want MISS", got)
+	}
+}
+
+// TestConcurrentMixedTraffic drives reads and writes in parallel; under
+// -race this pins the cross-layer locking (store, cache, limiter).
+func TestConcurrentMixedTraffic(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	queries := []string{
+		"SELECT ?s WHERE { ?s a <" + exNS + "City> }",
+		"SELECT ?s ?o WHERE { ?s <" + exNS + "country> ?o }",
+		"ASK { ?s ?p ?o }",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch i % 4 {
+				case 0, 1, 2:
+					u := ts.URL + "/sparql?query=" + url.QueryEscape(queries[(g+i)%len(queries)])
+					resp, err := http.Get(u)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+							t.Errorf("status = %d", resp.StatusCode)
+						}
+					}
+				case 3:
+					nt := fmt.Sprintf("<%sw%d-%d> <%srelated> <%sathens> .\n", exNS, g, i, exNS, exNS)
+					resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(nt))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	st := gen.MiniLODStore()
+	s := New(st, Config{Logger: discardLogger()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on graceful shutdown, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestParseTermParam(t *testing.T) {
+	cases := []struct {
+		in   string
+		want rdf.Term
+	}{
+		{"<http://e/x>", rdf.IRI("http://e/x")},
+		{"http://e/x", rdf.IRI("http://e/x")},
+		{"_:b1", rdf.BlankNode("b1")},
+		{`"plain"`, rdf.NewLiteral("plain")},
+		{`"bonjour"@fr`, rdf.NewLangLiteral("bonjour", "fr")},
+		{`"5"^^<http://www.w3.org/2001/XMLSchema#integer>`, rdf.NewTypedLiteral("5", rdf.IRI("http://www.w3.org/2001/XMLSchema#integer"))},
+		{"plainword", rdf.NewLiteral("plainword")},
+	}
+	for _, c := range cases {
+		got, err := parseTermParam(c.in)
+		if err != nil {
+			t.Fatalf("parseTermParam(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("parseTermParam(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", `"unterminated`, `"x"^^bad`} {
+		if _, err := parseTermParam(bad); err == nil {
+			t.Fatalf("parseTermParam(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestQueryErrorMapping(t *testing.T) {
+	_, parseErr := sparql.Exec(gen.MiniLODStore(), "SELECT {{{")
+	status, _ := queryError(parseErr)
+	if status != http.StatusBadRequest {
+		t.Fatalf("parse error mapped to %d, want 400", status)
+	}
+	if status, _ := queryError(context.DeadlineExceeded); status != http.StatusGatewayTimeout {
+		t.Fatalf("deadline mapped to %d, want 504", status)
+	}
+	if status, _ := queryError(context.Canceled); status != statusClientClosedRequest {
+		t.Fatalf("cancel mapped to %d, want %d", status, statusClientClosedRequest)
+	}
+	if status, _ := queryError(fmt.Errorf("boom")); status != http.StatusInternalServerError {
+		t.Fatalf("unknown error mapped to %d, want 500", status)
+	}
+}
+
+// TestCacheKeyNoCollision is the regression test for decoded-parameter
+// collisions: two requests whose decoded parameters differ must never share
+// a cache key, even when naive '&'/'=' joining of decoded values would
+// coincide.
+func TestCacheKeyNoCollision(t *testing.T) {
+	s := New(gen.MiniLODStore(), Config{Logger: discardLogger()})
+	mk := func(rawQuery string) *http.Request {
+		req := httptest.NewRequest(http.MethodGet, "/facets?"+rawQuery, nil)
+		return req
+	}
+	// filter="p=v" with max=5  vs  a single filter "p=v&max=5".
+	a := s.cacheKey(mk("filter=p%3Dv&max=5"))
+	b := s.cacheKey(mk("filter=p%3Dv%26max%3D5"))
+	if a == b {
+		t.Fatalf("distinct decoded requests share cache key %q", a)
+	}
+	// Same decoded request, different parameter order: same key.
+	c := s.cacheKey(mk("max=5&filter=p%3Dv"))
+	if a != c {
+		t.Fatalf("equivalent requests got distinct keys %q vs %q", a, c)
+	}
+}
+
+// TestNegativeConfigDefaults pins that negative knobs fall back to defaults
+// instead of panicking (make(chan, -1)) or insta-expiring every query.
+func TestNegativeConfigDefaults(t *testing.T) {
+	cfg := Config{MaxInFlight: -1, QueryTimeout: -time.Second, MaxFacetValues: -3, Parallelism: -2}.withDefaults()
+	if cfg.MaxInFlight != 64 || cfg.QueryTimeout != 30*time.Second || cfg.MaxFacetValues != 25 || cfg.Parallelism < 1 {
+		t.Fatalf("negative config not defaulted: %+v", cfg)
+	}
+	// Constructing and serving with negative knobs must work end to end.
+	s := New(gen.MiniLODStore(), Config{MaxInFlight: -1, QueryTimeout: -time.Second, Logger: discardLogger()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape("ASK { ?s ?p ?o }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,44 @@
+package sparql
+
+import "errors"
+
+// Error classes. Every error returned by this package matches exactly one of
+// these under errors.Is, so callers (the HTTP server in particular) can map
+// failures without string matching: ErrParse is the caller's fault (a 400),
+// ErrEval is the engine's or the data's (a 500, or a timeout when the error
+// also matches context.DeadlineExceeded).
+var (
+	// ErrParse classifies syntax errors: the query text is not valid SPARQL.
+	ErrParse = errors.New("sparql: parse error")
+	// ErrEval classifies evaluation failures on a well-formed query,
+	// including context cancellation and deadline expiry (the underlying
+	// context error stays reachable through the Unwrap chain).
+	ErrEval = errors.New("sparql: evaluation error")
+)
+
+// classified attaches an error class to an underlying error without
+// disturbing its message. Unwrap exposes both, so errors.Is finds the class
+// sentinel and anything the original error wraps (e.g. context.Canceled).
+type classified struct {
+	class error
+	err   error
+}
+
+func (c *classified) Error() string   { return c.err.Error() }
+func (c *classified) Unwrap() []error { return []error{c.class, c.err} }
+
+// wrapParse classifies err as a parse failure.
+func wrapParse(err error) error {
+	if err == nil || errors.Is(err, ErrParse) {
+		return err
+	}
+	return &classified{class: ErrParse, err: err}
+}
+
+// wrapEval classifies err as an evaluation failure.
+func wrapEval(err error) error {
+	if err == nil || errors.Is(err, ErrEval) || errors.Is(err, ErrParse) {
+		return err
+	}
+	return &classified{class: ErrEval, err: err}
+}

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,9 +10,17 @@ import (
 	"github.com/lodviz/lodviz/internal/store"
 )
 
+// cancelCheckInterval is how many bindings a probe loop processes between
+// context checks: coarse enough that the check is free on the hot path, fine
+// enough that a cancelled query stops within microseconds.
+const cancelCheckInterval = 256
+
 // engine evaluates parsed queries against a store.
 type engine struct {
-	st *store.Store
+	// ctx bounds the evaluation; the probe loops poll it so a cancelled or
+	// timed-out query stops mid-scan instead of running to completion.
+	ctx context.Context
+	st  *store.Store
 	// par is the BGP worker count; <=1 evaluates sequentially.
 	par int
 	// sem is the engine-wide budget of extra worker slots (par-1 tokens),
@@ -35,10 +44,13 @@ func (e *engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
 		elems = e.reorderTriplePatterns(elems)
 	}
 	for _, el := range elems {
+		if err := e.cancelled(); err != nil {
+			return nil, err
+		}
 		var err error
 		switch el := el.(type) {
 		case TriplePattern:
-			cur = e.evalTriplePattern(el, cur)
+			cur, err = e.evalTriplePattern(el, cur)
 		case SubGroup:
 			cur, err = e.evalGroup(el.Inner, cur)
 		case Optional:
@@ -238,31 +250,59 @@ func patternScore(tp TriplePattern, bound map[string]bool) int {
 	return score
 }
 
+// cancelled returns the context's error once the context is done, nil
+// otherwise (and always nil for the background context).
+func (e *engine) cancelled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
 // evalTriplePattern extends each binding with matches from the store. Large
 // binding sets are partitioned into chunks and probed concurrently by the
 // engine's worker pool; the index-sequenced merge keeps the output order
 // identical to the sequential loop.
-func (e *engine) evalTriplePattern(tp TriplePattern, input []Binding) []Binding {
-	out, _ := e.parMap(input, func(chunk []Binding) ([]Binding, error) {
-		return e.evalTriplePatternChunk(tp, chunk), nil
+func (e *engine) evalTriplePattern(tp TriplePattern, input []Binding) ([]Binding, error) {
+	return e.parMap(input, func(chunk []Binding) ([]Binding, error) {
+		return e.evalTriplePatternChunk(tp, chunk)
 	})
-	return out
 }
 
-// evalTriplePatternChunk is the sequential probe loop over one chunk.
-func (e *engine) evalTriplePatternChunk(tp TriplePattern, input []Binding) []Binding {
+// evalTriplePatternChunk is the sequential probe loop over one chunk. It
+// polls the engine context every cancelCheckInterval bindings, and inside a
+// single large index scan every cancelCheckInterval matches, so even a
+// one-pattern full scan honors cancellation.
+func (e *engine) evalTriplePatternChunk(tp TriplePattern, input []Binding) ([]Binding, error) {
 	var out []Binding
-	for _, b := range input {
+	var scanned int
+	var stop error
+	for i, b := range input {
+		if i%cancelCheckInterval == 0 {
+			if err := e.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		pat, vars := concretize(tp, b)
 		e.st.ForEach(pat, func(t rdf.Triple) bool {
+			scanned++
+			if scanned%cancelCheckInterval == 0 {
+				if err := e.cancelled(); err != nil {
+					stop = err
+					return false
+				}
+			}
 			nb, ok := unify(b, vars, t)
 			if ok {
 				out = append(out, nb)
 			}
 			return true
 		})
+		if stop != nil {
+			return nil, stop
+		}
 	}
-	return out
+	return out, nil
 }
 
 // concretize substitutes bound variables into the pattern, returning the

@@ -1,0 +1,52 @@
+package sparql
+
+import (
+	"context"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// FuzzParseQuery throws arbitrary byte strings at the SPARQL parser. The
+// invariants: the parser never panics, and whatever parses also evaluates
+// without panicking against a small store (the parse/eval boundary is where
+// malformed ASTs would explode).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"SELECT ?s WHERE { ?s ?p ?o }",
+		"SELECT * WHERE { ?s a <http://e/C> . ?s <http://e/p> ?v }",
+		"ASK { <http://e/x> ?p ?o }",
+		"PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:p ex:o }",
+		"SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) LIMIT 5 OFFSET 2",
+		`SELECT ?s WHERE { ?s ?p "lit"@en }`,
+		`SELECT ?s WHERE { ?s ?p "5"^^<http://www.w3.org/2001/XMLSchema#integer> }`,
+		"SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s HAVING (COUNT(?o) > 1)",
+		"SELECT ?s WHERE { { ?s ?p ?o } UNION { ?o ?p ?s } }",
+		"SELECT ?s WHERE { ?s ?p ?o OPTIONAL { ?s <http://e/q> ?v } FILTER(?o > 3) }",
+		"SELECT ?s WHERE { ?s ?p ?o . BIND(?o + 1 AS ?v) } VALUES ?p { <http://e/p> }",
+		"SELECT ?s WHERE { ?s ?p ?o } # trailing comment",
+		"SELECT",
+		"",
+		"\x00\xff{{{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	st, err := store.Load([]rdf.Triple{
+		{S: rdf.IRI("http://e/x"), P: rdf.IRI("http://e/p"), O: rdf.NewInteger(1)},
+		{S: rdf.IRI("http://e/y"), P: rdf.IRI("http://e/p"), O: rdf.NewLiteral("v")},
+		{S: rdf.IRI("http://e/x"), P: rdf.RDFType, O: rdf.IRI("http://e/C")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must evaluate without panicking.
+		_, _ = EvalCtx(context.Background(), st, q, Options{Parallelism: 1})
+	})
+}

@@ -1,0 +1,82 @@
+package sparql
+
+import (
+	"encoding/json"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// JSONContentType is the media type of the SPARQL 1.1 Query Results JSON
+// Format.
+const JSONContentType = "application/sparql-results+json"
+
+// JSONTerm is one RDF term in SPARQL-results JSON encoding.
+type JSONTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars,omitempty"`
+}
+
+type jsonResults struct {
+	Bindings []map[string]JSONTerm `json:"bindings"`
+}
+
+type jsonDoc struct {
+	Head    jsonHead     `json:"head"`
+	Boolean *bool        `json:"boolean,omitempty"`
+	Results *jsonResults `json:"results,omitempty"`
+}
+
+// EncodeTerm maps an rdf.Term to the wire representation: IRIs become
+// {"type":"uri"}, blank nodes {"type":"bnode"}, literals {"type":"literal"}
+// with xml:lang or datatype attached (xsd:string, being the default, is
+// omitted per the spec's recommendation).
+func EncodeTerm(t rdf.Term) JSONTerm {
+	switch v := t.(type) {
+	case rdf.IRI:
+		return JSONTerm{Type: "uri", Value: string(v)}
+	case rdf.BlankNode:
+		return JSONTerm{Type: "bnode", Value: string(v)}
+	case rdf.Literal:
+		jt := JSONTerm{Type: "literal", Value: v.Lexical}
+		switch {
+		case v.Lang != "":
+			jt.Lang = v.Lang
+		case v.Datatype != "" && v.Datatype != rdf.XSDString:
+			jt.Datatype = string(v.Datatype)
+		}
+		return jt
+	default:
+		return JSONTerm{Type: "literal", Value: t.String()}
+	}
+}
+
+// JSON renders the results in the SPARQL 1.1 Query Results JSON Format:
+// SELECT results carry head.vars plus results.bindings, ASK results carry a
+// boolean. The output is deterministic for a given Results value.
+func (r *Results) JSON() ([]byte, error) {
+	doc := jsonDoc{Head: jsonHead{Vars: r.Vars}}
+	if r.Form == FormAsk {
+		b := r.Ask
+		doc.Boolean = &b
+		return json.Marshal(doc)
+	}
+	res := jsonResults{Bindings: make([]map[string]JSONTerm, 0, len(r.Rows))}
+	for _, row := range r.Rows {
+		enc := make(map[string]JSONTerm, len(row))
+		for name, term := range row {
+			if term == nil {
+				continue
+			}
+			enc[name] = EncodeTerm(term)
+		}
+		res.Bindings = append(res.Bindings, enc)
+	}
+	doc.Results = &res
+	return json.Marshal(doc)
+}

@@ -1,0 +1,113 @@
+package sparql
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+func TestResultsJSONSelect(t *testing.T) {
+	r := &Results{
+		Form: FormSelect,
+		Vars: []string{"s", "name", "age"},
+		Rows: []Binding{
+			{
+				"s":    rdf.IRI("http://e/alice"),
+				"name": rdf.NewLangLiteral("Alice", "en"),
+				"age":  rdf.NewInteger(30),
+			},
+			{
+				"s": rdf.BlankNode("b0"),
+				// name unbound in this row
+				"age": rdf.NewLiteral("plain"),
+			},
+		},
+	}
+	body, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]JSONTerm `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(doc.Head.Vars) != 3 || doc.Head.Vars[1] != "name" {
+		t.Fatalf("vars = %v", doc.Head.Vars)
+	}
+	if len(doc.Results.Bindings) != 2 {
+		t.Fatalf("bindings = %d", len(doc.Results.Bindings))
+	}
+	b0 := doc.Results.Bindings[0]
+	if b0["s"].Type != "uri" || b0["s"].Value != "http://e/alice" {
+		t.Fatalf("s = %+v", b0["s"])
+	}
+	if b0["name"].Type != "literal" || b0["name"].Lang != "en" || b0["name"].Datatype != "" {
+		t.Fatalf("name = %+v (lang literal must carry xml:lang, no datatype)", b0["name"])
+	}
+	if b0["age"].Datatype != string(rdf.XSDInteger) {
+		t.Fatalf("age = %+v", b0["age"])
+	}
+	b1 := doc.Results.Bindings[1]
+	if b1["s"].Type != "bnode" || b1["s"].Value != "b0" {
+		t.Fatalf("bnode = %+v", b1["s"])
+	}
+	if _, present := b1["name"]; present {
+		t.Fatal("unbound variable must be absent from its binding object")
+	}
+	if b1["age"].Datatype != "" {
+		t.Fatalf("xsd:string datatype must be omitted, got %+v", b1["age"])
+	}
+}
+
+func TestResultsJSONAsk(t *testing.T) {
+	body, err := (&Results{Form: FormAsk, Ask: true}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Boolean *bool `json:"boolean"`
+		Results *any  `json:"results"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Boolean == nil || !*doc.Boolean {
+		t.Fatalf("boolean = %v", doc.Boolean)
+	}
+	if doc.Results != nil {
+		t.Fatal("ASK document must not carry results")
+	}
+}
+
+func TestResultsJSONEmptySelect(t *testing.T) {
+	body, err := (&Results{Form: FormSelect, Vars: []string{"x"}}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results struct {
+			Bindings []map[string]JSONTerm `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Results.Bindings == nil || len(doc.Results.Bindings) != 0 {
+		t.Fatalf("empty SELECT must serialize bindings as [], got %s", body)
+	}
+}
+
+func TestEncodeTermDouble(t *testing.T) {
+	jt := EncodeTerm(rdf.NewDouble(2.5))
+	if jt.Type != "literal" || jt.Value != "2.5" || jt.Datatype != string(rdf.XSDDouble) {
+		t.Fatalf("double = %+v", jt)
+	}
+}

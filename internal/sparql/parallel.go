@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"runtime"
 
 	"github.com/lodviz/lodviz/internal/store"
@@ -51,8 +52,8 @@ func (o Options) workers() int {
 }
 
 // newEngine builds an engine for one query evaluation.
-func newEngine(st *store.Store, opt Options) *engine {
-	e := &engine{st: st, par: opt.workers()}
+func newEngine(ctx context.Context, st *store.Store, opt Options) *engine {
+	e := &engine{ctx: ctx, st: st, par: opt.workers()}
 	if e.par > 1 {
 		e.sem = make(chan struct{}, e.par-1)
 	}

@@ -139,7 +139,7 @@ func TestParallelGroupByStable(t *testing.T) {
 // order, for sizes around the threshold and chunking arithmetic edges.
 func TestParMapTilesInput(t *testing.T) {
 	for _, n := range []int{0, 1, parallelThreshold - 1, parallelThreshold, 33, 100, 257, 1024} {
-		e := newEngine(nil, Options{Parallelism: 4})
+		e := newEngine(nil, nil, Options{Parallelism: 4})
 		input := make([]Binding, n)
 		for i := range input {
 			input[i] = Binding{"i": rdf.NewInteger(int64(i))}
@@ -164,7 +164,7 @@ func TestParMapTilesInput(t *testing.T) {
 // Errors from any chunk must surface, and the lowest-indexed chunk's error
 // wins so error identity is deterministic.
 func TestParMapPropagatesFirstError(t *testing.T) {
-	e := newEngine(nil, Options{Parallelism: 4})
+	e := newEngine(nil, nil, Options{Parallelism: 4})
 	input := make([]Binding, 256)
 	for i := range input {
 		input[i] = Binding{"i": rdf.NewInteger(int64(i))}
@@ -184,7 +184,7 @@ func TestParMapPropagatesFirstError(t *testing.T) {
 // Nested parMap (OPTIONAL chunks whose inner groups fan out again) must not
 // deadlock on the shared worker budget, and must preserve order.
 func TestParMapNestedBudget(t *testing.T) {
-	e := newEngine(nil, Options{Parallelism: 4})
+	e := newEngine(nil, nil, Options{Parallelism: 4})
 	input := make([]Binding, 512)
 	for i := range input {
 		input[i] = Binding{"i": rdf.NewInteger(int64(i))}

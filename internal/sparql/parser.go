@@ -8,18 +8,19 @@ import (
 	"github.com/lodviz/lodviz/internal/rdf"
 )
 
-// Parse parses a SPARQL query string.
+// Parse parses a SPARQL query string. Errors returned here (and only here)
+// match ErrParse under errors.Is.
 func Parse(src string) (*Query, error) {
 	p := &parser{lx: &lexer{src: src}, prefixes: map[string]string{}}
 	if err := p.advance(); err != nil {
-		return nil, err
+		return nil, wrapParse(err)
 	}
 	q, err := p.parseQuery()
 	if err != nil {
-		return nil, err
+		return nil, wrapParse(err)
 	}
 	if p.tok.kind != tEOF {
-		return nil, p.errf("unexpected trailing %v", p.tok.kind)
+		return nil, wrapParse(p.errf("unexpected trailing %v", p.tok.kind))
 	}
 	q.prefixes = p.prefixes
 	return q, nil

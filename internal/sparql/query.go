@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,11 +30,19 @@ func Exec(st *store.Store, query string) (*Results, error) {
 
 // ExecOpts parses and evaluates a SPARQL query with explicit options.
 func ExecOpts(st *store.Store, query string, opt Options) (*Results, error) {
+	return ExecCtx(context.Background(), st, query, opt)
+}
+
+// ExecCtx parses and evaluates a SPARQL query under a context: evaluation
+// stops promptly (returning an error matching both ErrEval and ctx.Err())
+// when the context is cancelled or its deadline expires. Parse failures match
+// ErrParse; every other failure matches ErrEval.
+func ExecCtx(ctx context.Context, st *store.Store, query string, opt Options) (*Results, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return EvalOpts(st, q, opt)
+	return EvalCtx(ctx, st, q, opt)
 }
 
 // Eval evaluates a parsed query against the store with default options.
@@ -44,7 +53,21 @@ func Eval(st *store.Store, q *Query) (*Results, error) {
 // EvalOpts evaluates a parsed query against the store. Evaluation order and
 // results are identical at every parallelism setting; see Options.
 func EvalOpts(st *store.Store, q *Query, opt Options) (*Results, error) {
-	e := newEngine(st, opt)
+	return EvalCtx(context.Background(), st, q, opt)
+}
+
+// EvalCtx evaluates a parsed query under a context; see ExecCtx for the
+// cancellation and error-classification contract.
+func EvalCtx(ctx context.Context, st *store.Store, q *Query, opt Options) (*Results, error) {
+	res, err := evalCtx(ctx, st, q, opt)
+	if err != nil {
+		return nil, wrapEval(err)
+	}
+	return res, nil
+}
+
+func evalCtx(ctx context.Context, st *store.Store, q *Query, opt Options) (*Results, error) {
+	e := newEngine(ctx, st, opt)
 	sols, err := e.evalGroup(q.Where, []Binding{{}})
 	if err != nil {
 		return nil, err

@@ -40,6 +40,12 @@ type Store struct {
 
 	size int // live triple count
 
+	// gen counts content mutations: it advances exactly when the set of
+	// live triples changes (insert, undelete, delete), never on merges or
+	// duplicate inserts. External caches key results by generation so a
+	// write observably invalidates everything derived from older state.
+	gen uint64
+
 	// cards caches per-predicate cardinalities for the query planner;
 	// nil means stale. Guarded by mu, invalidated on every mutation.
 	cards map[rdf.IRI]PredCardinality
@@ -68,7 +74,18 @@ func Load(triples []rdf.Triple) (*Store, error) {
 		s.delta = append(s.delta, enc{s.intern(t.S), s.intern(rdf.Term(t.P)), s.intern(t.O)})
 	}
 	s.mergeLocked()
+	s.gen++
 	return s, nil
+}
+
+// Generation returns the store's content generation: a counter that advances
+// on every mutation of the live triple set. Two calls returning the same
+// value bracket a window in which no write changed query-visible state, so
+// any result computed against the store inside that window is still valid.
+func (st *Store) Generation() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.gen
 }
 
 // intern returns the ID for t, creating one if needed. Caller holds mu.
@@ -114,6 +131,7 @@ func (st *Store) addEncLocked(e enc) {
 	if _, dead := st.deleted[e]; dead {
 		delete(st.deleted, e)
 		st.size++
+		st.gen++
 		st.cards = nil
 		return
 	}
@@ -122,6 +140,7 @@ func (st *Store) addEncLocked(e enc) {
 	}
 	st.delta = append(st.delta, e)
 	st.size++
+	st.gen++
 	st.cards = nil
 	if len(st.delta) > 1024 && len(st.delta) > len(st.spo)/8 {
 		st.mergeLocked()
@@ -154,6 +173,7 @@ func (st *Store) Delete(t rdf.Triple) bool {
 	}
 	st.deleted[e] = struct{}{}
 	st.size--
+	st.gen++
 	st.cards = nil
 	if len(st.deleted) > 1024 && len(st.deleted) > len(st.spo)/8 {
 		st.mergeLocked()

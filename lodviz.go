@@ -23,8 +23,11 @@
 package lodviz
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 
 	"github.com/lodviz/lodviz/internal/core"
 	"github.com/lodviz/lodviz/internal/facet"
@@ -32,6 +35,7 @@ import (
 	"github.com/lodviz/lodviz/internal/ntriples"
 	"github.com/lodviz/lodviz/internal/rdf"
 	"github.com/lodviz/lodviz/internal/registry"
+	"github.com/lodviz/lodviz/internal/server"
 	"github.com/lodviz/lodviz/internal/sparql"
 	"github.com/lodviz/lodviz/internal/store"
 	"github.com/lodviz/lodviz/internal/turtle"
@@ -178,12 +182,63 @@ func (d *Dataset) QueryOpts(q string, opt QueryOptions) (*Results, error) {
 	return sparql.ExecOpts(d.st, q, sparql.Options{Parallelism: opt.Parallelism})
 }
 
+// QueryCtx runs a SPARQL query under a context: evaluation stops promptly
+// when ctx is cancelled or its deadline expires, returning an error that
+// matches both ErrQueryEval and the context error under errors.Is.
+func (d *Dataset) QueryCtx(ctx context.Context, q string, opt QueryOptions) (*Results, error) {
+	return sparql.ExecCtx(ctx, d.st, q, sparql.Options{Parallelism: opt.Parallelism})
+}
+
+// Query error classes: every error returned by Query/QueryOpts/QueryCtx
+// matches exactly one of these under errors.Is, so callers can distinguish a
+// malformed query (the caller's fault) from an evaluation failure without
+// string matching.
+var (
+	// ErrQueryParse classifies SPARQL syntax errors.
+	ErrQueryParse = sparql.ErrParse
+	// ErrQueryEval classifies evaluation failures, including cancellation
+	// and deadline expiry (the context error stays in the Unwrap chain).
+	ErrQueryEval = sparql.ErrEval
+)
+
+// Generation returns the dataset's content generation — a counter that
+// advances on every mutation of the triple set. Results computed between two
+// identical Generation readings are still valid; the HTTP server's response
+// cache is keyed on it.
+func (d *Dataset) Generation() uint64 { return d.st.Generation() }
+
 // Explore starts an exploration session.
 func (d *Dataset) Explore(p Preferences) *Explorer { return core.NewExplorer(d.st, p) }
 
 // Store exposes the underlying triple store for advanced use (the internal
 // API surface; subject to change).
 func (d *Dataset) Store() *store.Store { return d.st }
+
+// ServerConfig tunes the HTTP exploration server; see the internal/server
+// package docs. The zero value is production-usable.
+type ServerConfig = server.Config
+
+// Handler returns an http.Handler serving this dataset: the SPARQL Protocol
+// endpoint (/sparql), the exploration endpoints (/facets,
+// /graph/neighborhood, /hetree, /stats), N-Triples ingestion (POST
+// /triples), and /healthz. Responses are cached in a sharded LRU keyed by
+// the normalized request and the dataset generation, so writes invalidate
+// cached results automatically.
+func (d *Dataset) Handler(cfg ServerConfig) http.Handler {
+	return server.New(d.st, cfg).Handler()
+}
+
+// Serve runs the exploration server on addr until ctx is cancelled, then
+// shuts down gracefully. It returns nil on a clean shutdown.
+func (d *Dataset) Serve(ctx context.Context, addr string, cfg ServerConfig) error {
+	return server.New(d.st, cfg).ListenAndServe(ctx, addr)
+}
+
+// ServeListener is Serve over an existing listener (useful when the caller
+// needs the bound port before serving starts).
+func (d *Dataset) ServeListener(ctx context.Context, ln net.Listener, cfg ServerConfig) error {
+	return server.New(d.st, cfg).Serve(ctx, ln)
+}
 
 // RenderSVG renders a visualization specification to SVG.
 func RenderSVG(s *VisSpec) string { return vis.RenderSVG(s) }
