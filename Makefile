@@ -11,10 +11,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent packages: query engine, store,
-# HTTP server, and the sharded response cache.
+# Race-detector pass over the concurrent packages: query engine, store
+# (including the snapshot round-trip under concurrent writers), snapshot
+# format, HTTP server, and the sharded response cache.
 race:
-	$(GO) test -race ./internal/store/... ./internal/sparql/... ./internal/server/...
+	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/server/...
 
 # Coverage gate for the HTTP server subsystem (the CI threshold).
 cover-server:
@@ -36,10 +37,12 @@ serve:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-# One-iteration smoke of the BGP join benchmarks: verifies the parallel
-# engine's benchmark path executes, without timing noise gating CI.
+# One-iteration smoke of the BGP join benchmarks and the ingestion
+# benchmarks (bulk AddBatch vs the per-triple Add loop at 100k triples):
+# verifies the benchmark paths execute, without timing noise gating CI.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BGP -benchtime=1x .
+	$(GO) test -run='^$$' -bench='AddBatch|AddAll|AddSequential|SnapshotWrite' -benchtime=1x ./internal/store
 
 lint:
 	$(GO) vet ./...

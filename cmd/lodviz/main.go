@@ -135,14 +135,20 @@ func open(path string, demo bool) (*lodviz.Dataset, error) {
 	if demo || path == "" {
 		return lodviz.MiniLOD(), nil
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	switch filepath.Ext(path) {
-	case ".nt":
-		return lodviz.LoadNTriples(strings.NewReader(string(data)))
+	case ".nt", ".ntriples":
+		// Stream straight off the file: no whole-file slice in memory.
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return lodviz.LoadNTriples(f)
 	default:
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
 		return lodviz.LoadTurtle(string(data))
 	}
 }

@@ -10,6 +10,13 @@
 //	-addr string        listen address (default ":8080")
 //	-data string        dataset to load: a .nt/.ntriples or .ttl/.turtle
 //	                    file (default: the embedded MiniLOD demo dataset)
+//	-snapshot string    snapshot file: restored at startup when present,
+//	                    written atomically on graceful shutdown (and
+//	                    periodically with -snapshot-interval)
+//	-snapshot-interval duration
+//	                    how often to persist a snapshot while serving
+//	                    (0 disables periodic writes; unchanged generations
+//	                    are skipped)
 //	-parallelism int    SPARQL worker count (default: NumCPU)
 //	-cache int          response-cache capacity in entries; -1 disables
 //	                    (default 4096)
@@ -22,21 +29,28 @@
 // cache keyed by the normalized request and the store's content generation;
 // any write (POST /triples) advances the generation and thereby invalidates
 // every cached response at once.
+//
+// With -snapshot, writes ingested over HTTP survive restarts: the server
+// persists a checksummed binary snapshot (dictionary + sorted SPO index)
+// via an atomic temp-file-and-rename, restores it on the next start, and
+// the restored store answers queries identically to the one that saved it.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
 	"github.com/lodviz/lodviz/internal/gen"
-	"github.com/lodviz/lodviz/internal/ntriples"
 	"github.com/lodviz/lodviz/internal/server"
 	"github.com/lodviz/lodviz/internal/store"
 	"github.com/lodviz/lodviz/internal/turtle"
@@ -45,6 +59,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "dataset file (.nt, .ntriples, .ttl, .turtle); empty loads the embedded MiniLOD demo")
+	snapshotPath := flag.String("snapshot", "", "snapshot file: restored at startup when present, written on shutdown and every -snapshot-interval")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "periodic snapshot write interval while serving (0 disables periodic writes)")
 	parallelism := flag.Int("parallelism", 0, "SPARQL worker count (0 = NumCPU)")
 	cacheSize := flag.Int("cache", 0, "response-cache capacity in entries (0 = default 4096, negative disables)")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent requests per endpoint before 429 shedding (0 = default 64)")
@@ -53,12 +69,12 @@ func main() {
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	st, err := loadStore(*data)
+	st, source, err := openStore(*snapshotPath, *data)
 	if err != nil {
 		logger.Error("loading dataset", "err", err)
 		os.Exit(1)
 	}
-	logger.Info("dataset loaded", "source", sourceName(*data), "triples", st.Len(), "terms", st.NumTerms())
+	logger.Info("dataset loaded", "source", source, "triples", st.Len(), "terms", st.NumTerms())
 
 	srv := server.New(st, server.Config{
 		Parallelism:    *parallelism,
@@ -71,30 +87,122 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var snap *snapshotter
+	if *snapshotPath != "" {
+		snap = &snapshotter{path: *snapshotPath, st: st, logger: logger}
+		if source == *snapshotPath {
+			// The on-disk image already matches the store; don't rewrite
+			// it until something changes.
+			snap.savedGen = st.Generation()
+			snap.haveSaved = true
+		}
+		if *snapshotInterval > 0 {
+			go snap.run(ctx, *snapshotInterval)
+		}
+	}
+
 	start := time.Now()
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		logger.Error("server", "err", err)
 		os.Exit(1)
 	}
+	if snap != nil {
+		snap.save("shutdown")
+	}
 	logger.Info("stopped", "uptime", time.Since(start).Round(time.Second).String())
+}
+
+// snapshotter serializes periodic and shutdown snapshot writes, skipping
+// writes when the store generation has not moved since the last save.
+type snapshotter struct {
+	path   string
+	st     *store.Store
+	logger *slog.Logger
+
+	mu        sync.Mutex
+	savedGen  uint64
+	haveSaved bool
+}
+
+func (sn *snapshotter) run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			sn.save("interval")
+		}
+	}
+}
+
+func (sn *snapshotter) save(reason string) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	gen := sn.st.Generation()
+	if sn.haveSaved && gen == sn.savedGen {
+		return
+	}
+	start := time.Now()
+	if err := sn.st.WriteSnapshotFile(sn.path); err != nil {
+		sn.logger.Error("snapshot write failed", "path", sn.path, "reason", reason, "err", err)
+		return
+	}
+	sn.savedGen = gen
+	sn.haveSaved = true
+	sn.logger.Info("snapshot written", "path", sn.path, "reason", reason,
+		"triples", sn.st.Len(), "generation", gen,
+		"dur", time.Since(start).Round(time.Millisecond).String())
+}
+
+// openStore picks the startup source: an existing snapshot wins (it holds
+// everything ingested over HTTP before the last stop), otherwise the -data
+// file (or the embedded demo) is loaded. Returns the store and the source it
+// came from.
+func openStore(snapshotPath, dataPath string) (*store.Store, string, error) {
+	if snapshotPath != "" {
+		switch _, err := os.Stat(snapshotPath); {
+		case err == nil:
+			st, err := store.ReadSnapshotFile(snapshotPath)
+			if err != nil {
+				return nil, "", fmt.Errorf("restoring snapshot %s: %w", snapshotPath, err)
+			}
+			return st, snapshotPath, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// A snapshot that exists but cannot be statted must abort:
+			// falling back to -data would later overwrite it with a fresh
+			// store, destroying everything ingested before the restart.
+			return nil, "", fmt.Errorf("checking snapshot %s: %w", snapshotPath, err)
+		}
+	}
+	st, err := loadStore(dataPath)
+	if err != nil {
+		return nil, "", err
+	}
+	return st, sourceName(dataPath), nil
 }
 
 func loadStore(path string) (*store.Store, error) {
 	if path == "" {
 		return gen.MiniLODStore(), nil
 	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
 	switch ext := filepath.Ext(path); ext {
 	case ".nt", ".ntriples":
-		triples, err := ntriples.ParseString(string(raw))
+		// Stream the file in bounded chunks: gigabyte dumps never
+		// materialize as one slice.
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
-		return store.Load(triples)
+		defer f.Close()
+		return store.LoadNTriples(f)
 	case ".ttl", ".turtle":
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
 		triples, err := turtle.ParseString(string(raw))
 		if err != nil {
 			return nil, err

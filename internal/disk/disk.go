@@ -33,13 +33,34 @@ type PageStore struct {
 	Reads, Writes int
 }
 
-// Open creates or truncates a page store at path.
-func Open(path string) (*PageStore, error) {
+// Create creates a fresh page store at path, truncating any existing file.
+// Use OpenExisting to reopen a store without destroying it.
+func Create(path string) (*PageStore, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: create %s: %w", path, err)
+	}
+	return &PageStore{f: f}, nil
+}
+
+// OpenExisting opens a page store previously written at path, recovering the
+// allocated page count from the file size. A size that is not a whole number
+// of pages indicates a torn write or foreign file and is rejected.
+func OpenExisting(path string) (*PageStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("disk: open %s: %w", path, err)
 	}
-	return &PageStore{f: f}, nil
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: stat %s: %w", path, err)
+	}
+	if fi.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("disk: %s: size %d is not a multiple of the %d-byte page size", path, fi.Size(), PageSize)
+	}
+	return &PageStore{f: f, pages: int(fi.Size() / PageSize)}, nil
 }
 
 // Close closes the backing file.

@@ -2,18 +2,114 @@ package disk
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 )
 
 func newStore(t *testing.T) *PageStore {
 	t.Helper()
-	ps, err := Open(filepath.Join(t.TempDir(), "pages.db"))
+	ps, err := Create(filepath.Join(t.TempDir(), "pages.db"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ps.Close() })
 	return ps
+}
+
+func TestOpenExistingRecoversPages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	ps, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page [PageSize]byte
+	for i := 0; i < 3; i++ {
+		id, err := ps.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(page[:], []byte{byte('a' + i)})
+		if err := ps.Write(id, page[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenExisting(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages() != 3 {
+		t.Fatalf("NumPages after reopen = %d, want 3", re.NumPages())
+	}
+	for i := 0; i < 3; i++ {
+		var got [PageSize]byte
+		if err := re.Read(PageID(i), got[:]); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte('a'+i) {
+			t.Fatalf("page %d content = %q, want %q", i, got[0], byte('a'+i))
+		}
+	}
+	// Reopened stores keep allocating past the recovered pages.
+	id, err := re.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 {
+		t.Fatalf("post-reopen Alloc = %d, want 3", id)
+	}
+}
+
+func TestOpenExistingRejectsTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.db")
+	if err := os.WriteFile(path, make([]byte, PageSize+100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenExisting(path); err == nil {
+		t.Fatal("torn file accepted")
+	}
+}
+
+func TestOpenExistingMissingFile(t *testing.T) {
+	if _, err := OpenExisting(filepath.Join(t.TempDir(), "absent.db")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCreateTruncatesButOpenExistingPreserves(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	ps, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	ps.Close()
+
+	// OpenExisting keeps the page; a second Create destroys it.
+	re, err := OpenExisting(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumPages() != 1 {
+		t.Fatalf("OpenExisting NumPages = %d, want 1", re.NumPages())
+	}
+	re.Close()
+
+	fresh, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if fresh.NumPages() != 0 {
+		t.Fatalf("Create did not truncate: NumPages = %d", fresh.NumPages())
+	}
 }
 
 func TestPageStoreRoundTrip(t *testing.T) {

@@ -1,0 +1,124 @@
+package ntriples
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+func docOf(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<http://e/s%d> <http://e/p> <http://e/o%d> .\n", i, i)
+	}
+	return b.String()
+}
+
+func TestDecoderChunkBoundaries(t *testing.T) {
+	d := NewDecoder(strings.NewReader(docOf(10)))
+	d.SetChunkSize(3)
+	var sizes []int
+	total := 0
+	for {
+		chunk, err := d.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(chunk))
+		total += len(chunk)
+	}
+	want := []int{3, 3, 3, 1}
+	if len(sizes) != len(want) {
+		t.Fatalf("chunk sizes = %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("chunk sizes = %v, want %v", sizes, want)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("total triples = %d, want 10", total)
+	}
+	// Subsequent calls keep reporting EOF.
+	if _, err := d.NextChunk(); err != io.EOF {
+		t.Fatalf("post-EOF err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecoderMatchesReadAll(t *testing.T) {
+	doc := docOf(25) + "# comment\n\n" + `<http://e/x> <http://e/p> "lit"@en .` + "\n"
+	want, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(strings.NewReader(doc))
+	d.SetChunkSize(7)
+	var got []rdf.Triple
+	if err := d.DecodeAll(func(chunk []rdf.Triple) error {
+		got = append(got, chunk...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoder yielded %d triples, ReadAll %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("triple %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecoderMidStreamError(t *testing.T) {
+	doc := docOf(4) + "not a triple\n" + docOf(2)
+	d := NewDecoder(strings.NewReader(doc))
+	d.SetChunkSize(2)
+	var seen int
+	for {
+		chunk, err := d.NextChunk()
+		if err == io.EOF {
+			t.Fatal("decoder reached EOF past malformed line")
+		}
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("err = %v, want *ParseError", err)
+			}
+			if pe.Line != 5 {
+				t.Fatalf("ParseError.Line = %d, want 5", pe.Line)
+			}
+			if seen != 4 {
+				t.Fatalf("saw %d triples before the error, want 4", seen)
+			}
+			return
+		}
+		seen += len(chunk)
+	}
+}
+
+func TestDecodeAllStopsOnCallbackError(t *testing.T) {
+	d := NewDecoder(strings.NewReader(docOf(10)))
+	d.SetChunkSize(2)
+	calls := 0
+	sentinel := fmt.Errorf("stop")
+	err := d.DecodeAll(func([]rdf.Triple) error {
+		calls++
+		if calls == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times, want 2", calls)
+	}
+}

@@ -78,6 +78,71 @@ func ParseString(s string) ([]rdf.Triple, error) {
 	return ReadAll(strings.NewReader(s))
 }
 
+// DefaultChunkSize is the number of triples a Decoder yields per chunk.
+const DefaultChunkSize = 8192
+
+// Decoder streams an N-Triples document as bounded chunks of triples, so
+// gigabyte-sized inputs can be ingested without materializing the whole
+// parse in one slice: the caller processes (or batch-inserts) one chunk at a
+// time while the wire bytes stream through a fixed scanner buffer.
+type Decoder struct {
+	r     *Reader
+	chunk int
+}
+
+// NewDecoder returns a Decoder over r yielding DefaultChunkSize-triple
+// chunks.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: NewReader(r), chunk: DefaultChunkSize}
+}
+
+// SetChunkSize overrides the chunk size (values < 1 are ignored).
+func (d *Decoder) SetChunkSize(n int) {
+	if n >= 1 {
+		d.chunk = n
+	}
+}
+
+// NextChunk parses and returns the next chunk of up to the configured number
+// of triples. It returns io.EOF (and no triples) once the input is
+// exhausted; a short final chunk is returned with a nil error and the
+// following call reports io.EOF. Malformed input surfaces as a *ParseError
+// carrying the offending line number.
+func (d *Decoder) NextChunk() ([]rdf.Triple, error) {
+	chunk := make([]rdf.Triple, 0, d.chunk)
+	for len(chunk) < d.chunk {
+		t, err := d.r.Next()
+		if err == io.EOF {
+			if len(chunk) == 0 {
+				return nil, io.EOF
+			}
+			return chunk, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		chunk = append(chunk, t)
+	}
+	return chunk, nil
+}
+
+// DecodeAll drains the decoder, passing each chunk to fn. It stops on the
+// first parse error or the first error returned by fn.
+func (d *Decoder) DecodeAll(fn func([]rdf.Triple) error) error {
+	for {
+		chunk, err := d.NextChunk()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(chunk); err != nil {
+			return err
+		}
+	}
+}
+
 type lineParser struct {
 	s    string
 	pos  int

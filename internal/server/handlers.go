@@ -340,28 +340,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// ingestResponse is the POST /triples JSON shape.
+// ingestResponse is the POST /triples JSON shape. Added counts the triples
+// that actually changed the store (duplicates of existing triples count
+// zero), so clients can tell a no-op ingest from a mutating one.
 type ingestResponse struct {
 	Added      int    `json:"added"`
+	Received   int    `json:"received"`
 	Triples    int    `json:"triples"`
 	Generation uint64 `json:"generation"`
 }
 
-// handleIngest appends N-Triples from the request body — the dynamic-data
-// path. A successful write advances the store generation, which invalidates
-// every cached response at once.
+// handleIngest applies an N-Triples batch from the request body — the
+// dynamic-data path. The whole batch is decoded and validated before the
+// store is touched and then applied in one atomic AddBatch, so a 400
+// response (malformed syntax or an invalid triple anywhere in the body)
+// guarantees the store is exactly as it was: no partial writes, no spurious
+// generation bump, no cache invalidation. A batch that does change the store
+// advances the generation exactly once.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// The full batch must be in hand before the store is touched (that is
+	// what makes the write atomic), so decode with ReadAll; the wire bytes
+	// still stream through the reader's fixed line buffer.
 	triples, err := ntriples.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := s.st.AddAll(triples); err != nil {
+	added, err := s.st.AddBatch(triples)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{
-		Added:      len(triples),
+		Added:      added,
+		Received:   len(triples),
 		Triples:    s.st.Len(),
 		Generation: s.st.Generation(),
 	})

@@ -321,6 +321,98 @@ func TestIngestMalformed400(t *testing.T) {
 	}
 }
 
+// TestIngestAtomicRollback is the write-atomicity contract: a batch whose
+// tail is malformed must leave the store untouched — the valid head triples
+// are not applied, the size does not move, and the generation (hence every
+// cached response) stays valid.
+func TestIngestAtomicRollback(t *testing.T) {
+	_, ts, st := newTestServer(t, Config{})
+	lenBefore, genBefore := st.Len(), st.Generation()
+
+	valid := "<" + exNS + "atomA> <" + exNS + "p> <" + exNS + "atomB> .\n"
+	body := valid + valid[:len(valid)-2] + "garbage\n" // second statement malformed
+	resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if st.Len() != lenBefore {
+		t.Fatalf("store size moved on a 400: %d -> %d", lenBefore, st.Len())
+	}
+	if st.Generation() != genBefore {
+		t.Fatalf("generation moved on a 400: %d -> %d", genBefore, st.Generation())
+	}
+	if st.Contains(rdf.T(rdf.IRI(exNS+"atomA"), rdf.IRI(exNS+"p"), rdf.IRI(exNS+"atomB"))) {
+		t.Fatal("valid head triple of a rejected batch was applied")
+	}
+}
+
+// TestIngestDuplicatesAreNoOp: re-posting existing triples reports zero
+// added and leaves the generation (and therefore the response cache) alone.
+func TestIngestDuplicatesAreNoOp(t *testing.T) {
+	_, ts, st := newTestServer(t, Config{})
+	nt := "<" + exNS + "dupS> <" + exNS + "dupP> <" + exNS + "dupO> .\n"
+
+	post := func() ingestResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(nt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var ir ingestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatal(err)
+		}
+		return ir
+	}
+
+	first := post()
+	if first.Added != 1 || first.Received != 1 {
+		t.Fatalf("first ingest: added=%d received=%d, want 1/1", first.Added, first.Received)
+	}
+	gen := st.Generation()
+	second := post()
+	if second.Added != 0 || second.Received != 1 {
+		t.Fatalf("duplicate ingest: added=%d received=%d, want 0/1", second.Added, second.Received)
+	}
+	if st.Generation() != gen {
+		t.Fatalf("duplicate ingest advanced generation: %d -> %d", gen, st.Generation())
+	}
+}
+
+// TestIngestBatchBumpsGenerationOnce: a multi-triple batch is one content
+// mutation, not one per triple.
+func TestIngestBatchBumpsGenerationOnce(t *testing.T) {
+	_, ts, st := newTestServer(t, Config{})
+	gen := st.Generation()
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "<%sbatch%d> <%sp> <%so%d> .\n", exNS, i, exNS, exNS, i)
+	}
+	resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ir ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Added != 100 {
+		t.Fatalf("added = %d, want 100", ir.Added)
+	}
+	if got := st.Generation(); got != gen+1 {
+		t.Fatalf("batch of 100 advanced generation %d times, want 1", got-gen)
+	}
+}
+
 // Test429UnderSaturation fills the one concurrency slot with a request
 // parked inside the limiter hook, then asserts the next request is shed.
 func Test429UnderSaturation(t *testing.T) {

@@ -1,0 +1,303 @@
+// Package snapshot defines the lodviz on-disk snapshot format: a versioned,
+// checksummed binary encoding of a dictionary-encoded triple store
+// (dictionary terms followed by the sorted SPO index).
+//
+// The format is deliberately dumb and sequential — one pass to write, one
+// pass to read, no seeking — so snapshots stream through bounded buffers and
+// a partial write can never masquerade as a complete snapshot:
+//
+//	offset 0   magic   "LODVSNAP" (8 bytes)
+//	offset 8   version uint32 LE
+//	offset 12  terms   uint64 LE (dictionary entries; IDs are 1..terms)
+//	offset 20  triples uint64 LE
+//	           dictionary: per term a kind byte (rdf.TermKind) and its
+//	           length-prefixed string fields (IRI/blank: one field;
+//	           literal: lexical, datatype, lang)
+//	           SPO index: per triple uvarint(s - prevS), uvarint(p),
+//	           uvarint(o) — subjects are non-decreasing in SPO order, so
+//	           delta coding keeps hub-heavy graphs compact
+//	trailer    crc32   uint32 LE, IEEE, over every preceding byte
+//
+// This package owns only the wire format; the store package layers
+// Store.WriteSnapshot / ReadSnapshot on top of it.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// Magic identifies a lodviz snapshot file.
+const Magic = "LODVSNAP"
+
+// Version is the current format version.
+const Version = 1
+
+// maxStringLen bounds one decoded string field; longer lengths are treated
+// as corruption rather than honored as allocations.
+const maxStringLen = 1 << 30
+
+// Format errors. Read-side failures wrap one of these.
+var (
+	ErrBadMagic = errors.New("snapshot: bad magic (not a lodviz snapshot)")
+	ErrVersion  = errors.New("snapshot: unsupported format version")
+	ErrChecksum = errors.New("snapshot: checksum mismatch (truncated or corrupt)")
+	ErrCorrupt  = errors.New("snapshot: corrupt payload")
+)
+
+// Writer serializes one snapshot. Use NewWriter, then exactly the declared
+// number of Term and Triple calls, then Close.
+type Writer struct {
+	bw      *bufio.Writer
+	crc     hash.Hash32
+	out     io.Writer // bw and crc
+	prevS   uint32
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewWriter starts a snapshot on w and writes the header, declaring the
+// dictionary and triple counts up front.
+func NewWriter(w io.Writer, numTerms, numTriples int) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	sw := &Writer{bw: bw, crc: crc32.NewIEEE()}
+	sw.out = io.MultiWriter(bw, sw.crc)
+	var hdr [28]byte
+	copy(hdr[:8], Magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(numTerms))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(numTriples))
+	if _, err := sw.out.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: writing header: %w", err)
+	}
+	return sw, nil
+}
+
+func (sw *Writer) writeUvarint(v uint64) error {
+	n := binary.PutUvarint(sw.scratch[:], v)
+	_, err := sw.out.Write(sw.scratch[:n])
+	return err
+}
+
+func (sw *Writer) writeString(s string) error {
+	if err := sw.writeUvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(sw.out, s)
+	return err
+}
+
+// Term appends one dictionary entry. Terms must be written in ID order.
+func (sw *Writer) Term(t rdf.Term) error {
+	if t == nil {
+		return fmt.Errorf("snapshot: nil term")
+	}
+	kind := t.Kind()
+	if _, err := sw.out.Write([]byte{byte(kind)}); err != nil {
+		return err
+	}
+	switch v := t.(type) {
+	case rdf.IRI:
+		return sw.writeString(string(v))
+	case rdf.BlankNode:
+		return sw.writeString(string(v))
+	case rdf.Literal:
+		if err := sw.writeString(v.Lexical); err != nil {
+			return err
+		}
+		if err := sw.writeString(string(v.Datatype)); err != nil {
+			return err
+		}
+		return sw.writeString(v.Lang)
+	default:
+		return fmt.Errorf("snapshot: unsupported term kind %v", kind)
+	}
+}
+
+// Triple appends one SPO entry. Triples must arrive in SPO-sorted order
+// (non-decreasing subject IDs); the subject is delta-coded against the
+// previous call.
+func (sw *Writer) Triple(s, p, o uint32) error {
+	if s < sw.prevS {
+		return fmt.Errorf("snapshot: triples out of SPO order (subject %d after %d)", s, sw.prevS)
+	}
+	if err := sw.writeUvarint(uint64(s - sw.prevS)); err != nil {
+		return err
+	}
+	sw.prevS = s
+	if err := sw.writeUvarint(uint64(p)); err != nil {
+		return err
+	}
+	return sw.writeUvarint(uint64(o))
+}
+
+// Close seals the snapshot: it appends the checksum trailer and flushes.
+// It does not close the underlying writer.
+func (sw *Writer) Close() error {
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], sw.crc.Sum32())
+	if _, err := sw.bw.Write(tr[:]); err != nil {
+		return fmt.Errorf("snapshot: writing checksum: %w", err)
+	}
+	if err := sw.bw.Flush(); err != nil {
+		return fmt.Errorf("snapshot: flush: %w", err)
+	}
+	return nil
+}
+
+// crcReader feeds every byte read through the running checksum.
+type crcReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+// Reader deserializes one snapshot. Use NewReader, then exactly NumTerms
+// Term calls and NumTriples Triple calls, then Close to verify the checksum.
+type Reader struct {
+	raw   *bufio.Reader
+	cr    *crcReader
+	terms uint64
+	tris  uint64
+	prevS uint32
+}
+
+// NewReader reads and validates the snapshot header on r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	sr := &Reader{raw: br, cr: &crcReader{r: br, crc: crc32.NewIEEE()}}
+	var hdr [28]byte
+	if _, err := io.ReadFull(sr.cr, hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrVersion, v, Version)
+	}
+	sr.terms = binary.LittleEndian.Uint64(hdr[12:20])
+	sr.tris = binary.LittleEndian.Uint64(hdr[20:28])
+	return sr, nil
+}
+
+// NumTerms returns the declared dictionary size.
+func (sr *Reader) NumTerms() uint64 { return sr.terms }
+
+// NumTriples returns the declared triple count.
+func (sr *Reader) NumTriples() uint64 { return sr.tris }
+
+func (sr *Reader) readString() (string, error) {
+	n, err := binary.ReadUvarint(sr.cr)
+	if err != nil {
+		return "", corrupt("string length: %v", err)
+	}
+	if n > maxStringLen {
+		return "", corrupt("string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(sr.cr, buf); err != nil {
+		return "", corrupt("string body: %v", err)
+	}
+	return string(buf), nil
+}
+
+// Term reads the next dictionary entry.
+func (sr *Reader) Term() (rdf.Term, error) {
+	kind, err := sr.cr.ReadByte()
+	if err != nil {
+		return nil, corrupt("term kind: %v", err)
+	}
+	switch rdf.TermKind(kind) {
+	case rdf.KindIRI:
+		s, err := sr.readString()
+		if err != nil {
+			return nil, err
+		}
+		return rdf.IRI(s), nil
+	case rdf.KindBlank:
+		s, err := sr.readString()
+		if err != nil {
+			return nil, err
+		}
+		return rdf.BlankNode(s), nil
+	case rdf.KindLiteral:
+		lex, err := sr.readString()
+		if err != nil {
+			return nil, err
+		}
+		dt, err := sr.readString()
+		if err != nil {
+			return nil, err
+		}
+		lang, err := sr.readString()
+		if err != nil {
+			return nil, err
+		}
+		return rdf.Literal{Lexical: lex, Datatype: rdf.IRI(dt), Lang: lang}, nil
+	default:
+		return nil, corrupt("unknown term kind %d", kind)
+	}
+}
+
+// Triple reads the next SPO entry, undoing the subject delta coding.
+func (sr *Reader) Triple() (s, p, o uint32, err error) {
+	ds, err := binary.ReadUvarint(sr.cr)
+	if err != nil {
+		return 0, 0, 0, corrupt("triple subject: %v", err)
+	}
+	pv, err := binary.ReadUvarint(sr.cr)
+	if err != nil {
+		return 0, 0, 0, corrupt("triple predicate: %v", err)
+	}
+	ov, err := binary.ReadUvarint(sr.cr)
+	if err != nil {
+		return 0, 0, 0, corrupt("triple object: %v", err)
+	}
+	sv := uint64(sr.prevS) + ds
+	if sv > 1<<32-1 || pv > 1<<32-1 || ov > 1<<32-1 {
+		return 0, 0, 0, corrupt("triple ID overflows uint32")
+	}
+	sr.prevS = uint32(sv)
+	return uint32(sv), uint32(pv), uint32(ov), nil
+}
+
+// Close reads the checksum trailer and verifies it against everything read
+// so far. It must be called after the declared terms and triples have been
+// consumed.
+func (sr *Reader) Close() error {
+	want := sr.cr.crc.Sum32()
+	var tr [4]byte
+	if _, err := io.ReadFull(sr.raw, tr[:]); err != nil {
+		return fmt.Errorf("%w: missing checksum trailer: %v", ErrChecksum, err)
+	}
+	if got := binary.LittleEndian.Uint32(tr[:]); got != want {
+		return fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, want)
+	}
+	return nil
+}
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}

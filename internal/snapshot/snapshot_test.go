@@ -1,0 +1,173 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+var testTerms = []rdf.Term{
+	rdf.IRI("http://e/s"),
+	rdf.BlankNode("b0"),
+	rdf.NewLiteral("plain"),
+	rdf.NewLangLiteral("hello", "en"),
+	rdf.NewTypedLiteral("42", rdf.IRI("http://www.w3.org/2001/XMLSchema#integer")),
+}
+
+type id3 struct{ s, p, o uint32 }
+
+var testTriples = []id3{{1, 1, 2}, {1, 1, 3}, {2, 1, 4}, {5, 1, 1}}
+
+func encode(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, len(testTerms), len(testTriples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range testTerms {
+		if err := w.Term(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range testTriples {
+		if err := w.Triple(tr.s, tr.p, tr.o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := encode(t)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumTerms() != uint64(len(testTerms)) || r.NumTriples() != uint64(len(testTriples)) {
+		t.Fatalf("header counts = %d/%d", r.NumTerms(), r.NumTriples())
+	}
+	for i, want := range testTerms {
+		got, err := r.Term()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("term %d = %v, want %v", i, got, want)
+		}
+	}
+	for i, want := range testTriples {
+		s, p, o, err := r.Triple()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (id3{s, p, o}) != want {
+			t.Fatalf("triple %d = {%d %d %d}, want %v", i, s, p, o, want)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("checksum verify: %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := encode(t)
+	data[0] ^= 0xFF
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	data := encode(t)
+	data[8] = 99
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestChecksumDetectsFlippedByte(t *testing.T) {
+	data := encode(t)
+	data[30] ^= 0x01 // inside the dictionary payload
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readErr error
+	for i := 0; i < len(testTerms) && readErr == nil; i++ {
+		_, readErr = r.Term()
+	}
+	for i := 0; i < len(testTriples) && readErr == nil; i++ {
+		_, _, _, readErr = r.Triple()
+	}
+	if readErr == nil {
+		readErr = r.Close()
+	}
+	if readErr == nil {
+		t.Fatal("flipped payload byte went undetected")
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	data := encode(t)
+	for _, cut := range []int{len(data) - 1, len(data) - 4, 27, 10} {
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			continue // truncated inside the header: already an error
+		}
+		var readErr error
+		for i := 0; i < len(testTerms) && readErr == nil; i++ {
+			_, readErr = r.Term()
+		}
+		for i := 0; i < len(testTriples) && readErr == nil; i++ {
+			_, _, _, readErr = r.Triple()
+		}
+		if readErr == nil {
+			readErr = r.Close()
+		}
+		if readErr == nil {
+			t.Fatalf("truncation at %d went undetected", cut)
+		}
+	}
+}
+
+func TestWriterRejectsOutOfOrderSubjects(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Triple(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Triple(1, 1, 1); err == nil {
+		t.Fatal("out-of-order subject accepted")
+	}
+}
+
+func TestCorruptStringLength(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 1, 0)
+	w.Term(rdf.IRI("http://e/x"))
+	w.Close()
+	data := buf.Bytes()
+	// Overwrite the IRI length varint with an absurd value (10 bytes, all
+	// continuation bits set except the last).
+	big := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	corrupted := append(append(append([]byte{}, data[:29]...), big...), data[30:]...)
+	r, err := NewReader(bytes.NewReader(corrupted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Term(); !errors.Is(err, ErrCorrupt) && err != io.ErrUnexpectedEOF {
+		if err == nil {
+			t.Fatal("absurd string length accepted")
+		}
+	}
+}

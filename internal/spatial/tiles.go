@@ -47,7 +47,7 @@ func NewTileStore(path string, world Rect, grid, poolPages int) (*TileStore, err
 	if grid < 1 {
 		grid = 1
 	}
-	ps, err := disk.Open(path)
+	ps, err := disk.Create(path)
 	if err != nil {
 		return nil, err
 	}

@@ -163,10 +163,13 @@ func (st *Store) Triples() []rdf.Triple {
 	return st.Match(Pattern{})
 }
 
-// EstimateCount returns an O(log n) upper-bound estimate of the triples
-// matching the pattern, from the base-index range sizes (tombstones and the
-// delta buffer are ignored — callers use this for join ordering, where
-// being a few triples off is irrelevant and being 1000× off is not).
+// EstimateCount returns an upper-bound estimate of the triples matching the
+// pattern: the base-index range size (one O(log n) binary search) plus the
+// delta entries that actually match the bound positions (the delta is capped
+// at ~1024 entries, so the linear pass is O(1) in practice). Tombstones are
+// ignored — callers use this for join ordering, where being a few triples
+// off is irrelevant and being 1000× off is not; counting the whole delta
+// against every pattern would skew reordering after an insert burst.
 func (st *Store) EstimateCount(p Pattern) int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -200,5 +203,11 @@ func (st *Store) EstimateCount(p Pattern) int {
 	default:
 		lo, hi = 0, len(st.spo)
 	}
-	return hi - lo + len(st.delta)
+	n := hi - lo
+	for _, e := range st.delta {
+		if (sid == 0 || e.s == sid) && (pid == 0 || e.p == pid) && (oid == 0 || e.o == oid) {
+			n++
+		}
+	}
+	return n
 }

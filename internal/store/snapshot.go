@@ -1,0 +1,156 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/snapshot"
+)
+
+// WriteSnapshot serializes the store to w in the versioned, checksummed
+// snapshot format (see internal/snapshot): the full term dictionary followed
+// by the sorted SPO index.
+//
+// The snapshot is a consistent point-in-time image: pending deltas and
+// tombstones are compacted first, then the dictionary and index are captured
+// under the lock and serialized outside it (merges never mutate a published
+// index slice in place, so concurrent writers cannot corrupt the capture).
+func (st *Store) WriteSnapshot(w io.Writer) error {
+	st.mu.Lock()
+	st.mergeLocked()
+	terms := st.terms[:len(st.terms):len(st.terms)]
+	spo := st.spo[:len(st.spo):len(st.spo)]
+	st.mu.Unlock()
+
+	sw, err := snapshot.NewWriter(w, len(terms)-1, len(spo))
+	if err != nil {
+		return err
+	}
+	for _, t := range terms[1:] {
+		if err := sw.Term(t); err != nil {
+			return err
+		}
+	}
+	for _, e := range spo {
+		if err := sw.Triple(uint32(e.s), uint32(e.p), uint32(e.o)); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// ReadSnapshot reconstructs a store from a snapshot stream, verifying its
+// checksum. The restored store answers queries identically to the one that
+// wrote the snapshot; its generation restarts (non-zero iff it holds
+// triples), like a freshly loaded store.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	sr, err := snapshot.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	s := New()
+	numTerms := sr.NumTerms()
+	numTriples := sr.NumTriples()
+	// Header counts are unverified until the checksum at the end of the
+	// stream, so they must not drive allocations directly: a corrupt header
+	// claiming 2^60 terms would abort the process before the checksum ever
+	// ran. IDs are uint32, which bounds any legitimate count; capacity
+	// hints are additionally capped and grown by append, so a lying header
+	// runs out of input (ErrCorrupt) instead of memory.
+	const maxCount = 1<<32 - 2
+	if numTerms > maxCount || numTriples > maxCount {
+		return nil, fmt.Errorf("%w: header claims %d terms / %d triples", snapshot.ErrCorrupt, numTerms, numTriples)
+	}
+	const maxHint = 1 << 20
+	s.terms = make([]rdf.Term, 1, min(numTerms+1, maxHint))
+	s.dict = make(map[rdf.Term]ID, min(numTerms, maxHint))
+	for i := uint64(0); i < numTerms; i++ {
+		t, err := sr.Term()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.dict[t]; dup {
+			return nil, fmt.Errorf("%w: duplicate dictionary term %v", snapshot.ErrCorrupt, t)
+		}
+		s.dict[t] = ID(len(s.terms))
+		s.terms = append(s.terms, t)
+	}
+	s.spo = make([]enc, 0, min(numTriples, maxHint))
+	var prev enc
+	for i := uint64(0); i < numTriples; i++ {
+		sv, pv, ov, err := sr.Triple()
+		if err != nil {
+			return nil, err
+		}
+		e := enc{ID(sv), ID(pv), ID(ov)}
+		if e.s == 0 || uint64(e.s) > numTerms ||
+			e.p == 0 || uint64(e.p) > numTerms ||
+			e.o == 0 || uint64(e.o) > numTerms {
+			return nil, fmt.Errorf("%w: triple %d references term outside dictionary", snapshot.ErrCorrupt, i)
+		}
+		if _, ok := s.terms[e.p].(rdf.IRI); !ok {
+			return nil, fmt.Errorf("%w: triple %d predicate is not an IRI", snapshot.ErrCorrupt, i)
+		}
+		if i > 0 && !lessSPO(prev, e) {
+			return nil, fmt.Errorf("%w: SPO index not strictly sorted at triple %d", snapshot.ErrCorrupt, i)
+		}
+		prev = e
+		s.spo = append(s.spo, e)
+	}
+	if err := sr.Close(); err != nil {
+		return nil, err
+	}
+
+	s.rebuildDerivedLocked()
+	s.size = len(s.spo)
+	if s.size > 0 {
+		s.gen = 1
+	}
+	return s, nil
+}
+
+// WriteSnapshotFile atomically persists the store to path: the snapshot is
+// written to a temporary file in the same directory, synced, and renamed
+// over the destination, so a crash mid-write can never leave a truncated
+// snapshot under the real name — readers see either the old image or the
+// new one.
+func (st *Store) WriteSnapshotFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = st.WriteSnapshot(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("store: snapshot sync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile reconstructs a store from a snapshot file.
+func ReadSnapshotFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

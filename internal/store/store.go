@@ -11,9 +11,12 @@ package store
 
 import (
 	"fmt"
+	"io"
+	"slices"
 	"sort"
 	"sync"
 
+	"github.com/lodviz/lodviz/internal/ntriples"
 	"github.com/lodviz/lodviz/internal/rdf"
 )
 
@@ -60,21 +63,32 @@ func New() *Store {
 	}
 }
 
-// Load creates a store from a slice of triples. Unlike Add, the bulk path
-// skips per-triple duplicate checks and deduplicates once during the final
-// sort, so loading is O(n log n) rather than O(n²).
+// Load creates a store from a slice of triples. It is AddBatch on a fresh
+// store plus an eager compaction, so the result starts with a fully sorted
+// base and an empty delta. The generation advances only if the input holds
+// at least one live triple: loading nothing leaves it at zero.
 func Load(triples []rdf.Triple) (*Store, error) {
 	s := New()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, t := range triples {
-		if !t.Valid() {
-			return nil, fmt.Errorf("store: invalid triple %v", t)
-		}
-		s.delta = append(s.delta, enc{s.intern(t.S), s.intern(rdf.Term(t.P)), s.intern(t.O)})
+	if _, err := s.AddBatch(triples); err != nil {
+		return nil, err
 	}
-	s.mergeLocked()
-	s.gen++
+	s.Compact()
+	return s, nil
+}
+
+// LoadNTriples streams an N-Triples document into a fresh store in bounded
+// chunks: each decoder chunk is batch-inserted as it arrives, so inputs far
+// larger than any single allocation load without materializing the whole
+// parse at once.
+func LoadNTriples(r io.Reader) (*Store, error) {
+	s := New()
+	if err := ntriples.NewDecoder(r).DecodeAll(func(chunk []rdf.Triple) error {
+		_, err := s.AddBatch(chunk)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	s.Compact()
 	return s, nil
 }
 
@@ -147,14 +161,117 @@ func (st *Store) addEncLocked(e enc) {
 	}
 }
 
-// AddAll inserts a batch of triples.
+// AddAll inserts a batch of triples atomically; see AddBatch.
 func (st *Store) AddAll(triples []rdf.Triple) error {
-	for _, t := range triples {
-		if err := st.Add(t); err != nil {
-			return err
+	_, err := st.AddBatch(triples)
+	return err
+}
+
+// AddBatch inserts a batch of triples under a single lock acquisition and
+// returns how many of them changed the live triple set (new inserts plus
+// undeletes; duplicates count zero).
+//
+// The batch is applied atomically: every triple is validated before the
+// store is touched, so an error means the store — contents, size, and
+// generation — is exactly as it was. A batch that does change the live set
+// advances the generation exactly once, however large it is, so
+// generation-keyed caches are invalidated once per batch rather than once
+// per triple.
+//
+// Unlike a loop over Add (which pays a lock round-trip and an O(|delta|)
+// duplicate scan per triple), AddBatch interns all terms, sorts and
+// in-batch-deduplicates the encoded triples, and set-differences them
+// against the base index (one binary search each) and the delta buffer (one
+// map build) — O(n log n) for the whole batch.
+func (st *Store) AddBatch(triples []rdf.Triple) (int, error) {
+	for i, t := range triples {
+		if !t.Valid() {
+			return 0, fmt.Errorf("store: invalid triple at index %d: %v", i, t)
 		}
 	}
-	return nil
+	if len(triples) == 0 {
+		return 0, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	// Bulk load into a fresh dictionary: size it for the incoming terms up
+	// front, since growing a map incrementally rehashes every key at every
+	// doubling (most of the cost of interning a large batch).
+	if len(st.dict) == 0 && len(triples) > 1024 {
+		st.dict = make(map[rdf.Term]ID, 2*len(triples))
+		st.terms = slices.Grow(st.terms, 2*len(triples))
+	}
+
+	batch := make([]enc, 0, len(triples))
+	// Predicates repeat heavily within a batch; caching their IDs by the
+	// concrete IRI type avoids boxing each one into an interface per triple.
+	pids := make(map[rdf.IRI]ID, 16)
+	var lastS rdf.Term
+	var lastSID ID
+	for _, t := range triples {
+		pid, ok := pids[t.P]
+		if !ok {
+			pid = st.intern(rdf.Term(t.P))
+			pids[t.P] = pid
+		}
+		// N-Triples dumps group statements by subject; remembering the
+		// previous subject skips most dictionary lookups.
+		sid := lastSID
+		if t.S != lastS || lastSID == 0 {
+			sid = st.intern(t.S)
+			lastS, lastSID = t.S, sid
+		}
+		batch = append(batch, enc{sid, pid, st.intern(t.O)})
+	}
+	batch = st.sortSPOLocked(batch)
+	batch = dedupe(batch)
+
+	// Bulk load into an empty store: the sorted, deduplicated batch IS the
+	// final SPO index — skip the per-element membership checks and the
+	// rebuild-everything merge.
+	if len(st.spo) == 0 && len(st.delta) == 0 && len(st.deleted) == 0 {
+		st.spo = batch
+		st.rebuildDerivedLocked()
+		st.size = len(batch)
+		if st.size > 0 {
+			st.gen++
+			st.cards = nil
+		}
+		return st.size, nil
+	}
+
+	inDelta := make(map[enc]struct{}, len(st.delta))
+	for _, e := range st.delta {
+		inDelta[e] = struct{}{}
+	}
+
+	added := 0
+	for _, e := range batch {
+		if _, dead := st.deleted[e]; dead {
+			delete(st.deleted, e)
+			st.size++
+			added++
+			continue
+		}
+		if _, pending := inDelta[e]; pending {
+			continue
+		}
+		if lo, hi := rangeSPO(st.spo, e.s, e.p, e.o); lo < hi {
+			continue
+		}
+		st.delta = append(st.delta, e)
+		st.size++
+		added++
+	}
+	if added > 0 {
+		st.gen++
+		st.cards = nil
+	}
+	if len(st.delta) > 1024 && len(st.delta) > len(st.spo)/8 {
+		st.mergeLocked()
+	}
+	return added, nil
 }
 
 // Delete removes a triple; it reports whether the triple was present.
@@ -252,20 +369,76 @@ func (st *Store) mergeLocked() {
 	st.delta = nil
 	st.deleted = make(map[enc]struct{})
 
-	st.spo = make([]enc, len(live))
-	copy(st.spo, live)
-	sort.Slice(st.spo, func(i, j int) bool { return lessSPO(st.spo[i], st.spo[j]) })
-	st.spo = dedupe(st.spo)
-
-	st.pos = make([]enc, len(st.spo))
-	copy(st.pos, st.spo)
-	sort.Slice(st.pos, func(i, j int) bool { return lessPOS(st.pos[i], st.pos[j]) })
-
-	st.osp = make([]enc, len(st.spo))
-	copy(st.osp, st.spo)
-	sort.Slice(st.osp, func(i, j int) bool { return lessOSP(st.osp[i], st.osp[j]) })
-
+	live = st.sortSPOLocked(live)
+	st.spo = dedupe(live)
+	st.rebuildDerivedLocked()
 	st.size = len(st.spo)
+}
+
+// sortSPOLocked sorts entries into (s,p,o) order. Large inputs go through
+// three stable counting passes — O(n + |dict|), no comparisons — which is
+// what makes bulk ingestion cheap; small inputs fall back to a comparison
+// sort so a trickle insert into a huge dictionary doesn't pay for
+// dictionary-sized counting arrays. The returned slice may use different
+// backing storage than the input.
+func (st *Store) sortSPOLocked(in []enc) []enc {
+	if len(in) < len(st.terms)/4 {
+		slices.SortFunc(in, cmpSPO)
+		return in
+	}
+	tmp := make([]enc, len(in))
+	counts := make([]uint32, len(st.terms))
+	countingPass(in, tmp, counts, byO) // least significant key first
+	clear(counts)
+	countingPass(tmp, in, counts, byP)
+	clear(counts)
+	countingPass(in, tmp, counts, byS)
+	return tmp
+}
+
+// rebuildDerivedLocked derives the OSP and POS indexes from a sorted,
+// deduplicated SPO index. Two stable counting passes do it without a single
+// comparison: spo is ordered (s,p,o), so stably reordering it by o leaves
+// ties ordered (s,p) — exactly OSP — and stably reordering OSP by p leaves
+// ties ordered (o,s) — exactly POS. Small indexes with outsized
+// dictionaries fall back to comparison sorts.
+func (st *Store) rebuildDerivedLocked() {
+	n := len(st.spo)
+	st.osp = make([]enc, n)
+	st.pos = make([]enc, n)
+	if n < len(st.terms)/4 {
+		copy(st.osp, st.spo)
+		slices.SortFunc(st.osp, cmpOSP)
+		copy(st.pos, st.spo)
+		slices.SortFunc(st.pos, cmpPOS)
+		return
+	}
+	counts := make([]uint32, len(st.terms))
+	countingPass(st.spo, st.osp, counts, byO)
+	clear(counts)
+	countingPass(st.osp, st.pos, counts, byP)
+}
+
+func byS(e enc) ID { return e.s }
+func byP(e enc) ID { return e.p }
+func byO(e enc) ID { return e.o }
+
+// countingPass stably reorders src into dst by key. counts must be zeroed
+// and sized past the largest ID; it is left dirty.
+func countingPass(src, dst []enc, counts []uint32, key func(enc) ID) {
+	for _, e := range src {
+		counts[key(e)]++
+	}
+	sum := uint32(0)
+	for i, c := range counts {
+		counts[i] = sum
+		sum += c
+	}
+	for _, e := range src {
+		k := key(e)
+		dst[counts[k]] = e
+		counts[k]++
+	}
 }
 
 func dedupe(s []enc) []enc {
@@ -280,6 +453,75 @@ func dedupe(s []enc) []enc {
 		}
 	}
 	return s[:w]
+}
+
+// cmpSPO/cmpPOS/cmpOSP are the three permutation orders as three-way
+// comparisons for slices.SortFunc (which sorts concrete []enc without the
+// reflection overhead of sort.Slice — merges are on the bulk-write path).
+func cmpSPO(a, b enc) int {
+	if a.s != b.s {
+		if a.s < b.s {
+			return -1
+		}
+		return 1
+	}
+	if a.p != b.p {
+		if a.p < b.p {
+			return -1
+		}
+		return 1
+	}
+	if a.o != b.o {
+		if a.o < b.o {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func cmpPOS(a, b enc) int {
+	if a.p != b.p {
+		if a.p < b.p {
+			return -1
+		}
+		return 1
+	}
+	if a.o != b.o {
+		if a.o < b.o {
+			return -1
+		}
+		return 1
+	}
+	if a.s != b.s {
+		if a.s < b.s {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func cmpOSP(a, b enc) int {
+	if a.o != b.o {
+		if a.o < b.o {
+			return -1
+		}
+		return 1
+	}
+	if a.s != b.s {
+		if a.s < b.s {
+			return -1
+		}
+		return 1
+	}
+	if a.p != b.p {
+		if a.p < b.p {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 func lessSPO(a, b enc) bool {

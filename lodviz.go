@@ -32,7 +32,6 @@ import (
 	"github.com/lodviz/lodviz/internal/core"
 	"github.com/lodviz/lodviz/internal/facet"
 	"github.com/lodviz/lodviz/internal/gen"
-	"github.com/lodviz/lodviz/internal/ntriples"
 	"github.com/lodviz/lodviz/internal/rdf"
 	"github.com/lodviz/lodviz/internal/registry"
 	"github.com/lodviz/lodviz/internal/server"
@@ -128,13 +127,12 @@ func LoadTurtle(src string) (*Dataset, error) {
 	return &Dataset{st: st}, nil
 }
 
-// LoadNTriples streams an N-Triples document into a dataset.
+// LoadNTriples streams an N-Triples document into a dataset in bounded
+// chunks: the input is decoded and batch-inserted incrementally, so inputs
+// far larger than memory-resident slices load without materializing the
+// whole parse at once.
 func LoadNTriples(r io.Reader) (*Dataset, error) {
-	triples, err := ntriples.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("lodviz: %w", err)
-	}
-	st, err := store.Load(triples)
+	st, err := store.LoadNTriples(r)
 	if err != nil {
 		return nil, fmt.Errorf("lodviz: %w", err)
 	}
@@ -159,6 +157,29 @@ func (d *Dataset) Len() int { return d.st.Len() }
 
 // Add inserts a triple (the dynamic-data path: no reload required).
 func (d *Dataset) Add(t Triple) error { return d.st.Add(t) }
+
+// AddBatch inserts a batch of triples atomically under one lock
+// acquisition, returning how many changed the live triple set. The whole
+// batch is validated before anything is applied — on error the dataset is
+// untouched — and an effective batch advances the generation exactly once.
+// This is the bulk-ingestion path: at scale it is an order of magnitude
+// faster than looping over Add.
+func (d *Dataset) AddBatch(triples []Triple) (int, error) { return d.st.AddBatch(triples) }
+
+// WriteSnapshot serializes the dataset to w in the versioned, checksummed
+// lodviz snapshot format — a consistent point-in-time image that
+// ReadSnapshot restores to an identically answering dataset.
+func (d *Dataset) WriteSnapshot(w io.Writer) error { return d.st.WriteSnapshot(w) }
+
+// ReadSnapshot restores a dataset previously serialized with WriteSnapshot,
+// verifying the embedded checksum.
+func ReadSnapshot(r io.Reader) (*Dataset, error) {
+	st, err := store.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("lodviz: %w", err)
+	}
+	return &Dataset{st: st}, nil
+}
 
 // QueryOptions configure SPARQL evaluation.
 type QueryOptions struct {
