@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint fmt check cover-server fuzz-smoke serve
+.PHONY: build test race bench bench-smoke lint fmt check cover-server fuzz-smoke serve serve-cluster
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,13 @@ test:
 
 # Race-detector pass over the concurrent packages: query engine, store
 # (including the snapshot round-trip under concurrent writers), snapshot
-# format, HTTP server, and the sharded response cache.
+# format, the federation mesh (parallel bind-join batches, circuit
+# breakers, TTL cache), HTTP server, and the sharded response cache; plus
+# the multi-node federation smoke (two httptest lodvizd instances answering
+# one SERVICE query).
 race:
-	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/server/...
+	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/federation/... ./internal/server/...
+	$(GO) test -race -run 'Federated|ServiceSilent' .
 
 # Coverage gate for the HTTP server subsystem (the CI threshold).
 cover-server:
@@ -24,25 +28,41 @@ cover-server:
 	echo "internal/server coverage: $$total%"; \
 	awk "BEGIN { exit !($$total >= 80) }" || { echo "FAIL: coverage $$total% < 80%"; exit 1; }
 
-# Short coverage-guided fuzz smoke over the text-format parsers.
+# Short coverage-guided fuzz smoke over the text-format parsers and the
+# federation results decoder (it consumes untrusted remote bytes).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseQuery -fuzztime=10s ./internal/sparql
 	$(GO) test -fuzz=FuzzNTriples -fuzztime=10s ./internal/ntriples
+	$(GO) test -fuzz=FuzzDecodeResults -fuzztime=10s ./internal/federation
 
 # Run the exploration server on the embedded demo dataset.
 serve:
 	$(GO) run ./cmd/lodvizd -addr :8080
 
+# Run a local two-node federation mesh on :8081/:8082, each peered with the
+# other, both serving the embedded demo dataset. Try:
+#   curl localhost:8081/federation
+#   curl -G localhost:8081/sparql --data-urlencode \
+#     'query=SELECT * WHERE { SERVICE <http://localhost:8082/sparql> { ?s ?p ?o } } LIMIT 5'
+serve-cluster:
+	$(GO) build -o /tmp/lodvizd-cluster ./cmd/lodvizd
+	/tmp/lodvizd-cluster -addr :8081 -peer http://localhost:8082/sparql & \
+	/tmp/lodvizd-cluster -addr :8082 -peer http://localhost:8081/sparql & \
+	wait
+
 # Full benchmark suite (slow; see bench-smoke for the CI variant).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-# One-iteration smoke of the BGP join benchmarks and the ingestion
-# benchmarks (bulk AddBatch vs the per-triple Add loop at 100k triples):
-# verifies the benchmark paths execute, without timing noise gating CI.
+# One-iteration smoke of the BGP join benchmarks, the ingestion benchmarks
+# (bulk AddBatch vs the per-triple Add loop at 100k triples), and the
+# federation bind-join benchmarks (batched VALUES dispatch vs
+# one-request-per-binding at 1k bindings): verifies the benchmark paths
+# execute, without timing noise gating CI.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BGP -benchtime=1x .
 	$(GO) test -run='^$$' -bench='AddBatch|AddAll|AddSequential|SnapshotWrite' -benchtime=1x ./internal/store
+	$(GO) test -run='^$$' -bench=BindJoin -benchtime=1x ./internal/federation
 
 lint:
 	$(GO) vet ./...

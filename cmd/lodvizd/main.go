@@ -24,6 +24,24 @@
 //	                    shedding with 429 (default 64)
 //	-timeout duration   per-query evaluation timeout (default 30s)
 //	-facet-values int   max values listed per facet on /facets (default 25)
+//	-peer url           remote SPARQL endpoint to federate with; repeatable.
+//	                    Peers answer SERVICE clauses and show up on
+//	                    /federation with live health state
+//	-federation-probe duration
+//	                    peer health-probe interval (default 30s); every
+//	                    10th probe also refreshes the per-predicate
+//	                    capability summaries; 0 disables background upkeep
+//	-federation-restrict
+//	                    refuse SERVICE dispatch to endpoints not listed
+//	                    with -peer — recommended when /sparql is exposed
+//	                    to untrusted clients, since query text can name
+//	                    arbitrary URLs (server-side request forgery)
+//
+// With -peer, this node joins an exploration mesh: queries may span
+// endpoints with SERVICE <peer/sparql> { ... } clauses, evaluated as
+// batched parallel bind joins. Failing peers are circuit-broken (and probed
+// back in), and SERVICE SILENT degrades to the local partial result when a
+// peer is down.
 //
 // Repeated identical exploration requests are served from a sharded LRU
 // cache keyed by the normalized request and the store's content generation;
@@ -50,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/lodviz/lodviz/internal/federation"
 	"github.com/lodviz/lodviz/internal/gen"
 	"github.com/lodviz/lodviz/internal/server"
 	"github.com/lodviz/lodviz/internal/store"
@@ -66,6 +85,16 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent requests per endpoint before 429 shedding (0 = default 64)")
 	timeout := flag.Duration("timeout", 0, "per-query evaluation timeout (0 = default 30s)")
 	facetValues := flag.Int("facet-values", 0, "max values listed per facet (0 = default 25)")
+	var peers []string
+	flag.Func("peer", "remote SPARQL endpoint URL to federate with (repeatable)", func(v string) error {
+		if v == "" {
+			return fmt.Errorf("empty peer URL")
+		}
+		peers = append(peers, v)
+		return nil
+	})
+	probeInterval := flag.Duration("federation-probe", 30*time.Second, "peer health-probe interval; capabilities refresh every 10th probe (0 disables background upkeep)")
+	restrictPeers := flag.Bool("federation-restrict", false, "refuse SERVICE dispatch to endpoints not listed with -peer (SSRF hardening for exposed deployments)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -76,6 +105,10 @@ func main() {
 	}
 	logger.Info("dataset loaded", "source", source, "triples", st.Len(), "terms", st.NumTerms())
 
+	mesh := federation.NewMesh(federation.Options{RestrictToPeers: *restrictPeers})
+	for _, p := range peers {
+		mesh.AddPeer(p)
+	}
 	srv := server.New(st, server.Config{
 		Parallelism:    *parallelism,
 		CacheCapacity:  *cacheSize,
@@ -83,10 +116,20 @@ func main() {
 		QueryTimeout:   *timeout,
 		MaxFacetValues: *facetValues,
 		Logger:         logger,
+		Mesh:           mesh,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if len(peers) > 0 {
+		logger.Info("federation enabled", "peers", len(peers), "probeInterval", probeInterval.String())
+		if *probeInterval > 0 {
+			// Background upkeep: health-probe peers (closing open circuits
+			// without live traffic) and refresh capability summaries.
+			go mesh.Maintain(ctx, *probeInterval)
+		}
+	}
 
 	var snap *snapshotter
 	if *snapshotPath != "" {

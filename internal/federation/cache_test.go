@@ -1,0 +1,71 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/sparql"
+)
+
+func rows(n int) []sparql.Binding {
+	out := make([]sparql.Binding, n)
+	for i := range out {
+		out[i] = sparql.Binding{"s": rdf.NewInteger(int64(i))}
+	}
+	return out
+}
+
+func TestResultCacheHitAndTTL(t *testing.T) {
+	clock := newFakeClock()
+	c := NewResultCache(64, 10*time.Second)
+	c.now = clock.now
+
+	key := Key("http://a/sparql", "SELECT * WHERE { ?s ?p ?o }")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(key, rows(3))
+	got, ok := c.Get(key)
+	if !ok || len(got) != 3 {
+		t.Fatalf("Get after Put: ok=%v len=%d", ok, len(got))
+	}
+
+	// Within TTL: still served.
+	clock.advance(9 * time.Second)
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	// Past TTL: expired and removed.
+	clock.advance(2 * time.Second)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("entry served after TTL")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 hits 2 misses", st)
+	}
+	if st.Entries != 0 {
+		t.Errorf("expired entry still counted: %+v", st)
+	}
+}
+
+func TestResultCacheEviction(t *testing.T) {
+	c := NewResultCache(16, time.Minute) // 1 entry per shard
+	for i := 0; i < 200; i++ {
+		c.Put(Key("http://a/", fmt.Sprintf("q%d", i)), rows(1))
+	}
+	if n := c.Len(); n > 16 {
+		t.Errorf("cache grew to %d entries, cap 16", n)
+	}
+}
+
+func TestResultCacheKeySeparatesEndpoints(t *testing.T) {
+	c := NewResultCache(64, time.Minute)
+	q := "SELECT * WHERE { ?s ?p ?o }"
+	c.Put(Key("http://a/sparql", q), rows(1))
+	if _, ok := c.Get(Key("http://b/sparql", q)); ok {
+		t.Fatal("same query on another endpoint must miss")
+	}
+}

@@ -1,0 +1,142 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/lodviz/lodviz/internal/sparql"
+)
+
+// ClientOptions tune one endpoint client. The zero value selects the
+// defaults documented on each field.
+type ClientOptions struct {
+	// HTTPClient is the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// Timeout bounds one request attempt, connect-to-last-byte
+	// (non-positive = 10s).
+	Timeout time.Duration
+	// Retries is how many times a failed request is retried on transient
+	// failures — network errors, 429s and 5xx responses (negative = 0,
+	// zero value = 2).
+	Retries int
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	return o
+}
+
+// maxResponseBytes bounds one remote response body. Remote endpoints are
+// untrusted input just like POSTed triples (which share the same 64 MiB
+// cap): without a bound, one malicious or broken endpoint streaming an
+// endless bindings array would grow res.Rows until the process dies. A
+// response cut off at the cap fails decoding with a truncation error.
+const maxResponseBytes = 64 << 20
+
+// Client speaks the SPARQL 1.1 Protocol query operation against one remote
+// endpoint: queries go out as POSTed forms, results come back as SPARQL-JSON
+// and are decoded streamingly. Safe for concurrent use.
+type Client struct {
+	endpoint string
+	opt      ClientOptions
+}
+
+// NewClient returns a client for the endpoint URL.
+func NewClient(endpoint string, opt ClientOptions) *Client {
+	return &Client{endpoint: endpoint, opt: opt.withDefaults()}
+}
+
+// Endpoint returns the endpoint URL the client targets.
+func (c *Client) Endpoint() string { return c.endpoint }
+
+// errStatus is a non-2xx protocol response; transient() decides retry.
+type errStatus struct {
+	code int
+	body string
+}
+
+func (e *errStatus) Error() string {
+	if e.body == "" {
+		return fmt.Sprintf("endpoint returned HTTP %d", e.code)
+	}
+	return fmt.Sprintf("endpoint returned HTTP %d: %s", e.code, e.body)
+}
+
+func (e *errStatus) transient() bool {
+	return e.code == http.StatusTooManyRequests || e.code >= 500
+}
+
+// Query executes one SPARQL query against the endpoint and decodes the
+// SPARQL-JSON response. Each attempt runs under its own timeout; transient
+// failures are retried with a short backoff until the retry budget or ctx
+// runs out.
+func (c *Client) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(attempt) * 50 * time.Millisecond
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		res, err := c.queryOnce(ctx, query)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var se *errStatus
+		if errors.As(err, &se) && !se.transient() {
+			break // the endpoint understood us and said no; retrying won't help
+		}
+	}
+	return nil, fmt.Errorf("federation: querying %s: %w", c.endpoint, lastErr)
+}
+
+func (c *Client) queryOnce(ctx context.Context, query string) (*sparql.Results, error) {
+	actx, cancel := context.WithTimeout(ctx, c.opt.Timeout)
+	defer cancel()
+
+	form := url.Values{"query": {query}}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.endpoint, strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Accept", sparql.JSONContentType)
+	req.Header.Set("User-Agent", "lodviz-federation/1.0")
+
+	resp, err := c.opt.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &errStatus{code: resp.StatusCode, body: strings.TrimSpace(string(snippet))}
+	}
+	return DecodeResults(io.LimitReader(resp.Body, maxResponseBytes))
+}

@@ -1,0 +1,150 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/sparql"
+)
+
+// DecodeTerm maps one SPARQL-JSON term back to an rdf.Term — the inverse of
+// sparql.EncodeTerm. "typed-literal" is accepted as a legacy alias for
+// "literal" (older endpoints emit it).
+func DecodeTerm(jt sparql.JSONTerm) (rdf.Term, error) {
+	switch jt.Type {
+	case "uri":
+		return rdf.IRI(jt.Value), nil
+	case "bnode":
+		return rdf.BlankNode(jt.Value), nil
+	case "literal", "typed-literal":
+		switch {
+		case jt.Lang != "":
+			return rdf.NewLangLiteral(jt.Value, jt.Lang), nil
+		case jt.Datatype != "":
+			return rdf.NewTypedLiteral(jt.Value, rdf.IRI(jt.Datatype)), nil
+		default:
+			return rdf.NewLiteral(jt.Value), nil
+		}
+	default:
+		return nil, fmt.Errorf("federation: unknown term type %q", jt.Type)
+	}
+}
+
+// DecodeResults reads a SPARQL 1.1 Query Results JSON document from r and
+// reconstructs the sparql.Results it encodes. The results.bindings array is
+// decoded streamingly — one solution at a time through json.Decoder — so a
+// large remote result set never materializes as one raw JSON blob. Top-level
+// keys may arrive in any order; unknown keys are skipped.
+func DecodeResults(r io.Reader) (*sparql.Results, error) {
+	dec := json.NewDecoder(r)
+	res := &sparql.Results{Form: sparql.FormSelect}
+
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, err
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, decodeErr(err)
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return nil, fmt.Errorf("federation: malformed results document: non-string key %v", keyTok)
+		}
+		switch key {
+		case "head":
+			var head struct {
+				Vars []string `json:"vars"`
+			}
+			if err := dec.Decode(&head); err != nil {
+				return nil, decodeErr(err)
+			}
+			res.Vars = head.Vars
+		case "boolean":
+			var b bool
+			if err := dec.Decode(&b); err != nil {
+				return nil, decodeErr(err)
+			}
+			res.Form = sparql.FormAsk
+			res.Ask = b
+		case "results":
+			if err := decodeBindings(dec, res); err != nil {
+				return nil, err
+			}
+		default:
+			// Skip unknown values (e.g. "link") without materializing them.
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil, decodeErr(err)
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// decodeBindings consumes the value of the "results" key: an object whose
+// "bindings" member is an array of solutions, streamed one element at a time.
+func decodeBindings(dec *json.Decoder, res *sparql.Results) error {
+	if err := expectDelim(dec, '{'); err != nil {
+		return err
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return decodeErr(err)
+		}
+		key, _ := keyTok.(string)
+		if key != "bindings" {
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return decodeErr(err)
+			}
+			continue
+		}
+		if err := expectDelim(dec, '['); err != nil {
+			return err
+		}
+		for dec.More() {
+			var row map[string]sparql.JSONTerm
+			if err := dec.Decode(&row); err != nil {
+				return decodeErr(err)
+			}
+			b := make(sparql.Binding, len(row))
+			for name, jt := range row {
+				t, err := DecodeTerm(jt)
+				if err != nil {
+					return fmt.Errorf("%w (variable ?%s)", err, name)
+				}
+				b[name] = t
+			}
+			res.Rows = append(res.Rows, b)
+		}
+		if err := expectDelim(dec, ']'); err != nil {
+			return err
+		}
+	}
+	return expectDelim(dec, '}')
+}
+
+func expectDelim(dec *json.Decoder, want rune) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return decodeErr(err)
+	}
+	if d, ok := tok.(json.Delim); !ok || rune(d) != want {
+		return fmt.Errorf("federation: malformed results document: expected %q, found %v", want, tok)
+	}
+	return nil
+}
+
+func decodeErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("federation: truncated results document")
+	}
+	return fmt.Errorf("federation: decoding results: %w", err)
+}

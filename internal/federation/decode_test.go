@@ -1,0 +1,169 @@
+package federation
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/sparql"
+)
+
+// randTerm generates one canonical rdf.Term of a random kind. Only
+// constructor-built terms are generated, so equality after a round trip is
+// exact Go equality.
+func randTerm(rng *rand.Rand) rdf.Term {
+	switch rng.Intn(6) {
+	case 0:
+		return rdf.IRI(fmt.Sprintf("http://example.org/resource/%d", rng.Intn(1000)))
+	case 1:
+		return rdf.BlankNode(fmt.Sprintf("b%d", rng.Intn(100)))
+	case 2:
+		return rdf.NewLiteral(randText(rng))
+	case 3:
+		langs := []string{"en", "fr", "el", "de-at"}
+		return rdf.NewLangLiteral(randText(rng), langs[rng.Intn(len(langs))])
+	case 4:
+		return rdf.NewInteger(rng.Int63n(1 << 40))
+	default:
+		dts := []rdf.IRI{rdf.XSDDouble, rdf.XSDDecimal, rdf.XSDDateTime, rdf.XSDBoolean, rdf.IRI("http://example.org/custom")}
+		return rdf.NewTypedLiteral(randText(rng), dts[rng.Intn(len(dts))])
+	}
+}
+
+func randText(rng *rand.Rand) string {
+	alphabet := []rune(`abc XYZ 012 "quoted" \slash	tab
+newline ελληνικά ünïcode`)
+	n := rng.Intn(12)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// TestJSONRoundTripProperty encodes randomly generated result sets with the
+// sparql package's serializer and decodes them with the federation decoder:
+// the bindings must survive byte-exact (typed literals, language tags, and
+// blank nodes included).
+func TestJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vars := []string{"s", "p", "o", "x"}
+	for trial := 0; trial < 200; trial++ {
+		in := &sparql.Results{Form: sparql.FormSelect, Vars: vars}
+		nrows := rng.Intn(8)
+		for i := 0; i < nrows; i++ {
+			row := sparql.Binding{}
+			for _, v := range vars {
+				if rng.Intn(4) == 0 {
+					continue // leave unbound
+				}
+				row[v] = randTerm(rng)
+			}
+			in.Rows = append(in.Rows, row)
+		}
+		body, err := in.JSON()
+		if err != nil {
+			t.Fatalf("trial %d: JSON: %v", trial, err)
+		}
+		out, err := DecodeResults(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("trial %d: DecodeResults: %v\nbody: %s", trial, err, body)
+		}
+		if out.Form != sparql.FormSelect {
+			t.Fatalf("trial %d: form = %v", trial, out.Form)
+		}
+		if len(out.Vars) != len(in.Vars) {
+			t.Fatalf("trial %d: vars = %v, want %v", trial, out.Vars, in.Vars)
+		}
+		if len(out.Rows) != len(in.Rows) {
+			t.Fatalf("trial %d: %d rows, want %d", trial, len(out.Rows), len(in.Rows))
+		}
+		for i, want := range in.Rows {
+			got := out.Rows[i]
+			if len(got) != len(want) {
+				t.Fatalf("trial %d row %d: %v, want %v", trial, i, got, want)
+			}
+			for k, wv := range want {
+				if gv, ok := got[k]; !ok || gv != wv {
+					t.Fatalf("trial %d row %d var %s: %#v, want %#v", trial, i, k, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+func TestJSONRoundTripAsk(t *testing.T) {
+	for _, ask := range []bool{true, false} {
+		in := &sparql.Results{Form: sparql.FormAsk, Ask: ask}
+		body, err := in.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		out, err := DecodeResults(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("DecodeResults: %v", err)
+		}
+		if out.Form != sparql.FormAsk || out.Ask != ask {
+			t.Errorf("round trip: form=%v ask=%v, want ask=%v", out.Form, out.Ask, ask)
+		}
+	}
+}
+
+func TestDecodeResultsKeyOrderAndUnknownKeys(t *testing.T) {
+	// head after results, plus unknown members, per the "any order" contract.
+	doc := `{"link": ["http://x/meta"], "results": {"bindings": [
+		{"s": {"type": "uri", "value": "http://x/a"}}
+	]}, "head": {"vars": ["s"]}}`
+	res, err := DecodeResults(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("DecodeResults: %v", err)
+	}
+	if len(res.Vars) != 1 || res.Vars[0] != "s" {
+		t.Errorf("vars = %v", res.Vars)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["s"] != rdf.IRI("http://x/a") {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestDecodeResultsErrors(t *testing.T) {
+	for _, doc := range []string{
+		``,
+		`[]`,
+		`{"results": {"bindings": [{"s": {"type": "alien", "value": "x"}}]}}`,
+		`{"results": {"bindings": [`,
+		`{"head":`,
+	} {
+		if _, err := DecodeResults(strings.NewReader(doc)); err == nil {
+			t.Errorf("DecodeResults(%q): expected error", doc)
+		}
+	}
+}
+
+// FuzzDecodeResults asserts the decoder never panics on arbitrary input and
+// accepts everything the serializer emits.
+func FuzzDecodeResults(f *testing.F) {
+	seed := &sparql.Results{Form: sparql.FormSelect, Vars: []string{"s", "o"}, Rows: []sparql.Binding{
+		{"s": rdf.IRI("http://x/a"), "o": rdf.NewLangLiteral("héllo", "fr")},
+		{"o": rdf.NewInteger(42)},
+	}}
+	body, _ := seed.JSON()
+	f.Add(string(body))
+	askBody, _ := (&sparql.Results{Form: sparql.FormAsk, Ask: true}).JSON()
+	f.Add(string(askBody))
+	f.Add(`{"head": {"vars": []}, "results": {"bindings": []}}`)
+	f.Add(`{"results": {"bindings": [{"s": {"type": "bnode", "value": "b0"}}]}}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		res, err := DecodeResults(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode without error.
+		if _, err := res.JSON(); err != nil {
+			t.Fatalf("re-encoding decoded results: %v", err)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package keyword
+
+import (
+	"sync"
+
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Lazy is a generation-tracked, lazily built Index over one store: the
+// inverted index is a full-store scan, so it is built on first use and
+// rebuilt only when the store's content generation has moved. One Lazy can
+// back several consumers (the HTTP server and the façade share one), which
+// keeps a dataset to a single index copy per generation. Safe for
+// concurrent use; concurrent callers during a rebuild serialize so the
+// scan runs once.
+type Lazy struct {
+	st *store.Store
+
+	mu  sync.Mutex
+	idx *Index
+	gen uint64
+}
+
+// NewLazy returns a lazy index over st; nothing is built until Index.
+func NewLazy(st *store.Store) *Lazy { return &Lazy{st: st} }
+
+// Index returns the index for the store's current generation, (re)building
+// it if the store changed since the last call.
+func (l *Lazy) Index() *Index {
+	gen := l.st.Generation()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.idx == nil || l.gen != gen {
+		l.idx = BuildIndex(l.st)
+		l.gen = gen
+	}
+	return l.idx
+}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/lodviz/lodviz/internal/core"
 	"github.com/lodviz/lodviz/internal/facet"
+	"github.com/lodviz/lodviz/internal/federation"
 	"github.com/lodviz/lodviz/internal/graph"
 	"github.com/lodviz/lodviz/internal/ntriples"
 	"github.com/lodviz/lodviz/internal/rdf"
@@ -28,18 +29,21 @@ const maxIngestBytes = 64 << 20
 // arrives as ?query= on GET, as a form field on an urlencoded POST, or as
 // the raw body with Content-Type application/sparql-query. Results are
 // SPARQL JSON. Responses are cached under the whitespace/comment-normalized
-// query text plus the store generation.
+// query text plus the store generation — except queries with a SERVICE
+// clause, whose results depend on remote data the local generation cannot
+// see; those bypass the response cache and rely on the federation layer's
+// TTL-bounded remote-result cache instead.
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	q, errStatus, errMsg := sparqlQueryText(r)
 	if errStatus != 0 {
 		writeError(w, errStatus, errMsg)
 		return
 	}
-	key := fmt.Sprintf("sparql|%s|g%d", NormalizeQuery(q), s.st.Generation())
-	s.serveCached(w, r, key, func() ([]byte, string, int) {
+	norm := NormalizeQuery(q)
+	build := func() ([]byte, string, int) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
 		defer cancel()
-		res, err := sparql.ExecCtx(ctx, s.st, q, sparql.Options{Parallelism: s.cfg.Parallelism})
+		res, err := sparql.ExecCtx(ctx, s.st, q, sparql.Options{Parallelism: s.cfg.Parallelism, Service: s.mesh})
 		if err != nil {
 			status, msg := queryError(err)
 			return errorJSON(msg), "application/json", status
@@ -49,7 +53,31 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 			return errorJSON("encoding results: " + err.Error()), "application/json", http.StatusInternalServerError
 		}
 		return body, sparql.JSONContentType, http.StatusOK
-	})
+	}
+	if queryUsesService(norm, q) {
+		s.serveUncached(w, r, build)
+		return
+	}
+	key := fmt.Sprintf("sparql|%s|g%d", norm, s.st.Generation())
+	s.serveCached(w, r, key, build)
+}
+
+// queryUsesService detects a SERVICE clause exactly. The substring check
+// is a pre-filter keeping the common cached path parse-free (a SERVICE
+// clause cannot exist without the literal keyword; comments are already
+// stripped from norm); only queries containing the word pay one extra
+// parse, so an IRI or literal that merely mentions "service" keeps its
+// cacheability. Unparseable queries return true — the 400 they produce is
+// not cacheable anyway.
+func queryUsesService(norm, raw string) bool {
+	if !strings.Contains(strings.ToUpper(norm), "SERVICE") {
+		return false
+	}
+	parsed, err := sparql.Parse(raw)
+	if err != nil {
+		return true
+	}
+	return sparql.HasService(parsed.Where)
 }
 
 // sparqlQueryText extracts the query string per the SPARQL Protocol; a
@@ -377,6 +405,108 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Triples:    s.st.Len(),
 		Generation: s.st.Generation(),
 	})
+}
+
+// limitParam reads a positive ?limit= capped at 100 (default def).
+func limitParam(r *http.Request, def int) (int, error) {
+	v := r.URL.Query().Get("limit")
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("limit must be a positive integer")
+	}
+	if n > 100 {
+		n = 100
+	}
+	return n, nil
+}
+
+// searchResponse is the /search JSON shape.
+type searchResponse struct {
+	Query string          `json:"query"`
+	Hits  []searchHitJSON `json:"hits"`
+}
+
+type searchHitJSON struct {
+	Entity  sparql.JSONTerm `json:"entity"`
+	Score   float64         `json:"score"`
+	Snippet string          `json:"snippet"`
+}
+
+// handleSearch serves TF-IDF ranked keyword search over the dataset's
+// literals and local names (q=<text>, limit=<n> default 10) — the "find a
+// starting node" primitive of node-centric exploration, now reachable over
+// HTTP.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	limit, err := limitParam(r, 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
+		resp := searchResponse{Query: q, Hits: []searchHitJSON{}}
+		for _, h := range s.kw.Index().Search(q, limit) {
+			resp.Hits = append(resp.Hits, searchHitJSON{
+				Entity:  sparql.EncodeTerm(h.Entity),
+				Score:   h.Score,
+				Snippet: h.Snippet,
+			})
+		}
+		return mustJSON(resp)
+	})
+}
+
+// completeResponse is the /complete JSON shape.
+type completeResponse struct {
+	Prefix      string   `json:"prefix"`
+	Completions []string `json:"completions"`
+}
+
+// handleComplete serves prefix completion over the indexed tokens
+// (prefix=<text>, limit=<n> default 10) — the type-ahead primitive.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	if strings.TrimSpace(prefix) == "" {
+		writeError(w, http.StatusBadRequest, "missing prefix parameter")
+		return
+	}
+	limit, err := limitParam(r, 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
+		comps := s.kw.Index().Complete(prefix, limit)
+		if comps == nil {
+			comps = []string{}
+		}
+		return mustJSON(completeResponse{Prefix: prefix, Completions: comps})
+	})
+}
+
+// federationResponse is the /federation JSON shape.
+type federationResponse struct {
+	Endpoints []federation.EndpointStatus `json:"endpoints"`
+	Cache     *federation.CacheStats      `json:"cache,omitempty"`
+}
+
+// handleFederation reports the health of every remote endpoint this node
+// federates with — circuit state, latency EWMA, failure counts, capability
+// coverage — plus the remote-result cache counters. Never cached: it is the
+// operator's live view of the mesh.
+func (s *Server) handleFederation(w http.ResponseWriter, r *http.Request) {
+	resp := federationResponse{Endpoints: s.mesh.Status()}
+	if cs, ok := s.mesh.CacheStats(); ok {
+		resp.Cache = &cs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // healthzResponse is the /healthz JSON shape.

@@ -35,8 +35,11 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
+	"github.com/lodviz/lodviz/internal/federation"
+	"github.com/lodviz/lodviz/internal/keyword"
 	"github.com/lodviz/lodviz/internal/server/cache"
 	"github.com/lodviz/lodviz/internal/sparql"
 	"github.com/lodviz/lodviz/internal/store"
@@ -62,6 +65,16 @@ type Config struct {
 	MaxFacetValues int
 	// Logger receives structured access and lifecycle logs (nil = stderr).
 	Logger *slog.Logger
+	// Mesh is the federation runtime answering SERVICE clauses; nil builds
+	// a default mesh, so federated queries work out of the box.
+	Mesh *federation.Mesh
+	// Peers pre-registers remote SPARQL endpoints with the mesh (the
+	// -peer flags of lodvizd).
+	Peers []string
+	// Keyword is the shared lazy keyword index backing /search and
+	// /complete; nil builds one. The façade passes its own so a dataset
+	// serving HTTP keeps a single index copy.
+	Keyword *keyword.Lazy
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +101,8 @@ type Server struct {
 	st    *store.Store
 	cfg   Config
 	cache *cache.Cache // nil when caching is disabled
+	mesh  *federation.Mesh
+	kw    *keyword.Lazy
 	mux   *http.ServeMux
 
 	// limiterHook, when set by tests, runs while the request holds its
@@ -101,13 +116,27 @@ func New(st *store.Store, cfg Config) *Server {
 	if cfg.CacheCapacity >= 0 {
 		s.cache = cache.New(cfg.CacheCapacity)
 	}
+	s.mesh = s.cfg.Mesh
+	if s.mesh == nil {
+		s.mesh = federation.NewMesh(federation.Options{})
+	}
+	for _, p := range s.cfg.Peers {
+		s.mesh.AddPeer(p)
+	}
+	s.kw = s.cfg.Keyword
+	if s.kw == nil {
+		s.kw = keyword.NewLazy(st)
+	}
 	s.mux = http.NewServeMux()
 	s.route("/sparql", s.handleSPARQL, "GET", "POST")
 	s.route("/facets", s.handleFacets, "GET")
 	s.route("/graph/neighborhood", s.handleNeighborhood, "GET")
 	s.route("/hetree", s.handleHETree, "GET")
 	s.route("/stats", s.handleStats, "GET")
-	s.route("/triples", s.handleIngest, "POST")
+	s.route("/search", s.handleSearch, "GET")
+	s.route("/complete", s.handleComplete, "GET")
+	s.route("/federation", s.handleFederation, "GET")
+	s.writeRoute("/triples", s.handleIngest, "POST")
 	s.route("/healthz", s.handleHealthz, "GET")
 	return s
 }
@@ -115,15 +144,47 @@ func New(st *store.Store, cfg Config) *Server {
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// route registers h under path behind the standard middleware stack:
-// access logging outermost, then the per-endpoint concurrency limiter,
-// then method filtering.
+// route registers a read endpoint under path behind the standard
+// middleware stack: access logging outermost, then permissive CORS
+// (headers on every response, OPTIONS preflights answered in place), then
+// the per-endpoint concurrency limiter, then method filtering.
 func (s *Server) route(path string, h http.HandlerFunc, methods ...string) {
+	s.routeWithCORS(path, h, true, methods)
+}
+
+// writeRoute is route without the CORS layer. Mutating endpoints are
+// deliberately not CORS-enabled: the server has no authentication, so
+// approving cross-origin preflights on a write path would let any webpage
+// a browser visits mutate a reachable store. Browser UIs read
+// cross-origin; writes stay same-origin (or non-browser).
+func (s *Server) writeRoute(path string, h http.HandlerFunc, methods ...string) {
+	s.routeWithCORS(path, h, false, methods)
+}
+
+func (s *Server) routeWithCORS(path string, h http.HandlerFunc, cors bool, methods []string) {
 	limiter := make(chan struct{}, s.cfg.MaxInFlight)
+	allowMethods := strings.Join(append(append([]string{}, methods...), http.MethodOptions), ", ")
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		startedAt := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		s.serveLimited(rec, r, path, limiter, h, methods)
+		switch {
+		case cors:
+			// Permissive CORS: browser-based exploration UIs load from
+			// anywhere and call the read API cross-origin.
+			hd := rec.Header()
+			hd.Set("Access-Control-Allow-Origin", "*")
+			hd.Set("Access-Control-Expose-Headers", "ETag, X-Cache")
+			if r.Method == http.MethodOptions {
+				hd.Set("Access-Control-Allow-Methods", allowMethods)
+				hd.Set("Access-Control-Allow-Headers", "Content-Type, If-None-Match")
+				hd.Set("Access-Control-Max-Age", "86400")
+				rec.WriteHeader(http.StatusNoContent)
+			} else {
+				s.serveLimited(rec, r, path, limiter, h, methods)
+			}
+		default:
+			s.serveLimited(rec, r, path, limiter, h, methods)
+		}
 		s.cfg.Logger.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
@@ -225,6 +286,15 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		s.cache.Put(key, e)
 	}
 	serveEntry(w, r, e, "MISS")
+}
+
+// serveUncached builds and serves a response without consulting or filling
+// the response cache (ETag revalidation still applies). X-Cache reports
+// BYPASS so operators can see which traffic is deliberately uncacheable.
+func (s *Server) serveUncached(w http.ResponseWriter, r *http.Request, build func() (body []byte, contentType string, status int)) {
+	body, contentType, status := build()
+	e := cache.Entry{Body: body, ETag: etagFor(body), ContentType: contentType, Status: status}
+	serveEntry(w, r, e, "BYPASS")
 }
 
 func serveEntry(w http.ResponseWriter, r *http.Request, e cache.Entry, disposition string) {

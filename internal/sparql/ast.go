@@ -92,6 +92,21 @@ type Values struct {
 
 func (Values) groupElem() {}
 
+// Service is a SPARQL 1.1 federated-query SERVICE clause: the inner group is
+// evaluated against a remote SPARQL endpoint and joined with the local
+// solutions. With Silent set, a failing or unreachable endpoint contributes
+// the identity solution instead of failing the whole query.
+type Service struct {
+	// Endpoint is the remote SPARQL endpoint IRI.
+	Endpoint string
+	// Silent is true for SERVICE SILENT.
+	Silent bool
+	// Inner is the graph pattern evaluated remotely.
+	Inner *Group
+}
+
+func (Service) groupElem() {}
+
 // Node is a position in a triple pattern: either a constant term or a
 // variable.
 type Node struct {

@@ -29,6 +29,8 @@ type engine struct {
 	// noReorder disables cost-based join reordering (tests compare the
 	// naive textual order against the planned order).
 	noReorder bool
+	// svc evaluates SERVICE clauses; nil means federation is not wired.
+	svc ServiceEvaluator
 	// cards lazily caches the store's per-predicate cardinality table for
 	// the duration of one query; cardsOnce makes the fetch safe from
 	// concurrent worker goroutines.
@@ -61,6 +63,8 @@ func (e *engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
 			cur, err = e.evalBind(el, cur)
 		case Values:
 			cur = evalValues(el, cur)
+		case Service:
+			cur, err = e.evalService(el, cur)
 		default:
 			err = fmt.Errorf("sparql: unknown group element %T", el)
 		}
@@ -230,6 +234,8 @@ func collectVars(el GroupElem, bound map[string]bool) {
 		for _, v := range el.Vars {
 			bound[v] = true
 		}
+	case Service:
+		collectBindableVars(el.Inner, bound)
 	}
 }
 

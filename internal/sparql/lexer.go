@@ -122,6 +122,7 @@ var keywords = map[string]bool{
 	"COALESCE": true, "IF": true, "LANGMATCHES": true, "NOT": true,
 	"IN": true, "EXISTS": true, "CONCAT": true, "SUBSTR": true,
 	"REPLACE": true, "YEAR": true, "MONTH": true, "DAY": true,
+	"SERVICE": true, "SILENT": true,
 }
 
 func (lx *lexer) next() (tok, error) {

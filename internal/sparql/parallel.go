@@ -38,6 +38,10 @@ type Options struct {
 	// evaluation. Results are identical (including order) at every
 	// setting.
 	Parallelism int
+	// Service evaluates SERVICE clauses against remote endpoints. When nil,
+	// SERVICE fails the query and SERVICE SILENT degrades to the local
+	// partial result.
+	Service ServiceEvaluator
 }
 
 // workers resolves the option to an effective worker count.
@@ -53,7 +57,7 @@ func (o Options) workers() int {
 
 // newEngine builds an engine for one query evaluation.
 func newEngine(ctx context.Context, st *store.Store, opt Options) *engine {
-	e := &engine{ctx: ctx, st: st, par: opt.workers()}
+	e := &engine{ctx: ctx, st: st, par: opt.workers(), svc: opt.Service}
 	if e.par > 1 {
 		e.sem = make(chan struct{}, e.par-1)
 	}

@@ -419,6 +419,12 @@ func (p *parser) parseGroup() (*Group, error) {
 				return nil, err
 			}
 			g.Elems = append(g.Elems, vals)
+		case p.isKeyword("SERVICE"):
+			svc, err := p.parseService()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, svc)
 		case p.tok.kind == tLBrace:
 			sub, err := p.parseGroup()
 			if err != nil {
@@ -537,6 +543,42 @@ func (p *parser) parseValues() (Values, error) {
 	default:
 		return Values{}, p.errf("expected variable or ( after VALUES")
 	}
+}
+
+// parseService parses SERVICE [SILENT] <endpoint> { ... }. The endpoint must
+// be a constant IRI (or prefixed name); variable endpoints are not supported.
+func (p *parser) parseService() (Service, error) {
+	if err := p.advance(); err != nil { // consume SERVICE
+		return Service{}, err
+	}
+	svc := Service{}
+	if p.isKeyword("SILENT") {
+		svc.Silent = true
+		if err := p.advance(); err != nil {
+			return Service{}, err
+		}
+	}
+	switch p.tok.kind {
+	case tIRI:
+		svc.Endpoint = p.tok.text
+	case tPName:
+		iri, err := p.expandPName(p.tok.text)
+		if err != nil {
+			return Service{}, err
+		}
+		svc.Endpoint = string(iri)
+	default:
+		return Service{}, p.errf("SERVICE requires a constant endpoint IRI")
+	}
+	if err := p.advance(); err != nil {
+		return Service{}, err
+	}
+	inner, err := p.parseGroup()
+	if err != nil {
+		return Service{}, err
+	}
+	svc.Inner = inner
+	return svc, nil
 }
 
 // parseDataTerm parses a constant term inside VALUES (UNDEF → nil).

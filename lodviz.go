@@ -28,10 +28,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
 
 	"github.com/lodviz/lodviz/internal/core"
 	"github.com/lodviz/lodviz/internal/facet"
+	"github.com/lodviz/lodviz/internal/federation"
 	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/keyword"
 	"github.com/lodviz/lodviz/internal/rdf"
 	"github.com/lodviz/lodviz/internal/registry"
 	"github.com/lodviz/lodviz/internal/server"
@@ -76,6 +79,10 @@ type (
 	FacetSession = facet.Session
 	// FacetFilter is one conjunctive facet restriction.
 	FacetFilter = facet.Filter
+	// SearchHit is one keyword-search result.
+	SearchHit = keyword.Hit
+	// FederationEndpoint is one remote endpoint's health snapshot.
+	FederationEndpoint = federation.EndpointStatus
 )
 
 // Visualization type constants (the survey's Table-1 catalogue).
@@ -112,6 +119,14 @@ func DefaultPreferences() Preferences { return core.DefaultPreferences() }
 // Dataset is a loaded RDF dataset ready for querying and exploration.
 type Dataset struct {
 	st *store.Store
+
+	// fedMu guards the lazily created federation mesh.
+	fedMu sync.Mutex
+	mesh  *federation.Mesh
+
+	// kwMu guards the lazily created shared keyword index.
+	kwMu sync.Mutex
+	kw   *keyword.Lazy
 }
 
 // LoadTurtle parses a Turtle document into a dataset.
@@ -188,26 +203,102 @@ type QueryOptions struct {
 	// evaluation. Every setting returns identical results in identical
 	// order — parallelism only changes how fast they arrive.
 	Parallelism int
+	// Endpoints registers additional remote SPARQL endpoints with the
+	// dataset's federation mesh before the query runs, so a SERVICE
+	// clause naming them starts with tracked health state. SERVICE works
+	// without this — unlisted endpoints are tracked from first use.
+	Endpoints []string
 }
 
 // Query runs a SPARQL SELECT or ASK query with default options: triple
 // patterns are cost-reordered using the store's cardinality statistics and
-// evaluated by a parallel worker pool sized to runtime.NumCPU().
-func (d *Dataset) Query(q string) (*Results, error) { return sparql.Exec(d.st, q) }
+// evaluated by a parallel worker pool sized to runtime.NumCPU(). SERVICE
+// clauses are answered by the dataset's federation mesh (see Federate).
+func (d *Dataset) Query(q string) (*Results, error) {
+	return sparql.ExecOpts(d.st, q, d.sparqlOptions(QueryOptions{}))
+}
 
 // QueryOpts runs a SPARQL query with explicit options:
 //
 //	res, err := ds.QueryOpts(q, lodviz.QueryOptions{Parallelism: 1}) // sequential
 //	res, err := ds.QueryOpts(q, lodviz.QueryOptions{})               // NumCPU workers
 func (d *Dataset) QueryOpts(q string, opt QueryOptions) (*Results, error) {
-	return sparql.ExecOpts(d.st, q, sparql.Options{Parallelism: opt.Parallelism})
+	return sparql.ExecOpts(d.st, q, d.sparqlOptions(opt))
 }
 
 // QueryCtx runs a SPARQL query under a context: evaluation stops promptly
 // when ctx is cancelled or its deadline expires, returning an error that
 // matches both ErrQueryEval and the context error under errors.Is.
 func (d *Dataset) QueryCtx(ctx context.Context, q string, opt QueryOptions) (*Results, error) {
-	return sparql.ExecCtx(ctx, d.st, q, sparql.Options{Parallelism: opt.Parallelism})
+	return sparql.ExecCtx(ctx, d.st, q, d.sparqlOptions(opt))
+}
+
+// sparqlOptions lowers façade options to engine options, wiring the
+// federation mesh in as the SERVICE evaluator.
+func (d *Dataset) sparqlOptions(opt QueryOptions) sparql.Options {
+	m := d.federation()
+	for _, ep := range opt.Endpoints {
+		m.AddPeer(ep)
+	}
+	return sparql.Options{Parallelism: opt.Parallelism, Service: m}
+}
+
+// federation returns the dataset's mesh, creating it with defaults on
+// first use.
+func (d *Dataset) federation() *federation.Mesh {
+	d.fedMu.Lock()
+	defer d.fedMu.Unlock()
+	if d.mesh == nil {
+		d.mesh = federation.NewMesh(federation.Options{})
+	}
+	return d.mesh
+}
+
+// Federate registers remote SPARQL endpoints (other lodvizd instances, or
+// any SPARQL 1.1 endpoint speaking JSON results) with the dataset's
+// federation mesh. Queries may then span datasets with
+// SERVICE <endpoint> { ... } clauses; failing endpoints are circuit-broken
+// and probed back in, and SERVICE SILENT degrades to the local partial
+// result when an endpoint is down.
+func (d *Dataset) Federate(endpoints ...string) {
+	m := d.federation()
+	for _, ep := range endpoints {
+		m.AddPeer(ep)
+	}
+}
+
+// FederationStatus snapshots the health of every remote endpoint the
+// dataset federates with.
+func (d *Dataset) FederationStatus() []FederationEndpoint {
+	return d.federation().Status()
+}
+
+// Search ranks entities matching the keyword query by TF-IDF over the
+// dataset's literals and IRI local names, returning at most limit hits
+// (limit <= 0 selects 10). The underlying inverted index is built lazily
+// and rebuilt after writes.
+func (d *Dataset) Search(query string, limit int) []SearchHit {
+	return d.keywordIndex().Search(query, limit)
+}
+
+// Complete returns up to limit indexed tokens beginning with prefix — the
+// type-ahead primitive (limit <= 0 selects 10).
+func (d *Dataset) Complete(prefix string, limit int) []string {
+	return d.keywordIndex().Complete(prefix, limit)
+}
+
+func (d *Dataset) keywordIndex() *keyword.Index { return d.lazyKeyword().Index() }
+
+// lazyKeyword returns the dataset's shared lazy keyword index, creating it
+// on first use. The HTTP server is handed the same instance (see
+// serverConfig), so a dataset serving HTTP keeps one index copy.
+func (d *Dataset) lazyKeyword() *keyword.Lazy {
+	d.kwMu.Lock()
+	defer d.kwMu.Unlock()
+	if d.kw == nil {
+		d.kw = keyword.NewLazy(d.st)
+	}
+	return d.kw
 }
 
 // Query error classes: every error returned by Query/QueryOpts/QueryCtx
@@ -240,25 +331,42 @@ func (d *Dataset) Store() *store.Store { return d.st }
 type ServerConfig = server.Config
 
 // Handler returns an http.Handler serving this dataset: the SPARQL Protocol
-// endpoint (/sparql), the exploration endpoints (/facets,
-// /graph/neighborhood, /hetree, /stats), N-Triples ingestion (POST
+// endpoint (/sparql, SERVICE clauses included), the exploration endpoints
+// (/facets, /graph/neighborhood, /hetree, /stats), keyword search (/search,
+// /complete), federation health (/federation), N-Triples ingestion (POST
 // /triples), and /healthz. Responses are cached in a sharded LRU keyed by
 // the normalized request and the dataset generation, so writes invalidate
-// cached results automatically.
+// cached results automatically; permissive CORS headers let browser UIs
+// call every endpoint cross-origin. The server shares the dataset's
+// federation mesh, so peers registered with Federate apply to HTTP queries
+// too.
 func (d *Dataset) Handler(cfg ServerConfig) http.Handler {
-	return server.New(d.st, cfg).Handler()
+	return server.New(d.st, d.serverConfig(cfg)).Handler()
 }
 
 // Serve runs the exploration server on addr until ctx is cancelled, then
 // shuts down gracefully. It returns nil on a clean shutdown.
 func (d *Dataset) Serve(ctx context.Context, addr string, cfg ServerConfig) error {
-	return server.New(d.st, cfg).ListenAndServe(ctx, addr)
+	return server.New(d.st, d.serverConfig(cfg)).ListenAndServe(ctx, addr)
 }
 
 // ServeListener is Serve over an existing listener (useful when the caller
 // needs the bound port before serving starts).
 func (d *Dataset) ServeListener(ctx context.Context, ln net.Listener, cfg ServerConfig) error {
-	return server.New(d.st, cfg).Serve(ctx, ln)
+	return server.New(d.st, d.serverConfig(cfg)).Serve(ctx, ln)
+}
+
+// serverConfig defaults the server onto the dataset's federation mesh and
+// keyword index, so façade-level Federate registrations, HTTP SERVICE
+// evaluation, and /search all share one set of state.
+func (d *Dataset) serverConfig(cfg ServerConfig) ServerConfig {
+	if cfg.Mesh == nil {
+		cfg.Mesh = d.federation()
+	}
+	if cfg.Keyword == nil {
+		cfg.Keyword = d.lazyKeyword()
+	}
+	return cfg
 }
 
 // RenderSVG renders a visualization specification to SVG.
