@@ -58,11 +58,17 @@ bench:
 # (bulk AddBatch vs the per-triple Add loop at 100k triples), and the
 # federation bind-join benchmarks (batched VALUES dispatch vs
 # one-request-per-binding at 1k bindings): verifies the benchmark paths
-# execute, without timing noise gating CI.
+# execute, without timing noise gating CI. The streaming LIMIT-pushdown
+# pair (materializing pipeline vs early-terminating scan over a >100k-
+# solution BGP) additionally records its timings as BENCH_stream.json —
+# the start of the benchmark trajectory CI archives per run.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BGP -benchtime=1x .
 	$(GO) test -run='^$$' -bench='AddBatch|AddAll|AddSequential|SnapshotWrite' -benchtime=1x ./internal/store
 	$(GO) test -run='^$$' -bench=BindJoin -benchtime=1x ./internal/federation
+	$(GO) test -run='^$$' -bench=LimitPushdown -benchtime=1x -json . > BENCH_stream.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_stream.json | sed 's/"Output":"//' || true
+	@test -s BENCH_stream.json || { echo "FAIL: BENCH_stream.json is empty"; exit 1; }
 
 lint:
 	$(GO) vet ./...

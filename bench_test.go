@@ -424,6 +424,77 @@ func BenchmarkBGPJoinParallel(b *testing.B) { benchBGPJoin(b, 0) }
 // NumCPU is large enough that scheduling noise dominates.
 func BenchmarkBGPJoinParallel4(b *testing.B) { benchBGPJoin(b, 4) }
 
+// E14 — streaming LIMIT pushdown: a first-page exploration query
+// (LIMIT 10) over a BGP with >100k solutions, evaluated by the
+// materializing pipeline (full scan, then slice) and by the streaming
+// fast path (scan stops after 10 solutions). The streamed variant's cost
+// scales with the limit, not the dataset — expect several orders of
+// magnitude, comfortably past the 10x bar.
+
+func limitPushdownStore(b *testing.B) *store.Store {
+	b.Helper()
+	// One value triple per entity: the single-pattern BGP below has
+	// exactly `entities` solutions.
+	const entities = 120000
+	triples := make([]Triple, 0, entities)
+	for i := 0; i < entities; i++ {
+		triples = append(triples, Triple{
+			S: IRI(fmt.Sprintf("http://bench/e%d", i)),
+			P: "http://bench/value",
+			O: NewInteger(int64(i)),
+		})
+	}
+	st, err := store.Load(triples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func benchLimitPushdown(b *testing.B, noStream bool) {
+	st := limitPushdownStore(b)
+	parsed, err := sparql.Parse(`SELECT ?s ?v WHERE { ?s <http://bench/value> ?v } LIMIT 10`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := sparql.Options{NoStream: noStream}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparql.EvalOpts(st, parsed, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			b.Fatalf("got %d rows, want 10", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkLimitPushdownMaterialized(b *testing.B) { benchLimitPushdown(b, true) }
+
+func BenchmarkLimitPushdownStreamed(b *testing.B) { benchLimitPushdown(b, false) }
+
+// BenchmarkLimitPushdownOrderByTopK: ORDER BY ?v LIMIT 10 over the same
+// store — the full scan is unavoidable, but the bounded heap replaces the
+// 120k-row sort (O(n log k) comparisons, O(k) sort memory).
+func BenchmarkLimitPushdownOrderByTopK(b *testing.B) {
+	st := limitPushdownStore(b)
+	parsed, err := sparql.Parse(`SELECT ?s ?v WHERE { ?s <http://bench/value> ?v } ORDER BY DESC(?v) LIMIT 10`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparql.EvalOpts(st, parsed, sparql.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			b.Fatalf("got %d rows, want 10", len(res.Rows))
+		}
+	}
+}
+
 func BenchmarkE12SPARQLJoin(b *testing.B) {
 	st, _ := store.Load(gen.EntityDataset(gen.EntityOptions{
 		Entities: 5000, NumericProps: 1, CategoryProps: 1, LinkProps: 1, Seed: 12,

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ func main() {
 	demo := flag.Bool("demo", false, "use the embedded mini-LOD dataset")
 	svgOut := flag.String("svg", "", "write visualization SVG to this file")
 	limit := flag.Int("limit", 20, "maximum rows/hits to print")
+	stream := flag.Bool("stream", false, "stream query rows as they are found (progressive delivery; LIMIT stops the scan early)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -66,6 +68,10 @@ func main() {
 	case "query":
 		if len(args) < 2 {
 			fail(fmt.Errorf("query: missing SPARQL string"))
+		}
+		if *stream {
+			streamQuery(ds, args[1], *limit)
+			return
 		}
 		res, err := ds.Query(args[1])
 		if err != nil {
@@ -131,6 +137,42 @@ func main() {
 	}
 }
 
+// streamQuery prints rows as the engine finds them: a plain LIMIT/OFFSET
+// query shows its first row while the scan is still running and stops
+// scanning once -limit rows are printed, instead of materializing the full
+// result set first.
+func streamQuery(ds *lodviz.Dataset, query string, limit int) {
+	headerDone := false
+	res, err := ds.QueryStream(context.Background(), query, lodviz.QueryOptions{}, func(vars []string, row lodviz.Binding) bool {
+		if limit <= 0 {
+			return false
+		}
+		if !headerDone {
+			fmt.Println(strings.Join(vars, "\t"))
+			headerDone = true
+		}
+		cells := make([]string, len(vars))
+		for j, v := range vars {
+			if t, ok := row[v]; ok {
+				cells[j] = t.String()
+			}
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+		limit--
+		return limit > 0
+	})
+	if err != nil {
+		fail(err)
+	}
+	if res.Vars == nil { // ASK
+		fmt.Println(res.Ask)
+		return
+	}
+	if !headerDone {
+		fmt.Println(strings.Join(res.Vars, "\t"))
+	}
+}
+
 func open(path string, demo bool) (*lodviz.Dataset, error) {
 	if demo || path == "" {
 		return lodviz.MiniLOD(), nil
@@ -170,7 +212,8 @@ func usage() {
 
 commands:
   overview               dataset summary (classes, predicates)
-  query '<sparql>'       run a SPARQL SELECT/ASK query
+  query '<sparql>'       run a SPARQL SELECT/ASK query (-stream prints rows
+                         as they are found; LIMIT stops the scan early)
   search <keywords>      keyword search over labels and literals
   facets                 show facet distributions
   visualize '<sparql>'   recommend + render a visualization (-svg out.svg)

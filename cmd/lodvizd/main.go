@@ -1,7 +1,10 @@
 // Command lodvizd serves a lodviz dataset over HTTP: a SPARQL 1.1 Protocol
-// endpoint (/sparql, JSON results) plus the exploration endpoints /facets,
-// /graph/neighborhood, /hetree, /stats, an N-Triples ingestion endpoint
-// (POST /triples), and /healthz.
+// endpoint (/sparql, JSON results), a chunked streaming variant
+// (/sparql/stream, NDJSON — rows are flushed as the engine finds them, so
+// the first row of a LIMIT query arrives while the scan is still running
+// and the scan stops once the limit is filled), plus the exploration
+// endpoints /facets, /graph/neighborhood, /hetree, /stats, an N-Triples
+// ingestion endpoint (POST /triples), and /healthz.
 //
 // Usage:
 //

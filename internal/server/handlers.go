@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -41,9 +40,9 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	}
 	norm := NormalizeQuery(q)
 	build := func() ([]byte, string, int) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+		ctx, cancel := s.queryCtx(r)
 		defer cancel()
-		res, err := sparql.ExecCtx(ctx, s.st, q, sparql.Options{Parallelism: s.cfg.Parallelism, Service: s.mesh})
+		res, err := sparql.ExecCtx(ctx, s.querySource(), q, sparql.Options{Parallelism: s.cfg.Parallelism, Service: s.mesh})
 		if err != nil {
 			status, msg := queryError(err)
 			return errorJSON(msg), "application/json", status

@@ -75,6 +75,12 @@ type Config struct {
 	// /complete; nil builds one. The façade passes its own so a dataset
 	// serving HTTP keeps a single index copy.
 	Keyword *keyword.Lazy
+
+	// querySource, when set by tests, replaces the store as the triple
+	// source SPARQL evaluation scans — the seam for wrapping the store
+	// with throttled or instrumented variants (the streaming endpoint's
+	// first-row-before-completion test gates the scan on a channel).
+	querySource sparql.Source
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +114,9 @@ type Server struct {
 	// limiterHook, when set by tests, runs while the request holds its
 	// concurrency slot — the deterministic way to saturate an endpoint.
 	limiterHook func(route string)
+	// streamRowHook, when set by tests, runs after each streamed row is
+	// written and flushed (the argument is the rows-so-far count).
+	streamRowHook func(rows int)
 }
 
 // New builds a Server over st.
@@ -129,6 +138,7 @@ func New(st *store.Store, cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.route("/sparql", s.handleSPARQL, "GET", "POST")
+	s.route("/sparql/stream", s.handleSPARQLStream, "GET", "POST")
 	s.route("/facets", s.handleFacets, "GET")
 	s.route("/graph/neighborhood", s.handleNeighborhood, "GET")
 	s.route("/hetree", s.handleHETree, "GET")
@@ -173,7 +183,7 @@ func (s *Server) routeWithCORS(path string, h http.HandlerFunc, cors bool, metho
 			// anywhere and call the read API cross-origin.
 			hd := rec.Header()
 			hd.Set("Access-Control-Allow-Origin", "*")
-			hd.Set("Access-Control-Expose-Headers", "ETag, X-Cache")
+			hd.Set("Access-Control-Expose-Headers", "ETag, X-Cache, X-Stream-Incremental")
 			if r.Method == http.MethodOptions {
 				hd.Set("Access-Control-Allow-Methods", allowMethods)
 				hd.Set("Access-Control-Allow-Headers", "Content-Type, If-None-Match")
@@ -238,6 +248,14 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += n
 	return n, err
+}
+
+// Flush forwards to the underlying writer so the streaming endpoint can
+// push each NDJSON line to the client as it is produced.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.

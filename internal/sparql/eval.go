@@ -3,7 +3,6 @@ package sparql
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/lodviz/lodviz/internal/rdf"
@@ -20,7 +19,7 @@ type engine struct {
 	// ctx bounds the evaluation; the probe loops poll it so a cancelled or
 	// timed-out query stops mid-scan instead of running to completion.
 	ctx context.Context
-	st  *store.Store
+	st  Source
 	// par is the BGP worker count; <=1 evaluates sequentially.
 	par int
 	// sem is the engine-wide budget of extra worker slots (par-1 tokens),
@@ -40,11 +39,20 @@ type engine struct {
 
 // evalGroup evaluates a group graph pattern, extending each input binding.
 func (e *engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
-	cur := input
 	elems := g.Elems
 	if !e.noReorder {
 		elems = e.reorderTriplePatterns(elems)
 	}
+	return e.evalElems(elems, g.Filters, input)
+}
+
+// evalElems evaluates an already-planned element sequence plus the group's
+// filters. The streaming driver calls it directly with the tail of a
+// reordered group so batched evaluation follows the exact plan the
+// materializing path would use (re-planning the tail in isolation could
+// pick a different join order and therefore a different row order).
+func (e *engine) evalElems(elems []GroupElem, filters []Expr, input []Binding) ([]Binding, error) {
+	cur := input
 	for _, el := range elems {
 		if err := e.cancelled(); err != nil {
 			return nil, err
@@ -76,7 +84,7 @@ func (e *engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
 		}
 	}
 	// Group filters apply to the whole group's solutions.
-	for _, f := range g.Filters {
+	for _, f := range filters {
 		filtered := cur[:0:0]
 		for _, b := range cur {
 			ok, err := evalBool(f, b)
@@ -270,20 +278,33 @@ func (e *engine) cancelled() error {
 // engine's worker pool; the index-sequenced merge keeps the output order
 // identical to the sequential loop.
 func (e *engine) evalTriplePattern(tp TriplePattern, input []Binding) ([]Binding, error) {
-	return e.parMap(input, func(chunk []Binding) ([]Binding, error) {
-		return e.evalTriplePatternChunk(tp, chunk)
+	return e.evalTriplePatternCap(tp, input, -1)
+}
+
+// evalTriplePatternCap is evalTriplePattern with a row budget: when the
+// pattern is the query's final join stage, only the first cap rows of its
+// output can reach the client, so chunks stop probing once they hold cap
+// rows and the parallel merge skips chunks the committed prefix has already
+// made unreachable. cap < 0 means unlimited.
+func (e *engine) evalTriplePatternCap(tp TriplePattern, input []Binding, cap int) ([]Binding, error) {
+	return e.parMapCap(input, cap, func(chunk []Binding, chunkCap int) ([]Binding, error) {
+		return e.evalTriplePatternChunk(tp, chunk, chunkCap)
 	})
 }
 
-// evalTriplePatternChunk is the sequential probe loop over one chunk. It
-// polls the engine context every cancelCheckInterval bindings, and inside a
-// single large index scan every cancelCheckInterval matches, so even a
-// one-pattern full scan honors cancellation.
-func (e *engine) evalTriplePatternChunk(tp TriplePattern, input []Binding) ([]Binding, error) {
+// evalTriplePatternChunk is the sequential probe loop over one chunk,
+// producing at most cap rows (cap < 0 = unlimited). It polls the engine
+// context every cancelCheckInterval bindings, and inside a single large
+// index scan every cancelCheckInterval matches, so even a one-pattern full
+// scan honors cancellation.
+func (e *engine) evalTriplePatternChunk(tp TriplePattern, input []Binding, cap int) ([]Binding, error) {
 	var out []Binding
 	var scanned int
 	var stop error
 	for i, b := range input {
+		if cap >= 0 && len(out) >= cap {
+			break
+		}
 		if i%cancelCheckInterval == 0 {
 			if err := e.cancelled(); err != nil {
 				return nil, err
@@ -301,6 +322,9 @@ func (e *engine) evalTriplePatternChunk(tp TriplePattern, input []Binding) ([]Bi
 			nb, ok := unify(b, vars, t)
 			if ok {
 				out = append(out, nb)
+				if cap >= 0 && len(out) >= cap {
+					return false
+				}
 			}
 			return true
 		})
@@ -431,24 +455,5 @@ func evalValues(v Values, input []Binding) []Binding {
 			}
 		}
 	}
-	return out
-}
-
-// allVars returns the sorted set of visible (non-internal) variables bound in
-// any solution.
-func allVars(rows []Binding) []string {
-	set := map[string]struct{}{}
-	for _, b := range rows {
-		for k := range b {
-			if len(k) > 0 && k[0] != '_' {
-				set[k] = struct{}{}
-			}
-		}
-	}
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Strings(out)
 	return out
 }

@@ -56,6 +56,20 @@ func EncodeTerm(t rdf.Term) JSONTerm {
 	}
 }
 
+// EncodeBinding maps one solution row to its wire representation — the
+// same shape as an entry of results.bindings in the SPARQL JSON format.
+// The streaming endpoint emits one of these per NDJSON line.
+func EncodeBinding(row Binding) map[string]JSONTerm {
+	enc := make(map[string]JSONTerm, len(row))
+	for name, term := range row {
+		if term == nil {
+			continue
+		}
+		enc[name] = EncodeTerm(term)
+	}
+	return enc
+}
+
 // JSON renders the results in the SPARQL 1.1 Query Results JSON Format:
 // SELECT results carry head.vars plus results.bindings, ASK results carry a
 // boolean. The output is deterministic for a given Results value.
@@ -68,14 +82,7 @@ func (r *Results) JSON() ([]byte, error) {
 	}
 	res := jsonResults{Bindings: make([]map[string]JSONTerm, 0, len(r.Rows))}
 	for _, row := range r.Rows {
-		enc := make(map[string]JSONTerm, len(row))
-		for name, term := range row {
-			if term == nil {
-				continue
-			}
-			enc[name] = EncodeTerm(term)
-		}
-		res.Bindings = append(res.Bindings, enc)
+		res.Bindings = append(res.Bindings, EncodeBinding(row))
 	}
 	doc.Results = &res
 	return json.Marshal(doc)

@@ -3,8 +3,7 @@ package sparql
 import (
 	"context"
 	"runtime"
-
-	"github.com/lodviz/lodviz/internal/store"
+	"sync/atomic"
 )
 
 // The parallel BGP pipeline: intermediate binding sets are partitioned into
@@ -42,6 +41,12 @@ type Options struct {
 	// SERVICE fails the query and SERVICE SILENT degrades to the local
 	// partial result.
 	Service ServiceEvaluator
+	// NoStream disables the streaming fast paths (LIMIT-pushdown early
+	// termination, the bounded top-k heap for ORDER BY + LIMIT, and the
+	// first-solution short-circuit for ASK), forcing the materializing
+	// pipeline. Results are identical either way; benchmarks and
+	// differential tests use it to compare the two paths.
+	NoStream bool
 }
 
 // workers resolves the option to an effective worker count.
@@ -56,7 +61,7 @@ func (o Options) workers() int {
 }
 
 // newEngine builds an engine for one query evaluation.
-func newEngine(ctx context.Context, st *store.Store, opt Options) *engine {
+func newEngine(ctx context.Context, st Source, opt Options) *engine {
 	e := &engine{ctx: ctx, st: st, par: opt.workers(), svc: opt.Service}
 	if e.par > 1 {
 		e.sem = make(chan struct{}, e.par-1)
@@ -78,8 +83,30 @@ type chunkResult struct {
 // engine with par<=1, or an exhausted worker budget evaluate inline with no
 // goroutines spawned.
 func (e *engine) parMap(input []Binding, fn func(chunk []Binding) ([]Binding, error)) ([]Binding, error) {
+	return e.parMapCap(input, -1, func(chunk []Binding, _ int) ([]Binding, error) {
+		return fn(chunk)
+	})
+}
+
+// parMapCap is parMap with a row budget threaded through the worker pool:
+// only the first cap rows of the merged output are needed (cap < 0 =
+// unlimited). Each chunk is asked for at most cap rows — a chunk alone can
+// never contribute more than the whole result — and once the in-order
+// committed prefix reaches cap, workers skip every chunk not yet started:
+// the work queue hands out chunks in index order, so an unstarted chunk is
+// ordered after everything already committed and cannot reach the output.
+// The merged result is exactly the first cap rows of the sequential
+// evaluation, at every parallelism setting.
+func (e *engine) parMapCap(input []Binding, cap int, fn func(chunk []Binding, cap int) ([]Binding, error)) ([]Binding, error) {
+	truncate := func(rows []Binding) []Binding {
+		if cap >= 0 && len(rows) > cap {
+			rows = rows[:cap]
+		}
+		return rows
+	}
 	if e.par <= 1 || len(input) < parallelThreshold {
-		return fn(input)
+		rows, err := fn(input, cap)
+		return truncate(rows), err
 	}
 	workers := e.par
 	if workers > len(input) {
@@ -99,7 +126,8 @@ acquire:
 		}
 	}
 	if extra == 0 {
-		return fn(input)
+		rows, err := fn(input, cap)
+		return truncate(rows), err
 	}
 
 	nchunks := (extra + 1) * chunksPerWorker
@@ -112,34 +140,50 @@ acquire:
 	}
 	close(work)
 	results := make(chan chunkResult, nchunks)
-	worker := func() {
+	// filled flips once the merger has committed cap rows in order; chunks
+	// pulled after that point are provably beyond the budget (the work
+	// queue hands chunks out in index order) and are answered empty
+	// without probing the store.
+	var filled atomic.Bool
+	worker := func(drain func()) {
 		for idx := range work {
+			if filled.Load() {
+				results <- chunkResult{idx: idx}
+				continue
+			}
 			lo := idx * chunkSize
 			hi := lo + chunkSize
 			if hi > len(input) {
 				hi = len(input)
 			}
-			rows, err := fn(input[lo:hi])
+			rows, err := fn(input[lo:hi], cap)
 			results <- chunkResult{idx: idx, rows: rows, err: err}
+			if drain != nil {
+				drain()
+			}
 		}
 	}
 	for i := 0; i < extra; i++ {
 		go func() {
 			defer func() { <-e.sem }() // return the token as soon as this worker drains
-			worker()
+			worker(nil)
 		}()
 	}
-	worker() // the caller is worker zero
 
 	// Index-sequenced merge: chunks finish in any order; buffer the
 	// out-of-order ones and append each as its turn comes, so the output
-	// (and the reported error, if any) match sequential evaluation.
+	// (and the reported error, if any) match sequential evaluation. The
+	// caller is worker zero AND the merger: it commits whatever results
+	// are already available between its own chunks, so filled can flip
+	// while later chunks are still queued — that is what makes the skip
+	// above reachable.
 	pending := make(map[int]chunkResult, nchunks)
 	next := 0
+	received := 0
 	var out []Binding
 	var firstErr error
-	for received := 0; received < nchunks; received++ {
-		r := <-results
+	commit := func(r chunkResult) {
+		received++
 		pending[r.idx] = r
 		for {
 			c, ok := pending[next]
@@ -152,14 +196,36 @@ acquire:
 				continue
 			}
 			if c.err != nil {
-				firstErr = c.err
+				// A chunk past the filled cap is unreachable in sequential
+				// order — its (cancellation) error must not override the
+				// complete result, or parallel evaluation could fail where
+				// sequential evaluation returns rows.
+				if cap < 0 || len(out) < cap {
+					firstErr = c.err
+				}
 				continue
 			}
 			out = append(out, c.rows...)
+			if cap >= 0 && len(out) >= cap {
+				filled.Store(true)
+			}
 		}
+	}
+	worker(func() {
+		for {
+			select {
+			case r := <-results:
+				commit(r)
+			default:
+				return
+			}
+		}
+	})
+	for received < nchunks {
+		commit(<-results)
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return out, nil
+	return truncate(out), nil
 }

@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/lodviz/lodviz/internal/rdf"
-	"github.com/lodviz/lodviz/internal/store"
 )
 
 // Results holds the outcome of a query.
@@ -24,12 +24,12 @@ type Results struct {
 
 // Exec parses and evaluates a SPARQL query against the store with default
 // options (parallel BGP evaluation across runtime.NumCPU() workers).
-func Exec(st *store.Store, query string) (*Results, error) {
+func Exec(st Source, query string) (*Results, error) {
 	return ExecOpts(st, query, Options{})
 }
 
 // ExecOpts parses and evaluates a SPARQL query with explicit options.
-func ExecOpts(st *store.Store, query string, opt Options) (*Results, error) {
+func ExecOpts(st Source, query string, opt Options) (*Results, error) {
 	return ExecCtx(context.Background(), st, query, opt)
 }
 
@@ -37,7 +37,7 @@ func ExecOpts(st *store.Store, query string, opt Options) (*Results, error) {
 // stops promptly (returning an error matching both ErrEval and ctx.Err())
 // when the context is cancelled or its deadline expires. Parse failures match
 // ErrParse; every other failure matches ErrEval.
-func ExecCtx(ctx context.Context, st *store.Store, query string, opt Options) (*Results, error) {
+func ExecCtx(ctx context.Context, st Source, query string, opt Options) (*Results, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -46,19 +46,19 @@ func ExecCtx(ctx context.Context, st *store.Store, query string, opt Options) (*
 }
 
 // Eval evaluates a parsed query against the store with default options.
-func Eval(st *store.Store, q *Query) (*Results, error) {
+func Eval(st Source, q *Query) (*Results, error) {
 	return EvalOpts(st, q, Options{})
 }
 
 // EvalOpts evaluates a parsed query against the store. Evaluation order and
 // results are identical at every parallelism setting; see Options.
-func EvalOpts(st *store.Store, q *Query, opt Options) (*Results, error) {
+func EvalOpts(st Source, q *Query, opt Options) (*Results, error) {
 	return EvalCtx(context.Background(), st, q, opt)
 }
 
 // EvalCtx evaluates a parsed query under a context; see ExecCtx for the
 // cancellation and error-classification contract.
-func EvalCtx(ctx context.Context, st *store.Store, q *Query, opt Options) (*Results, error) {
+func EvalCtx(ctx context.Context, st Source, q *Query, opt Options) (*Results, error) {
 	res, err := evalCtx(ctx, st, q, opt)
 	if err != nil {
 		return nil, wrapEval(err)
@@ -66,8 +66,19 @@ func EvalCtx(ctx context.Context, st *store.Store, q *Query, opt Options) (*Resu
 	return res, nil
 }
 
-func evalCtx(ctx context.Context, st *store.Store, q *Query, opt Options) (*Results, error) {
-	e := newEngine(ctx, st, opt)
+func evalCtx(ctx context.Context, st Source, q *Query, opt Options) (*Results, error) {
+	return evalWithEngine(newEngine(ctx, st, opt), q, opt)
+}
+
+func evalWithEngine(e *engine, q *Query, opt Options) (*Results, error) {
+	// Early-termination fast paths: LIMIT-pushdown scans, the bounded
+	// ORDER BY top-k heap, and first-solution ASK. They return exactly the
+	// rows the materializing pipeline below would; see stream.go.
+	if !opt.NoStream {
+		if res, ok, err := e.evalStreamFast(q); ok {
+			return res, err
+		}
+	}
 	sols, err := e.evalGroup(q.Where, []Binding{{}})
 	if err != nil {
 		return nil, err
@@ -91,29 +102,32 @@ func evalCtx(ctx context.Context, st *store.Store, q *Query, opt Options) (*Resu
 		}
 	}
 
-	// ORDER BY.
-	if len(q.OrderBy) > 0 {
-		sortRows(rows, q.OrderBy)
-	}
-	// Hidden order columns are dropped after sorting.
-	stripHidden(rows)
+	// ORDER BY; the hidden key columns are dropped after sorting.
+	hidden := hiddenOrdNames(len(q.OrderBy))
+	sortRows(rows, q.OrderBy, hidden)
+	stripHidden(rows, hidden)
 
 	// DISTINCT.
 	if q.Distinct {
 		rows = distinctRows(rows, vars)
 	}
-	// OFFSET / LIMIT.
-	if q.Offset > 0 {
-		if q.Offset >= len(rows) {
+	rows = sliceOffsetLimit(rows, q.Offset, q.Limit)
+	return &Results{Form: FormSelect, Vars: vars, Rows: rows}, nil
+}
+
+// sliceOffsetLimit applies the OFFSET/LIMIT window (limit < 0 = no limit).
+func sliceOffsetLimit(rows []Binding, offset, limit int) []Binding {
+	if offset > 0 {
+		if offset >= len(rows) {
 			rows = nil
 		} else {
-			rows = rows[q.Offset:]
+			rows = rows[offset:]
 		}
 	}
-	if q.Limit >= 0 && q.Limit < len(rows) {
-		rows = rows[:q.Limit]
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
 	}
-	return &Results{Form: FormSelect, Vars: vars, Rows: rows}, nil
+	return rows
 }
 
 func projectionHasAggregates(q *Query) bool {
@@ -143,45 +157,49 @@ func exprHasAggregate(e Expr) bool {
 	return false
 }
 
-// evalUngrouped projects plain (non-aggregate) SELECT results.
+// evalUngrouped projects plain (non-aggregate) SELECT results. SELECT *
+// columns are resolved statically (every variable the pattern can bind,
+// sorted — see streamVars), so the header does not depend on which
+// evaluation path ran or which rows a LIMIT happened to keep.
 func evalUngrouped(q *Query, sols []Binding) ([]Binding, []string, error) {
-	var vars []string
-	if q.Star {
-		vars = allVars(sols)
-	} else {
-		for _, item := range q.Projection {
-			vars = append(vars, item.Var)
-		}
-	}
+	vars := streamVars(q)
+	hidden := hiddenOrdNames(len(q.OrderBy))
 	rows := make([]Binding, 0, len(sols))
 	for _, s := range sols {
-		row := Binding{}
-		if q.Star {
-			for _, v := range vars {
-				if t, ok := s[v]; ok {
-					row[v] = t
-				}
-			}
-		} else {
-			for _, item := range q.Projection {
-				if item.Expr == nil {
-					if t, ok := s[item.Var]; ok {
-						row[item.Var] = t
-					}
-				} else if t, err := evalExpr(item.Expr, s); err == nil {
-					row[item.Var] = t
-				}
-			}
-		}
-		// Hidden sort keys for expression order-by on the original solution.
-		for i, key := range q.OrderBy {
-			if t, err := evalExpr(key.Expr, s); err == nil {
-				row[hiddenOrdVar(i)] = t
-			}
-		}
-		rows = append(rows, row)
+		rows = append(rows, projectSolution(q, vars, s, hidden))
 	}
 	return rows, vars, nil
+}
+
+// projectSolution builds one projected result row from a solution: the
+// star or explicit projection, plus — when hidden names are supplied — the
+// ORDER BY key values evaluated on the original solution and stashed under
+// those names for sortRows.
+func projectSolution(q *Query, vars []string, s Binding, hidden []string) Binding {
+	row := Binding{}
+	if q.Star {
+		for _, v := range vars {
+			if t, ok := s[v]; ok {
+				row[v] = t
+			}
+		}
+	} else {
+		for _, item := range q.Projection {
+			if item.Expr == nil {
+				if t, ok := s[item.Var]; ok {
+					row[item.Var] = t
+				}
+			} else if t, err := evalExpr(item.Expr, s); err == nil {
+				row[item.Var] = t
+			}
+		}
+	}
+	for i := range hidden {
+		if t, err := evalExpr(q.OrderBy[i].Expr, s); err == nil {
+			row[hidden[i]] = t
+		}
+	}
+	return row
 }
 
 // evalGrouped implements GROUP BY + aggregates + HAVING.
@@ -196,11 +214,18 @@ func evalGrouped(q *Query, sols []Binding) ([]Binding, []string, error) {
 		key := make([]rdf.Term, len(q.GroupBy))
 		var sig strings.Builder
 		for i, ge := range q.GroupBy {
+			// Length-prefixed key components, for the same reason as
+			// distinctRows: a bare joiner would let ("x|","y") and
+			// ("x","|y") collide and merge two distinct groups.
 			if t, err := evalExpr(ge, s); err == nil {
 				key[i] = t
-				sig.WriteString(t.String())
+				ks := t.String()
+				sig.WriteString(strconv.Itoa(len(ks)))
+				sig.WriteByte(':')
+				sig.WriteString(ks)
+			} else {
+				sig.WriteByte('~')
 			}
-			sig.WriteByte('|')
 		}
 		g, ok := groups[sig.String()]
 		if !ok {
@@ -223,6 +248,7 @@ func evalGrouped(q *Query, sols []Binding) ([]Binding, []string, error) {
 		vars = append(vars, item.Var)
 	}
 
+	hidden := hiddenOrdNames(len(q.OrderBy))
 	var rows []Binding
 	for _, sig := range order {
 		g := groups[sig]
@@ -270,7 +296,7 @@ func evalGrouped(q *Query, sols []Binding) ([]Binding, []string, error) {
 		}
 		for i, key := range q.OrderBy {
 			if t, err := evalAggExpr(key.Expr, g.rows, rep); err == nil {
-				row[hiddenOrdVar(i)] = t
+				row[hidden[i]] = t
 			}
 		}
 		rows = append(rows, row)
@@ -278,13 +304,34 @@ func evalGrouped(q *Query, sols []Binding) ([]Binding, []string, error) {
 	return rows, vars, nil
 }
 
-func hiddenOrdVar(i int) string { return fmt.Sprintf("_ord%d", i) }
+// hiddenOrdNames returns the engine-generated column names that carry ORDER
+// BY key values through sorting, one per sort key. The NUL prefix cannot
+// appear in a parsed variable name (the lexer accepts only [A-Za-z0-9_]),
+// so a legal user variable like ?_ord0 can never collide with — nor be
+// clobbered or deleted alongside — a hidden column.
+func hiddenOrdNames(n int) []string {
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "\x00ord" + strconv.Itoa(i)
+	}
+	return out
+}
 
-func sortRows(rows []Binding, keys []OrderKey) {
+// sortRows stable-sorts rows by the hidden key columns (hidden[i] holds the
+// value of keys[i]). Per SPARQL's ordering, an unbound key sorts before any
+// bound term (rdf.Compare treats nil as least); DESC reverses, putting
+// unbound rows last.
+func sortRows(rows []Binding, keys []OrderKey, hidden []string) {
+	if len(keys) == 0 {
+		return
+	}
 	sort.SliceStable(rows, func(i, j int) bool {
 		for k, key := range keys {
-			ti := rows[i][hiddenOrdVar(k)]
-			tj := rows[j][hiddenOrdVar(k)]
+			ti := rows[i][hidden[k]]
+			tj := rows[j][hidden[k]]
 			c := rdf.Compare(ti, tj)
 			if key.Desc {
 				c = -c
@@ -297,26 +344,40 @@ func sortRows(rows []Binding, keys []OrderKey) {
 	})
 }
 
-func stripHidden(rows []Binding) {
+// stripHidden deletes exactly the engine-generated hidden sort columns from
+// every row; user bindings — including names like ?_ord0 that a prefix
+// match would catch — are untouched.
+func stripHidden(rows []Binding, hidden []string) {
+	if len(hidden) == 0 {
+		return
+	}
 	for _, r := range rows {
-		for k := range r {
-			if strings.HasPrefix(k, "_ord") {
-				delete(r, k)
-			}
+		for _, h := range hidden {
+			delete(r, h)
 		}
 	}
 }
 
+// distinctRows removes duplicate rows, keeping first occurrences. Dedup
+// signatures are length-prefixed per column ("<len>:<term>", "~" for an
+// unbound column), so a term whose lexical form contains a would-be
+// separator can no longer alias a column boundary (with a bare "|" joiner,
+// ("a|b","c") and ("a","b|c") collided and a distinct row was dropped).
 func distinctRows(rows []Binding, vars []string) []Binding {
 	seen := map[string]struct{}{}
 	out := rows[:0:0]
+	var sig strings.Builder
 	for _, r := range rows {
-		var sig strings.Builder
+		sig.Reset()
 		for _, v := range vars {
 			if t, ok := r[v]; ok {
-				sig.WriteString(t.String())
+				s := t.String()
+				sig.WriteString(strconv.Itoa(len(s)))
+				sig.WriteByte(':')
+				sig.WriteString(s)
+			} else {
+				sig.WriteByte('~')
 			}
-			sig.WriteByte('|')
 		}
 		if _, dup := seen[sig.String()]; !dup {
 			seen[sig.String()] = struct{}{}

@@ -187,7 +187,7 @@ func evalNoReorder(t *testing.T, st *store.Store, q *Query) *Results {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stripHidden(rows)
+	stripHidden(rows, hiddenOrdNames(len(q.OrderBy)))
 	return &Results{Form: FormSelect, Vars: vars, Rows: rows}
 }
 

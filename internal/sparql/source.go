@@ -1,0 +1,42 @@
+package sparql
+
+import (
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// Source is the triple-matching surface the engine evaluates against.
+// *store.Store satisfies it; tests and instrumentation wrap one to observe
+// or throttle scans (the streaming endpoint's first-row-before-completion
+// test runs against a deliberately slow wrapper). Implementations must be
+// safe for concurrent ForEach calls — the parallel BGP executor probes
+// disjoint binding chunks from multiple goroutines.
+type Source interface {
+	// ForEach streams every triple matching p to fn in the store's scan
+	// order until fn returns false, under one consistent read view; fn
+	// must not scan the source again (see store.ForEach's locking
+	// contract).
+	ForEach(p store.Pattern, fn func(rdf.Triple) bool)
+	// ForEachPage streams up to max matching triples starting at scan
+	// position pos, returning the resume position and whether the scan is
+	// exhausted. The read view is held per page only, so the streaming
+	// driver can evaluate joins and write to clients between pages
+	// without blocking the store's writers (see store.ForEachPage).
+	ForEachPage(p store.Pattern, pos, max int, fn func(rdf.Triple) bool) (next int, done bool)
+	// LayoutEpoch reports the source's index-layout epoch; a change
+	// between two pages of one scan means positional cursors were
+	// invalidated (see store.LayoutEpoch) and the scan must restart or
+	// abort.
+	LayoutEpoch() uint64
+	// EstimateCount returns the index-range cardinality estimate for the
+	// bound positions of p (join planning).
+	EstimateCount(p store.Pattern) int
+	// NumTerms returns the dictionary size (join planning fallback).
+	NumTerms() int
+	// Cardinalities returns the per-predicate distinct-value table (join
+	// planning).
+	Cardinalities() map[rdf.IRI]store.PredCardinality
+}
+
+// compile-time check: the concrete store is a Source.
+var _ Source = (*store.Store)(nil)

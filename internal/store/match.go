@@ -31,27 +31,17 @@ func (st *Store) Count(p Pattern) int {
 }
 
 // ForEach streams triples matching the pattern to fn. Iteration stops early
-// when fn returns false. The store must not be mutated from inside fn.
+// when fn returns false. The store must not be mutated from inside fn, and
+// fn must not scan the store again: the read lock is held for the whole
+// iteration, and on a sync.RWMutex a nested RLock behind a queued writer
+// deadlocks. Long-running consumers should page with ForEachPage instead.
 func (st *Store) ForEach(p Pattern, fn func(rdf.Triple) bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 
-	var sid, pid, oid ID
-	var ok bool
-	if p.S != nil {
-		if sid, ok = st.lookup(p.S); !ok {
-			return
-		}
-	}
-	if p.P != nil {
-		if pid, ok = st.lookup(p.P); !ok {
-			return
-		}
-	}
-	if p.O != nil {
-		if oid, ok = st.lookup(p.O); !ok {
-			return
-		}
+	sid, pid, oid, ok := st.resolvePatternLocked(p)
+	if !ok {
+		return
 	}
 	st.forEachIDLocked(sid, pid, oid, func(e enc) bool {
 		return fn(rdf.Triple{
@@ -62,10 +52,97 @@ func (st *Store) ForEach(p Pattern, fn func(rdf.Triple) bool) {
 	})
 }
 
-// forEachIDLocked drives the index scan in ID space (0 = wildcard).
-func (st *Store) forEachIDLocked(s, p, o ID, fn func(enc) bool) {
-	var base []enc
-	var lo, hi int
+// ForEachPage streams up to max matching triples to fn, starting at scan
+// position pos (0 starts a new scan), and returns the position the next
+// page should resume from plus whether the scan is exhausted. The read
+// lock is held only for the duration of one page, so callers may do
+// arbitrary work between pages — evaluate joins, write to the network,
+// even mutate the store — without holding up writers. The cursor is
+// positional: a mutation between pages may shift positions, so a paged
+// scan observes the live store rather than one snapshot (callers needing
+// snapshot isolation use ForEach). fn returning false ends the scan
+// (done=true). max < 1 returns immediately with done=false.
+func (st *Store) ForEachPage(p Pattern, pos, max int, fn func(rdf.Triple) bool) (next int, done bool) {
+	if max < 1 {
+		return pos, false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	sid, pid, oid, ok := st.resolvePatternLocked(p)
+	if !ok {
+		return pos, true
+	}
+	base, lo, hi := st.scanRangeLocked(sid, pid, oid)
+	n := hi - lo
+	emitted := 0
+	for i := lo + pos; i < hi; i++ {
+		e := base[i]
+		if _, dead := st.deleted[e]; dead {
+			continue
+		}
+		if !fn(rdf.Triple{S: st.terms[e.s], P: st.terms[e.p].(rdf.IRI), O: st.terms[e.o]}) {
+			return i - lo + 1, true
+		}
+		emitted++
+		if emitted >= max {
+			return i - lo + 1, false
+		}
+	}
+	dpos := pos - n
+	if dpos < 0 {
+		dpos = 0
+	}
+	for j := dpos; j < len(st.delta); j++ {
+		e := st.delta[j]
+		if sid != 0 && e.s != sid {
+			continue
+		}
+		if pid != 0 && e.p != pid {
+			continue
+		}
+		if oid != 0 && e.o != oid {
+			continue
+		}
+		if _, dead := st.deleted[e]; dead {
+			continue
+		}
+		if !fn(rdf.Triple{S: st.terms[e.s], P: st.terms[e.p].(rdf.IRI), O: st.terms[e.o]}) {
+			return n + j + 1, true
+		}
+		emitted++
+		if emitted >= max {
+			return n + j + 1, false
+		}
+	}
+	return n + len(st.delta), true
+}
+
+// resolvePatternLocked interns the pattern's constant terms to IDs;
+// ok=false means a constant is absent from the dictionary and nothing can
+// match. Caller holds mu.
+func (st *Store) resolvePatternLocked(p Pattern) (s, pr, o ID, ok bool) {
+	if p.S != nil {
+		if s, ok = st.lookup(p.S); !ok {
+			return 0, 0, 0, false
+		}
+	}
+	if p.P != nil {
+		if pr, ok = st.lookup(p.P); !ok {
+			return 0, 0, 0, false
+		}
+	}
+	if p.O != nil {
+		if o, ok = st.lookup(p.O); !ok {
+			return 0, 0, 0, false
+		}
+	}
+	return s, pr, o, true
+}
+
+// scanRangeLocked picks the permutation index and the contiguous range
+// covering the bound positions (0 = wildcard). Caller holds mu.
+func (st *Store) scanRangeLocked(s, p, o ID) (base []enc, lo, hi int) {
 	switch {
 	case s != 0 && o != 0 && p == 0:
 		base = st.osp
@@ -75,10 +152,7 @@ func (st *Store) forEachIDLocked(s, p, o ID, fn func(enc) bool) {
 		lo, hi = rangeSPO(base, s, p, o)
 	case p != 0:
 		base = st.pos
-		lo, hi = rangePOS(base, p, o)
-		if o == 0 {
-			// p only; range covers it.
-		}
+		lo, hi = rangePOS(base, p, o) // o == 0 included: the range covers p alone
 	case o != 0:
 		base = st.osp
 		lo, hi = rangeOSP(base, o, 0)
@@ -86,6 +160,12 @@ func (st *Store) forEachIDLocked(s, p, o ID, fn func(enc) bool) {
 		base = st.spo
 		lo, hi = 0, len(base)
 	}
+	return base, lo, hi
+}
+
+// forEachIDLocked drives the index scan in ID space (0 = wildcard).
+func (st *Store) forEachIDLocked(s, p, o ID, fn func(enc) bool) {
+	base, lo, hi := st.scanRangeLocked(s, p, o)
 	for i := lo; i < hi; i++ {
 		e := base[i]
 		if _, dead := st.deleted[e]; dead {

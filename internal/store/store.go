@@ -49,6 +49,12 @@ type Store struct {
 	// write observably invalidates everything derived from older state.
 	gen uint64
 
+	// layout counts physical index reshuffles: delta compaction and bulk
+	// index rebuilds, the events that invalidate ForEachPage's positional
+	// cursors. Delta appends and tombstone deletes leave existing
+	// positions intact and do not advance it.
+	layout uint64
+
 	// cards caches per-predicate cardinalities for the query planner;
 	// nil means stale. Guarded by mu, invalidated on every mutation.
 	cards map[rdf.IRI]PredCardinality
@@ -100,6 +106,18 @@ func (st *Store) Generation() uint64 {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.gen
+}
+
+// LayoutEpoch returns the store's index-layout epoch: a counter that
+// advances whenever physical scan positions are reshuffled (delta
+// compaction, bulk index rebuilds). A paged scan (ForEachPage) whose
+// cursor spans two different epochs may have skipped or repeated triples;
+// callers compare epochs across pages and restart or abort on a change.
+// Plain appends and tombstone deletes do not advance it.
+func (st *Store) LayoutEpoch() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.layout
 }
 
 // intern returns the ID for t, creating one if needed. Caller holds mu.
@@ -234,6 +252,7 @@ func (st *Store) AddBatch(triples []rdf.Triple) (int, error) {
 		st.spo = batch
 		st.rebuildDerivedLocked()
 		st.size = len(batch)
+		st.layout++
 		if st.size > 0 {
 			st.gen++
 			st.cards = nil
@@ -373,6 +392,7 @@ func (st *Store) mergeLocked() {
 	st.spo = dedupe(live)
 	st.rebuildDerivedLocked()
 	st.size = len(st.spo)
+	st.layout++
 }
 
 // sortSPOLocked sorts entries into (s,p,o) order. Large inputs go through

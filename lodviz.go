@@ -233,6 +233,53 @@ func (d *Dataset) QueryCtx(ctx context.Context, q string, opt QueryOptions) (*Re
 	return sparql.ExecCtx(ctx, d.st, q, d.sparqlOptions(opt))
 }
 
+// QueryStreamResult summarizes a completed QueryStream evaluation.
+type QueryStreamResult struct {
+	// Vars are the projected column names (nil for ASK).
+	Vars []string
+	// Rows counts the rows delivered to the callback.
+	Rows int
+	// Ask is the answer of an ASK query.
+	Ask bool
+	// Incremental reports whether rows were delivered while evaluation was
+	// still in progress — the early-termination fast path, where a LIMIT
+	// also stops the scan as soon as enough rows are out. False means the
+	// query's shape (ORDER BY, DISTINCT, grouping, UNION, SERVICE) forced
+	// full evaluation before the first row.
+	Incremental bool
+}
+
+// QueryStream runs a SPARQL query and delivers result rows through fn as
+// they are produced, in the same order Query returns them; every call
+// receives the projected column names, and fn returns false to stop
+// evaluation early. Plain LIMIT/OFFSET queries short-circuit — the first
+// rows arrive while the scan is still running and work scales with the
+// limit, not the dataset — making this the progressive-delivery primitive
+// the survey asks of big-data exploration: a first screenful immediately,
+// refinement later. ASK answers land in the summary with no fn calls.
+func (d *Dataset) QueryStream(ctx context.Context, q string, opt QueryOptions, fn func(vars []string, row Binding) bool) (*QueryStreamResult, error) {
+	stm, err := sparql.PrepareStream(ctx, d.st, q, d.sparqlOptions(opt))
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryStreamResult{Vars: stm.Vars(), Incremental: stm.Incremental()}
+	if stm.Form() == sparql.FormAsk {
+		ans, err := stm.Ask()
+		if err != nil {
+			return nil, err
+		}
+		out.Ask = ans
+		return out, nil
+	}
+	if err := stm.Run(func(row Binding) bool {
+		out.Rows++
+		return fn(out.Vars, row)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // sparqlOptions lowers façade options to engine options, wiring the
 // federation mesh in as the SERVICE evaluator.
 func (d *Dataset) sparqlOptions(opt QueryOptions) sparql.Options {
@@ -331,10 +378,11 @@ func (d *Dataset) Store() *store.Store { return d.st }
 type ServerConfig = server.Config
 
 // Handler returns an http.Handler serving this dataset: the SPARQL Protocol
-// endpoint (/sparql, SERVICE clauses included), the exploration endpoints
-// (/facets, /graph/neighborhood, /hetree, /stats), keyword search (/search,
-// /complete), federation health (/federation), N-Triples ingestion (POST
-// /triples), and /healthz. Responses are cached in a sharded LRU keyed by
+// endpoint (/sparql, SERVICE clauses included), its chunked NDJSON twin
+// (/sparql/stream, first rows before evaluation finishes), the exploration
+// endpoints (/facets, /graph/neighborhood, /hetree, /stats), keyword search
+// (/search, /complete), federation health (/federation), N-Triples
+// ingestion (POST /triples), and /healthz. Responses are cached in a sharded LRU keyed by
 // the normalized request and the dataset generation, so writes invalidate
 // cached results automatically; permissive CORS headers let browser UIs
 // call every endpoint cross-origin. The server shares the dataset's
