@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint fmt check cover-server fuzz-smoke serve serve-cluster
+.PHONY: build test race bench bench-smoke bench-regression bench-baseline lint fmt check cover-server fuzz-smoke serve serve-cluster
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,17 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent packages: query engine, store
-# (including the snapshot round-trip under concurrent writers), snapshot
-# format, the federation mesh (parallel bind-join batches, circuit
-# breakers, TTL cache), HTTP server, and the sharded response cache; plus
-# the multi-node federation smoke (two httptest lodvizd instances answering
-# one SERVICE query).
+# Race-detector pass over the concurrent packages: query engine (both the
+# hash-join and dictionary-ID merge-join executors), store (including the
+# snapshot round-trip under concurrent writers and the permutation ID
+# scans with epoch restarts), snapshot format, the federation mesh
+# (parallel bind-join batches, circuit breakers, TTL cache), HTTP server,
+# and the sharded response cache; plus a focused rerun of the
+# dictionary/permutation paths under writers and the multi-node federation
+# smoke (two httptest lodvizd instances answering one SERVICE query).
 race:
 	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/federation/... ./internal/server/...
+	$(GO) test -race -count=2 -run 'ScanIDs|IDJoin|StreamConcurrentWriters' ./internal/store ./internal/sparql
 	$(GO) test -race -run 'Federated|ServiceSilent' .
 
 # Coverage gate for the HTTP server subsystem (the CI threshold).
@@ -54,28 +57,47 @@ serve-cluster:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-# One-iteration smoke of the BGP join benchmarks, the ingestion benchmarks
-# (bulk AddBatch vs the per-triple Add loop at 100k triples), and the
-# federation bind-join benchmarks (batched VALUES dispatch vs
-# one-request-per-binding at 1k bindings): verifies the benchmark paths
-# execute, without timing noise gating CI. The streaming LIMIT-pushdown
-# pair (materializing pipeline vs early-terminating scan over a >100k-
-# solution BGP) additionally records its timings as BENCH_stream.json —
-# the start of the benchmark trajectory CI archives per run.
+# One-iteration smoke of the BGP join benchmarks (hash and dictionary-ID
+# executors), the ingestion benchmarks (bulk AddBatch vs the per-triple
+# Add loop at 100k triples), the federation bind-join benchmarks (batched
+# VALUES dispatch vs one-request-per-binding at 1k bindings), and the
+# streaming LIMIT-pushdown pair: verifies the benchmark paths execute,
+# without timing noise gating CI. Timing regressions are gated separately
+# by bench-regression against the committed baseline.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BGP -benchtime=1x .
 	$(GO) test -run='^$$' -bench='AddBatch|AddAll|AddSequential|SnapshotWrite' -benchtime=1x ./internal/store
 	$(GO) test -run='^$$' -bench=BindJoin -benchtime=1x ./internal/federation
-	$(GO) test -run='^$$' -bench=LimitPushdown -benchtime=1x -json . > BENCH_stream.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_stream.json | sed 's/"Output":"//' || true
-	@test -s BENCH_stream.json || { echo "FAIL: BENCH_stream.json is empty"; exit 1; }
+	$(GO) test -run='^$$' -bench=LimitPushdown -benchtime=1x .
 
+# Benchmark regression gate: replay the pinned scenarios best-of-3 and
+# fail on >25% regression against bench/baseline.json (override the ratio
+# with BENCH_GATE=1.50 etc.), or on a speedup scenario dropping below its
+# hard floor. Artifacts BENCH_store.json / BENCH_stream.json are what CI
+# uploads per run.
+bench-regression:
+	$(GO) run ./cmd/benchharness -scenarios store -out BENCH_store.json -gate
+	$(GO) run ./cmd/benchharness -scenarios stream -out BENCH_stream.json -gate
+
+# Refresh the committed baseline after an intentional perf change; commit
+# the resulting bench/baseline.json diff alongside the change.
+bench-baseline:
+	$(GO) run ./cmd/benchharness -scenarios store -update-baseline
+	$(GO) run ./cmd/benchharness -scenarios stream -update-baseline
+
+# go vet + gofmt always; staticcheck/gosimple/unused etc. run via
+# golangci-lint when it is installed (CI always runs it — see the lint
+# job and .golangci.yml).
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; skipping (CI runs it)"; fi
 
 fmt:
 	gofmt -w .
 
-check: build lint test race bench-smoke cover-server
+check: build lint test race bench-smoke bench-regression cover-server

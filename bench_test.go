@@ -424,6 +424,65 @@ func BenchmarkBGPJoinParallel(b *testing.B) { benchBGPJoin(b, 0) }
 // NumCPU is large enough that scheduling noise dominates.
 func BenchmarkBGPJoinParallel4(b *testing.B) { benchBGPJoin(b, 4) }
 
+// E13b — dictionary-ID execution vs the term-space hash path, isolated at
+// Parallelism 1 so the comparison measures the executor, not the pool. The
+// Hash variants force Options.NoIDJoin; the IDs variants run the default
+// merge-join path. cmd/benchharness -scenarios store records the ratio in
+// BENCH_store.json and the CI bench-regression job gates on it.
+
+func benchBGPJoinOpts(b *testing.B, query string, opt sparql.Options) {
+	st := bgpJoinStore(b)
+	parsed, err := sparql.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparql.EvalOpts(st, parsed, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// boundPQuery is the bound-predicate case: both patterns scan a full
+// predicate range and equi-join on subject AND category value, so all 20k
+// entities flow through the join but only ~1/8 survive the value equality.
+// The term-space path materializes a Binding map per intermediate row; the
+// ID path keeps the intermediates as uint32 rows and only decodes the
+// survivors.
+func boundPQuery() string {
+	return fmt.Sprintf(`SELECT ?e ?c WHERE { ?e <%s> ?c . ?e <%s> ?c . }`,
+		string(gen.Prop("cat0")), string(gen.Prop("cat1")))
+}
+
+// boundOQuery is the bound-object case: a POS-access entry on one category
+// value, a link hop, and a bound-object re-check on the link target —
+// intermediate fan-out with a small surviving set.
+func boundOQuery() string {
+	return fmt.Sprintf(`SELECT ?e ?o WHERE { ?e <%s> "category-2" . ?e <%s> ?o . ?o <%s> "category-2" . }`,
+		string(gen.Prop("cat0")), string(gen.Prop("rel0")), string(gen.Prop("cat0")))
+}
+
+func BenchmarkBGPJoinBoundPHash(b *testing.B) {
+	benchBGPJoinOpts(b, boundPQuery(), sparql.Options{Parallelism: 1, NoIDJoin: true})
+}
+
+func BenchmarkBGPJoinBoundPIDs(b *testing.B) {
+	benchBGPJoinOpts(b, boundPQuery(), sparql.Options{Parallelism: 1})
+}
+
+func BenchmarkBGPJoinBoundOHash(b *testing.B) {
+	benchBGPJoinOpts(b, boundOQuery(), sparql.Options{Parallelism: 1, NoIDJoin: true})
+}
+
+func BenchmarkBGPJoinBoundOIDs(b *testing.B) {
+	benchBGPJoinOpts(b, boundOQuery(), sparql.Options{Parallelism: 1})
+}
+
 // E14 — streaming LIMIT pushdown: a first-page exploration query
 // (LIMIT 10) over a BGP with >100k solutions, evaluated by the
 // materializing pipeline (full scan, then slice) and by the streaming

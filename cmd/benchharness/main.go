@@ -7,6 +7,12 @@
 //	benchharness               # run everything
 //	benchharness -only E6,E7   # run a subset
 //	benchharness -quick        # smaller sweeps (CI-sized)
+//
+// Regression mode (see regress.go) measures pinned scenarios, emits a JSON
+// artifact, and gates against the committed baseline:
+//
+//	benchharness -scenarios store -out BENCH_store.json -gate
+//	benchharness -scenarios store -update-baseline   # refresh bench/baseline.json
 package main
 
 import (
@@ -41,7 +47,16 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E6)")
+	scenarios := flag.String("scenarios", "", "regression scenario set (store or stream); skips the experiments")
+	out := flag.String("out", "", "write scenario results to this JSON artifact")
+	baseline := flag.String("baseline", "bench/baseline.json", "baseline file for -gate / -update-baseline")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the baseline from this run's results")
+	gate := flag.Bool("gate", false, "fail when a scenario regresses past the gate ratio (BENCH_GATE, default 1.25)")
 	flag.Parse()
+
+	if *scenarios != "" {
+		os.Exit(runRegress(*scenarios, *out, *baseline, *updateBaseline, *gate))
+	}
 
 	experiments := []struct {
 		id   string

@@ -171,3 +171,205 @@ func TestCorruptStringLength(t *testing.T) {
 		}
 	}
 }
+
+// encodeV1 writes the shared fixture in the legacy format.
+func encodeV1(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriterVersion(&buf, VersionV1, len(testTerms), len(testTriples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range testTerms {
+		if err := w.Term(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range testTriples {
+		if err := w.Triple(tr.s, tr.p, tr.o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestV1RoundTrip pins backward compatibility: a legacy-format stream decodes
+// to the same terms and triples through the same Reader.
+func TestV1RoundTrip(t *testing.T) {
+	data := encodeV1(t)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != VersionV1 {
+		t.Fatalf("Version() = %d, want %d", r.Version(), VersionV1)
+	}
+	for range testTerms {
+		if _, err := r.Term(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range testTriples {
+		s, p, o, err := r.Triple()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (id3{s, p, o}) != want {
+			t.Fatalf("triple %d = {%d %d %d}, want %v", i, s, p, o, want)
+		}
+	}
+	if stats, err := r.Stats(); err != nil || stats != nil {
+		t.Fatalf("v1 Stats() = %v, %v; want nil, nil", stats, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("checksum verify: %v", err)
+	}
+}
+
+// TestStatsRoundTrip pins the v2 stats section, including that Close skips
+// an unread section without breaking the checksum.
+func TestStatsRoundTrip(t *testing.T) {
+	stats := []PredStat{
+		{Pred: 1, Triples: 4, DistinctSubjects: 3, DistinctObjects: 4},
+		{Pred: 3, Triples: 7, DistinctSubjects: 1, DistinctObjects: 7},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, len(testTerms), len(testTriples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range testTerms {
+		if err := w.Term(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range testTriples {
+		if err := w.Triple(tr.s, tr.p, tr.o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Stats(stats); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != Version {
+		t.Fatalf("Version() = %d, want %d", r.Version(), Version)
+	}
+	for range testTerms {
+		if _, err := r.Term(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range testTriples {
+		if _, _, _, err := r.Triple(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(stats) {
+		t.Fatalf("got %d stats entries, want %d", len(got), len(stats))
+	}
+	for i := range got {
+		if got[i] != stats[i] {
+			t.Fatalf("stats[%d] = %+v, want %+v", i, got[i], stats[i])
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("checksum verify: %v", err)
+	}
+
+	// Reading the same stream but never calling Stats must still checksum.
+	r2, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range testTerms {
+		if _, err := r2.Term(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range testTriples {
+		if _, _, _, err := r2.Triple(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatalf("checksum verify with skipped stats: %v", err)
+	}
+}
+
+// TestV2RejectsUnsortedInput pins the v2 writer's strict-order checks and the
+// reader's duplicate detection.
+func TestV2RejectsUnsortedInput(t *testing.T) {
+	newW := func() *Writer {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w := newW()
+	if err := w.Triple(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Triple(2, 1, 1); err == nil {
+		t.Fatal("duplicate triple accepted")
+	}
+	w = newW()
+	if err := w.Triple(2, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Triple(2, 1, 5); err == nil {
+		t.Fatal("descending predicate under one subject accepted")
+	}
+	w = newW()
+	if err := w.Triple(0, 1, 1); err == nil {
+		t.Fatal("subject ID 0 accepted")
+	}
+	w = newW()
+	if err := w.Stats([]PredStat{{Pred: 2}, {Pred: 2}}); err == nil {
+		t.Fatal("unsorted stats accepted")
+	}
+}
+
+// TestV2SmallerOnHubs sanity-checks the point of the tighter coding: a hub
+// subject with one multi-valued predicate costs ~1 byte per triple in v2.
+func TestV2SmallerOnHubs(t *testing.T) {
+	write := func(version int) int {
+		var buf bytes.Buffer
+		w, err := NewWriterVersion(&buf, version, 1, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Term(rdf.IRI("http://e/hub")); err != nil {
+			t.Fatal(err)
+		}
+		for o := uint32(2); o < 1002; o++ {
+			if err := w.Triple(1, 1, o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	v1, v2 := write(VersionV1), write(Version)
+	if v2 >= v1 {
+		t.Fatalf("v2 hub encoding (%d bytes) not smaller than v1 (%d bytes)", v2, v1)
+	}
+}

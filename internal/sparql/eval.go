@@ -28,6 +28,10 @@ type engine struct {
 	// noReorder disables cost-based join reordering (tests compare the
 	// naive textual order against the planned order).
 	noReorder bool
+	// noIDJoin forces the term-space hash path for triple-pattern runs even
+	// when the source is an IDSource (differential tests compare it against
+	// the dictionary-ID path).
+	noIDJoin bool
 	// svc evaluates SERVICE clauses; nil means federation is not wired.
 	svc ServiceEvaluator
 	// cards lazily caches the store's per-predicate cardinality table for
@@ -53,14 +57,27 @@ func (e *engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
 // pick a different join order and therefore a different row order).
 func (e *engine) evalElems(elems []GroupElem, filters []Expr, input []Binding) ([]Binding, error) {
 	cur := input
-	for _, el := range elems {
+	for i := 0; i < len(elems); i++ {
 		if err := e.cancelled(); err != nil {
 			return nil, err
 		}
 		var err error
-		switch el := el.(type) {
+		switch el := elems[i].(type) {
 		case TriplePattern:
-			cur, err = e.evalTriplePattern(el, cur)
+			// Gather the maximal run of consecutive triple patterns: the run
+			// evaluates as one unit so the ID-space executor (idjoin.go) can
+			// keep intermediate rows dictionary-encoded across the joins and
+			// decode terms once at the end.
+			run := []TriplePattern{el}
+			for i+1 < len(elems) {
+				next, ok := elems[i+1].(TriplePattern)
+				if !ok {
+					break
+				}
+				run = append(run, next)
+				i++
+			}
+			cur, err = e.evalPatternRun(run, cur)
 		case SubGroup:
 			cur, err = e.evalGroup(el.Inner, cur)
 		case Optional:

@@ -1,0 +1,239 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// idJoinStore builds a dataset shaped to exercise every ID-executor strategy:
+// categorical triples (bound-object merge joins), a link chain (equal-prefix
+// subject merges), numeric literals, a hub every entity points at (duplicate
+// merge keys), a few self-loops (repeated variables), plus uncompacted delta
+// triples and a tombstone so ScanIDs runs carry a tail.
+func idJoinStore(t testing.TB) *store.Store {
+	t.Helper()
+	const n = 300
+	ent := func(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("http://x/e%d", i)) }
+	var triples []rdf.Triple
+	for i := 0; i < n; i++ {
+		triples = append(triples,
+			rdf.Triple{S: ent(i), P: "http://x/cat", O: rdf.NewLiteral(fmt.Sprintf("c%d", i%3))},
+			rdf.Triple{S: ent(i), P: "http://x/num", O: rdf.NewInteger(int64(i % 50))},
+			rdf.Triple{S: ent(i), P: "http://x/link", O: ent((i + 7) % n)},
+			rdf.Triple{S: ent(i), P: "http://x/rel", O: ent(0)}, // shared hub
+		)
+		if i%37 == 0 {
+			triples = append(triples, rdf.Triple{S: ent(i), P: "http://x/link", O: ent(i)})
+		}
+	}
+	st, err := store.Load(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Compact()
+	// Leave delta entries and a tombstone behind so the ID scans see an
+	// uncompacted tail.
+	for i := 0; i < 20; i++ {
+		if err := st.Add(rdf.Triple{S: ent(n + i), P: "http://x/cat", O: rdf.NewLiteral("c1")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Add(rdf.Triple{S: ent(n + i), P: "http://x/num", O: rdf.NewInteger(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.Delete(rdf.Triple{S: ent(1), P: "http://x/num", O: rdf.NewInteger(1)}) {
+		t.Fatal("tombstone delete failed")
+	}
+	return st
+}
+
+// idJoinQueries is the differential grid: shapes chosen to hit each strategy
+// (merge join, scan-cross, per-row probe) and each exclusion (mixed slots,
+// repeated variables, predicate-variable lead, absent constants).
+var idJoinQueries = []struct {
+	name, q string
+}{
+	{"bound-object merge", `SELECT ?e ?v WHERE { ?e <http://x/cat> "c1" . ?e <http://x/num> ?v }`},
+	{"three-pattern chain", `SELECT ?e ?o ?v WHERE { ?e <http://x/cat> "c2" . ?e <http://x/link> ?o . ?o <http://x/num> ?v }`},
+	{"scan-cross then merge", `SELECT ?e ?c ?v WHERE { ?e <http://x/cat> ?c . ?e <http://x/num> ?v }`},
+	{"duplicate merge keys", `SELECT ?e ?v WHERE { ?e <http://x/rel> ?h . ?h <http://x/num> ?v }`},
+	{"cycle join", `SELECT ?a ?b WHERE { ?a <http://x/link> ?b . ?b <http://x/link> ?a }`},
+	{"repeated variable", `SELECT ?a WHERE { ?a <http://x/link> ?a }`},
+	{"predicate variable lead", `SELECT ?p ?x ?y WHERE { <http://x/e0> ?p ?o . ?x ?p ?y } LIMIT 400`},
+	{"empty run", `SELECT ?e ?v WHERE { ?e <http://x/cat> "missing" . ?e <http://x/num> ?v }`},
+	{"absent constant", `SELECT ?v WHERE { ?e <http://nowhere/p> ?v }`},
+	{"optional", `SELECT ?e ?v WHERE { ?e <http://x/cat> "c1" . OPTIONAL { ?e <http://x/num> ?v } }`},
+	{"union", `SELECT ?e WHERE { { ?e <http://x/cat> "c0" } UNION { ?e <http://x/cat> "c1" } }`},
+	{"values with foreign term", `SELECT ?e ?v WHERE { VALUES ?e { <http://x/e1> <http://nowhere/x> } ?e <http://x/num> ?v }`},
+	{"filter", `SELECT ?e ?v WHERE { ?e <http://x/cat> ?c . ?e <http://x/num> ?v FILTER(?v > 40) }`},
+	{"order by limit", `SELECT ?e ?v WHERE { ?e <http://x/cat> "c1" . ?e <http://x/num> ?v } ORDER BY ?v ?e LIMIT 25`},
+}
+
+// TestIDJoinDifferential is the ID-executor contract: for every query shape,
+// every parallelism setting, and both pipelines (streaming and
+// materializing), the dictionary-ID path returns exactly the rows — values
+// and order — of the term-space hash path.
+func TestIDJoinDifferential(t *testing.T) {
+	st := idJoinStore(t)
+	for _, tc := range idJoinQueries {
+		for _, par := range []int{1, 8} {
+			for _, noStream := range []bool{false, true} {
+				ref := execOpts(t, st, tc.q, Options{Parallelism: par, NoStream: noStream, NoIDJoin: true})
+				got := execOpts(t, st, tc.q, Options{Parallelism: par, NoStream: noStream})
+				if !reflect.DeepEqual(ref.Rows, got.Rows) {
+					t.Errorf("%s (par=%d noStream=%v): ID path returned %d rows, hash path %d; first divergence: %v",
+						tc.name, par, noStream, len(got.Rows), len(ref.Rows), firstDiff(ref.Rows, got.Rows))
+				}
+			}
+		}
+	}
+}
+
+func firstDiff(a, b []Binding) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return fmt.Sprintf("row %d: hash=%v id=%v", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}
+
+// TestIDJoinFallsBackForPlainSource pins the compatibility contract: a
+// Source that is not an IDSource (test wrappers, instrumentation) still
+// evaluates correctly through the term-space path.
+func TestIDJoinFallsBackForPlainSource(t *testing.T) {
+	st := idJoinStore(t)
+	q := `SELECT ?e ?v WHERE { ?e <http://x/cat> "c1" . ?e <http://x/num> ?v }`
+	ref := execOpts(t, st, q, Options{Parallelism: 1})
+	got := execOpts(t, plainSource{st}, q, Options{Parallelism: 1})
+	if !reflect.DeepEqual(ref.Rows, got.Rows) {
+		t.Fatalf("plain-Source evaluation diverged: %v", firstDiff(ref.Rows, got.Rows))
+	}
+}
+
+// plainSource hides the store's ID methods, leaving only the Source surface.
+type plainSource struct{ src Source }
+
+func (p plainSource) ForEach(pt store.Pattern, fn func(rdf.Triple) bool) { p.src.ForEach(pt, fn) }
+func (p plainSource) ForEachPage(pt store.Pattern, pos, max int, fn func(rdf.Triple) bool) (int, bool) {
+	return p.src.ForEachPage(pt, pos, max, fn)
+}
+func (p plainSource) LayoutEpoch() uint64                { return p.src.LayoutEpoch() }
+func (p plainSource) EstimateCount(pt store.Pattern) int { return p.src.EstimateCount(pt) }
+func (p plainSource) NumTerms() int                      { return p.src.NumTerms() }
+func (p plainSource) Cardinalities() map[rdf.IRI]store.PredCardinality {
+	return p.src.Cardinalities()
+}
+
+// TestIDJoinUnderConcurrentWrites runs the differential grid's join queries
+// while writers add and delete triples that never match the queried
+// predicates but continually bump the store's layout epoch (delta growth,
+// compaction). Every result must still equal the quiescent answer — this
+// drives the ScanIDs epoch-restart path from the executor's side.
+func TestIDJoinUnderConcurrentWrites(t *testing.T) {
+	st := idJoinStore(t)
+	queries := []string{
+		`SELECT ?e ?v WHERE { ?e <http://x/cat> "c1" . ?e <http://x/num> ?v }`,
+		`SELECT ?e ?o ?v WHERE { ?e <http://x/cat> "c2" . ?e <http://x/link> ?o . ?o <http://x/num> ?v }`,
+	}
+	want := make([][]Binding, len(queries))
+	for i, q := range queries {
+		want[i] = execOpts(t, st, q, Options{Parallelism: 1}).Rows
+	}
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				noise := rdf.Triple{
+					S: rdf.IRI(fmt.Sprintf("http://noise/%d-%d", w, i)),
+					P: "http://noise/p",
+					O: rdf.NewInteger(int64(i)),
+				}
+				st.Add(noise)
+				if i%5 == 0 {
+					st.Delete(noise)
+				}
+				if i%50 == 0 {
+					st.Compact()
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 30; round++ {
+		for i, q := range queries {
+			res, err := ExecOpts(st, q, Options{Parallelism: 4})
+			if err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, err)
+			}
+			if !reflect.DeepEqual(res.Rows, want[i]) {
+				t.Fatalf("round %d query %d diverged under writes: %v", round, i, firstDiff(want[i], res.Rows))
+			}
+		}
+	}
+	close(stop)
+	writers.Wait()
+}
+
+// TestIDJoinMergeEdgeCases drives evalPatternRun directly at the strategy
+// seams: a merge whose scan run is empty, input rows all sharing one key,
+// and keys with no span in the sorted run but matches in the delta tail.
+func TestIDJoinMergeEdgeCases(t *testing.T) {
+	st := idJoinStore(t)
+	e := newEngine(context.Background(), st, Options{Parallelism: 1})
+	v := func(s string) Node { return Node{Var: s} }
+	c := func(t rdf.Term) Node { return Node{Term: t} }
+
+	ent := func(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("http://x/e%d", i)) }
+	seed := []Binding{
+		{"e": ent(1)},                      // its num triple is tombstoned
+		{"e": ent(2)},                      // sorted-run match
+		{"e": ent(2)},                      // duplicate key
+		{"e": ent(305)},                    // match only in the uncompacted delta tail
+		{"e": rdf.IRI("http://nowhere/e")}, // not in the dictionary
+	}
+	run := []TriplePattern{{S: v("e"), P: c(rdf.IRI("http://x/num")), O: v("n")}}
+
+	got, err := e.evalPatternRun(run, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.noIDJoin = true
+	want, err := e.evalPatternRun(run, seed)
+	e.noIDJoin = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("merge edges diverged: %v", firstDiff(want, got))
+	}
+	if len(got) != 3 {
+		t.Fatalf("expected 3 rows (dup key ×2 + delta tail), got %d", len(got))
+	}
+
+	// Empty scan run: a constant mask matching nothing returns no rows from
+	// both paths without error.
+	none := []TriplePattern{{S: v("e"), P: c(rdf.IRI("http://x/cat")), O: c(rdf.NewLiteral("missing"))}}
+	got, err = e.evalPatternRun(none, seed)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty run: got %d rows, err %v", len(got), err)
+	}
+}

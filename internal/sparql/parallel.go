@@ -47,6 +47,12 @@ type Options struct {
 	// pipeline. Results are identical either way; benchmarks and
 	// differential tests use it to compare the two paths.
 	NoStream bool
+	// NoIDJoin disables dictionary-ID execution of triple-pattern runs
+	// (merge joins over permutation runs, batch term decoding), forcing the
+	// per-pattern term-space hash path. Results are identical either way;
+	// benchmarks and differential tests use it to compare the two
+	// executors.
+	NoIDJoin bool
 }
 
 // workers resolves the option to an effective worker count.
@@ -62,7 +68,7 @@ func (o Options) workers() int {
 
 // newEngine builds an engine for one query evaluation.
 func newEngine(ctx context.Context, st Source, opt Options) *engine {
-	e := &engine{ctx: ctx, st: st, par: opt.workers(), svc: opt.Service}
+	e := &engine{ctx: ctx, st: st, par: opt.workers(), svc: opt.Service, noIDJoin: opt.NoIDJoin}
 	if e.par > 1 {
 		e.sem = make(chan struct{}, e.par-1)
 	}

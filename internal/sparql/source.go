@@ -38,5 +38,36 @@ type Source interface {
 	Cardinalities() map[rdf.IRI]store.PredCardinality
 }
 
-// compile-time check: the concrete store is a Source.
-var _ Source = (*store.Store)(nil)
+// IDSource is the dictionary-level extension of Source: a source whose terms
+// are densely ID-encoded and whose permutation indexes can serve sorted
+// ID-space runs. When the engine's source implements it, basic graph
+// patterns are evaluated entirely over uint32 IDs — equal-prefix joins
+// become merge joins over ScanIDs runs, everything else probes ForEachID —
+// and terms are decoded once per emitted solution via the batch Terms call.
+// Sources that only implement Source (test wrappers, instrumented stores)
+// transparently fall back to the term-space hash path.
+type IDSource interface {
+	Source
+	// LookupTermID resolves a term to its dictionary ID; ok=false means the
+	// term cannot occur in any triple.
+	LookupTermID(t rdf.Term) (store.ID, bool)
+	// Terms batch-decodes IDs under one lock acquisition; unknown IDs
+	// (including 0) decode to nil.
+	Terms(ids []store.ID) []rdf.Term
+	// ForEachID streams ID-space matches (0 = wildcard) in the same
+	// sequence ForEach decodes, under one consistent read view.
+	ForEachID(s, p, o store.ID, fn func(store.IDTriple) bool)
+	// ScanIDs materializes the matches through the permutation sorted on
+	// lead (see store.ScanIDs); ok=false means no permutation serves that
+	// lead order.
+	ScanIDs(s, p, o store.ID, lead store.Position) (store.IDRun, bool)
+	// EstimateCountIDs is EstimateCount for an encoded mask; the engine
+	// compares it against the binding count to choose merge vs. probe.
+	EstimateCountIDs(s, p, o store.ID) int
+}
+
+// compile-time checks: the concrete store is a Source and an IDSource.
+var (
+	_ Source   = (*store.Store)(nil)
+	_ IDSource = (*store.Store)(nil)
+)

@@ -37,6 +37,23 @@ func (c *countingSource) ForEachPage(p store.Pattern, pos, max int, fn func(rdf.
 	})
 }
 
+// The embedded store promotes the IDSource methods, so the dictionary-ID
+// executor's scans must be counted too or they would bypass the wrapper.
+func (c *countingSource) ForEachID(s, p, o store.ID, fn func(store.IDTriple) bool) {
+	c.Store.ForEachID(s, p, o, func(t store.IDTriple) bool {
+		c.visited.Add(1)
+		return fn(t)
+	})
+}
+
+func (c *countingSource) ScanIDs(s, p, o store.ID, lead store.Position) (store.IDRun, bool) {
+	run, ok := c.Store.ScanIDs(s, p, o, lead)
+	if ok {
+		c.visited.Add(int64(len(run.Sorted) + len(run.Tail)))
+	}
+	return run, ok
+}
+
 // streamStore builds a dataset big enough that full evaluation is clearly
 // distinguishable from an early-terminated scan: n entities, each with a
 // value triple and a link triple.

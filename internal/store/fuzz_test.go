@@ -1,0 +1,70 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// FuzzDictionaryRoundTrip interns arbitrary terms (IRIs, blank nodes, plain /
+// typed / language-tagged literals) and checks the dictionary is a bijection:
+// term → ID → term is the identity, re-interning is stable, and distinct
+// terms never collide on one ID.
+func FuzzDictionaryRoundTrip(f *testing.F) {
+	f.Add("http://example.org/a", "b", "lit", "en", byte(0))
+	f.Add("", "", "", "", byte(1))
+	f.Add("http://x/\x00weird", "_:b0", "42", "http://www.w3.org/2001/XMLSchema#integer", byte(2))
+	f.Fuzz(func(t *testing.T, a, b, lex, extra string, kind byte) {
+		terms := []rdf.Term{
+			rdf.IRI(a),
+			rdf.BlankNode(b),
+			rdf.Literal{Lexical: lex},
+			rdf.Literal{Lexical: lex, Datatype: rdf.IRI(extra)},
+			rdf.Literal{Lexical: lex, Lang: extra},
+		}
+		st := New()
+		st.mu.Lock()
+		ids := make(map[rdf.Term]ID, len(terms))
+		for _, tm := range terms {
+			id := st.intern(tm)
+			if id == 0 {
+				t.Fatalf("intern(%v) returned reserved ID 0", tm)
+			}
+			if prev, ok := ids[tm]; ok && prev != id {
+				t.Fatalf("re-interning %v changed ID: %d then %d", tm, prev, id)
+			}
+			ids[tm] = id
+		}
+		st.mu.Unlock()
+		// Every distinct term must map to a distinct ID...
+		seen := map[ID]rdf.Term{}
+		for tm, id := range ids {
+			if other, dup := seen[id]; dup {
+				t.Fatalf("terms %v and %v share ID %d", tm, other, id)
+			}
+			seen[id] = tm
+		}
+		// ...and decode back to exactly itself, via both decode surfaces.
+		for tm, id := range ids {
+			got, ok := st.Term(id)
+			if !ok || got != tm {
+				t.Fatalf("Term(%d) = %v,%v; want %v", id, got, ok, tm)
+			}
+			if back, ok := st.LookupTermID(tm); !ok || back != id {
+				t.Fatalf("LookupTermID(%v) = %d,%v; want %d", tm, back, ok, id)
+			}
+		}
+		allIDs := make([]ID, 0, len(ids))
+		wantTerms := make([]rdf.Term, 0, len(ids))
+		for tm, id := range ids {
+			allIDs = append(allIDs, id)
+			wantTerms = append(wantTerms, tm)
+		}
+		batch := st.Terms(allIDs)
+		for i := range allIDs {
+			if batch[i] != wantTerms[i] {
+				t.Fatalf("Terms batch decode mismatch at %d: %v vs %v", i, batch[i], wantTerms[i])
+			}
+		}
+	})
+}

@@ -141,25 +141,12 @@ func (st *Store) resolvePatternLocked(p Pattern) (s, pr, o ID, ok bool) {
 }
 
 // scanRangeLocked picks the permutation index and the contiguous range
-// covering the bound positions (0 = wildcard). Caller holds mu.
+// covering the bound positions (0 = wildcard), via the same selection table
+// (PermutationFor) the ID-space scan API exposes. Caller holds mu.
 func (st *Store) scanRangeLocked(s, p, o ID) (base []enc, lo, hi int) {
-	switch {
-	case s != 0 && o != 0 && p == 0:
-		base = st.osp
-		lo, hi = rangeOSP(base, o, s)
-	case s != 0:
-		base = st.spo
-		lo, hi = rangeSPO(base, s, p, o)
-	case p != 0:
-		base = st.pos
-		lo, hi = rangePOS(base, p, o) // o == 0 included: the range covers p alone
-	case o != 0:
-		base = st.osp
-		lo, hi = rangeOSP(base, o, 0)
-	default:
-		base = st.spo
-		lo, hi = 0, len(base)
-	}
+	ord, _ := PermutationFor(s != 0, p != 0, o != 0, PosAny)
+	base = st.indexFor(ord)
+	lo, hi = rangeIn(ord, base, s, p, o)
 	return base, lo, hi
 }
 
@@ -270,19 +257,11 @@ func (st *Store) EstimateCount(p Pattern) int {
 			return 0
 		}
 	}
-	var lo, hi int
-	switch {
-	case sid != 0 && oid != 0 && pid == 0:
-		lo, hi = rangeOSP(st.osp, oid, sid)
-	case sid != 0:
-		lo, hi = rangeSPO(st.spo, sid, pid, oid)
-	case pid != 0:
-		lo, hi = rangePOS(st.pos, pid, oid)
-	case oid != 0:
-		lo, hi = rangeOSP(st.osp, oid, 0)
-	default:
-		lo, hi = 0, len(st.spo)
-	}
+	// Same permutation-selection table as the scans: a bound-object pattern
+	// counts its exact OSP range, never the whole store.
+	ord, _ := PermutationFor(sid != 0, pid != 0, oid != 0, PosAny)
+	idx := st.indexFor(ord)
+	lo, hi := rangeIn(ord, idx, sid, pid, oid)
 	n := hi - lo
 	for _, e := range st.delta {
 		if (sid == 0 || e.s == sid) && (pid == 0 || e.p == pid) && (oid == 0 || e.o == oid) {

@@ -5,25 +5,45 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"github.com/lodviz/lodviz/internal/rdf"
 	"github.com/lodviz/lodviz/internal/snapshot"
 )
 
 // WriteSnapshot serializes the store to w in the versioned, checksummed
-// snapshot format (see internal/snapshot): the full term dictionary followed
-// by the sorted SPO index.
+// snapshot format (see internal/snapshot): the full term dictionary, the
+// sorted SPO index, and (format v2) the per-predicate cardinality table so a
+// restored store starts with a warm query planner.
 //
 // The snapshot is a consistent point-in-time image: pending deltas and
-// tombstones are compacted first, then the dictionary and index are captured
-// under the lock and serialized outside it (merges never mutate a published
-// index slice in place, so concurrent writers cannot corrupt the capture).
+// tombstones are compacted first, then the dictionary, index, and
+// cardinalities are captured under the lock and serialized outside it
+// (merges never mutate a published index slice in place, so concurrent
+// writers cannot corrupt the capture).
 func (st *Store) WriteSnapshot(w io.Writer) error {
 	st.mu.Lock()
 	st.mergeLocked()
 	terms := st.terms[:len(st.terms):len(st.terms)]
 	spo := st.spo[:len(st.spo):len(st.spo)]
+	if st.cards == nil {
+		st.cards = st.computeCardinalitiesLocked()
+	}
+	stats := make([]snapshot.PredStat, 0, len(st.cards))
+	for p, c := range st.cards {
+		pid, ok := st.dict[rdf.Term(p)]
+		if !ok {
+			continue
+		}
+		stats = append(stats, snapshot.PredStat{
+			Pred:             uint32(pid),
+			Triples:          uint64(c.Triples),
+			DistinctSubjects: uint64(c.DistinctSubjects),
+			DistinctObjects:  uint64(c.DistinctObjects),
+		})
+	}
 	st.mu.Unlock()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Pred < stats[j].Pred })
 
 	sw, err := snapshot.NewWriter(w, len(terms)-1, len(spo))
 	if err != nil {
@@ -38,6 +58,9 @@ func (st *Store) WriteSnapshot(w io.Writer) error {
 		if err := sw.Triple(uint32(e.s), uint32(e.p), uint32(e.o)); err != nil {
 			return err
 		}
+	}
+	if err := sw.Stats(stats); err != nil {
+		return err
 	}
 	return sw.Close()
 }
@@ -100,8 +123,36 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 		prev = e
 		s.spo = append(s.spo, e)
 	}
+	// A v2 snapshot carries the per-predicate cardinality table; restoring
+	// it pre-warms the planner cache that would otherwise be recomputed by
+	// an O(n) scan on the first query. v1 snapshots restore with a cold
+	// cache, exactly as before. Close verifies the checksum over the whole
+	// stream (stats included), so the table is only trusted after it.
+	stats, err := sr.Stats()
+	if err != nil {
+		return nil, err
+	}
 	if err := sr.Close(); err != nil {
 		return nil, err
+	}
+	if len(stats) > 0 {
+		cards := make(map[rdf.IRI]PredCardinality, len(stats))
+		for _, ps := range stats {
+			p, ok := s.terms[ps.Pred].(rdf.IRI)
+			if !ok {
+				return nil, fmt.Errorf("%w: stats predicate %d is not an IRI", snapshot.ErrCorrupt, ps.Pred)
+			}
+			const maxInt = int(^uint(0) >> 1)
+			if ps.Triples > uint64(maxInt) || ps.DistinctSubjects > uint64(maxInt) || ps.DistinctObjects > uint64(maxInt) {
+				return nil, fmt.Errorf("%w: stats entry for predicate %d overflows", snapshot.ErrCorrupt, ps.Pred)
+			}
+			cards[p] = PredCardinality{
+				Triples:          int(ps.Triples),
+				DistinctSubjects: int(ps.DistinctSubjects),
+				DistinctObjects:  int(ps.DistinctObjects),
+			}
+		}
+		s.cards = cards
 	}
 
 	s.rebuildDerivedLocked()

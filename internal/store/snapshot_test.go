@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/snapshot"
 )
 
 // buildMixedStore returns a store exercising every term kind plus pending
@@ -219,4 +220,88 @@ func TestSnapshotConcurrentWriters(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestSnapshotV1Restore pins the migration path: a snapshot written in the
+// pre-v2 format (subject-only delta coding, no stats section) restores to an
+// identical store through the current reader.
+func TestSnapshotV1Restore(t *testing.T) {
+	st := buildMixedStore(t)
+	st.Compact()
+
+	// Write the v1 stream the way the old WriteSnapshot did: dictionary in
+	// ID order, then the sorted SPO index.
+	st.mu.Lock()
+	terms := st.terms[:len(st.terms):len(st.terms)]
+	spo := st.spo[:len(st.spo):len(st.spo)]
+	st.mu.Unlock()
+	var buf bytes.Buffer
+	sw, err := snapshot.NewWriterVersion(&buf, snapshot.VersionV1, len(terms)-1, len(spo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range terms[1:] {
+		if err := sw.Term(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range spo {
+		if err := sw.Triple(uint32(e.s), uint32(e.p), uint32(e.o)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("restoring v1 snapshot: %v", err)
+	}
+	snapshotEqual(t, st, got)
+	// v1 carries no stats: the cardinality cache must start cold and be
+	// recomputed on demand with correct values.
+	got.mu.RLock()
+	cold := got.cards == nil
+	got.mu.RUnlock()
+	if !cold {
+		t.Fatal("v1 restore pre-populated the cardinality cache from nothing")
+	}
+	if len(got.Cardinalities()) == 0 {
+		t.Fatal("restored store computed no cardinalities")
+	}
+}
+
+// TestSnapshotV2WarmStats pins that a v2 snapshot restores with the
+// cardinality table pre-populated and numerically identical to a from-scratch
+// recomputation.
+func TestSnapshotV2WarmStats(t *testing.T) {
+	st := buildMixedStore(t)
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotEqual(t, st, got)
+
+	got.mu.RLock()
+	warm := got.cards
+	got.mu.RUnlock()
+	if warm == nil {
+		t.Fatal("v2 restore left the cardinality cache cold")
+	}
+	got.mu.Lock()
+	fresh := got.computeCardinalitiesLocked()
+	got.mu.Unlock()
+	if len(warm) != len(fresh) {
+		t.Fatalf("warm stats cover %d predicates, recomputation %d", len(warm), len(fresh))
+	}
+	for p, w := range warm {
+		if f, ok := fresh[p]; !ok || f != w {
+			t.Fatalf("predicate %v: warm %+v vs recomputed %+v", p, w, fresh[p])
+		}
+	}
 }

@@ -1,6 +1,8 @@
 // Package store implements the lodviz triple store: a dictionary-encoded,
-// in-memory RDF store with three sorted permutation indexes (SPO, POS, OSP)
-// answering any triple pattern with at most one binary-searched range scan.
+// in-memory RDF store with four sorted permutation indexes (SPO, POS, OSP,
+// PSO) answering any triple pattern with at most one binary-searched range
+// scan, and — through the ID-space scan API in idscan.go — serving sorted
+// uint32 runs the SPARQL engine merge-joins without decoding terms.
 //
 // The survey's "large & dynamic data" challenge (Section 2) rules out a
 // heavyweight preprocessing phase, so the store is built for incremental
@@ -34,8 +36,12 @@ type Store struct {
 	dict  map[rdf.Term]ID
 	terms []rdf.Term // index = ID (terms[0] unused)
 
-	// base indexes, each sorted in its permutation order.
-	spo, pos, osp []enc
+	// base indexes, each sorted in its permutation order. PSO exists for
+	// merge joins: a bound-predicate pattern scanned through it yields
+	// subjects in sorted order, so a join on the subject variable against
+	// an already-sorted binding column is a linear merge instead of
+	// per-binding probes — the star-join shape of faceted exploration.
+	spo, pos, osp, pso []enc
 	// delta holds recently inserted triples not yet merged, unsorted.
 	delta []enc
 	// deleted tombstones triples awaiting physical removal on merge.
@@ -416,27 +422,33 @@ func (st *Store) sortSPOLocked(in []enc) []enc {
 	return tmp
 }
 
-// rebuildDerivedLocked derives the OSP and POS indexes from a sorted,
-// deduplicated SPO index. Two stable counting passes do it without a single
-// comparison: spo is ordered (s,p,o), so stably reordering it by o leaves
-// ties ordered (s,p) — exactly OSP — and stably reordering OSP by p leaves
-// ties ordered (o,s) — exactly POS. Small indexes with outsized
+// rebuildDerivedLocked derives the OSP, POS and PSO indexes from a sorted,
+// deduplicated SPO index. Three stable counting passes do it without a
+// single comparison: spo is ordered (s,p,o), so stably reordering it by o
+// leaves ties ordered (s,p) — exactly OSP — stably reordering OSP by p
+// leaves ties ordered (o,s) — exactly POS — and stably reordering SPO by p
+// leaves ties ordered (s,o) — exactly PSO. Small indexes with outsized
 // dictionaries fall back to comparison sorts.
 func (st *Store) rebuildDerivedLocked() {
 	n := len(st.spo)
 	st.osp = make([]enc, n)
 	st.pos = make([]enc, n)
+	st.pso = make([]enc, n)
 	if n < len(st.terms)/4 {
 		copy(st.osp, st.spo)
 		slices.SortFunc(st.osp, cmpOSP)
 		copy(st.pos, st.spo)
 		slices.SortFunc(st.pos, cmpPOS)
+		copy(st.pso, st.spo)
+		slices.SortFunc(st.pso, cmpPSO)
 		return
 	}
 	counts := make([]uint32, len(st.terms))
 	countingPass(st.spo, st.osp, counts, byO)
 	clear(counts)
 	countingPass(st.osp, st.pos, counts, byP)
+	clear(counts)
+	countingPass(st.spo, st.pso, counts, byP)
 }
 
 func byS(e enc) ID { return e.s }
@@ -515,6 +527,28 @@ func cmpPOS(a, b enc) int {
 	}
 	if a.s != b.s {
 		if a.s < b.s {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func cmpPSO(a, b enc) int {
+	if a.p != b.p {
+		if a.p < b.p {
+			return -1
+		}
+		return 1
+	}
+	if a.s != b.s {
+		if a.s < b.s {
+			return -1
+		}
+		return 1
+	}
+	if a.o != b.o {
+		if a.o < b.o {
 			return -1
 		}
 		return 1
@@ -628,6 +662,29 @@ func rangePOS(idx []enc, p, o ID) (int, int) {
 			return e.p > p
 		}
 		return e.o > o
+	})
+	return lo, hi
+}
+
+func rangePSO(idx []enc, p, s ID) (int, int) {
+	if s == 0 {
+		lo := sort.Search(len(idx), func(i int) bool { return idx[i].p >= p })
+		hi := sort.Search(len(idx), func(i int) bool { return idx[i].p > p })
+		return lo, hi
+	}
+	lo := sort.Search(len(idx), func(i int) bool {
+		e := idx[i]
+		if e.p != p {
+			return e.p >= p
+		}
+		return e.s >= s
+	})
+	hi := sort.Search(len(idx), func(i int) bool {
+		e := idx[i]
+		if e.p != p {
+			return e.p > p
+		}
+		return e.s > s
 	})
 	return lo, hi
 }
