@@ -20,7 +20,7 @@ test:
 # dictionary/permutation paths under writers and the multi-node federation
 # smoke (two httptest lodvizd instances answering one SERVICE query).
 race:
-	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/federation/... ./internal/server/...
+	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/federation/... ./internal/server/... ./internal/wal/... ./internal/ledger/...
 	$(GO) test -race -count=2 -run 'ScanIDs|IDJoin|StreamConcurrentWriters' ./internal/store ./internal/sparql
 	$(GO) test -race -run 'Federated|ServiceSilent' .
 
@@ -37,6 +37,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseQuery -fuzztime=10s ./internal/sparql
 	$(GO) test -fuzz=FuzzNTriples -fuzztime=10s ./internal/ntriples
 	$(GO) test -fuzz=FuzzDecodeResults -fuzztime=10s ./internal/federation
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s ./internal/wal
 
 # Run the exploration server on the embedded demo dataset.
 serve:
@@ -78,12 +79,14 @@ bench-smoke:
 bench-regression:
 	$(GO) run ./cmd/benchharness -scenarios store -out BENCH_store.json -gate
 	$(GO) run ./cmd/benchharness -scenarios stream -out BENCH_stream.json -gate
+	$(GO) run ./cmd/benchharness -scenarios write -out BENCH_write.json -gate
 
 # Refresh the committed baseline after an intentional perf change; commit
 # the resulting bench/baseline.json diff alongside the change.
 bench-baseline:
 	$(GO) run ./cmd/benchharness -scenarios store -update-baseline
 	$(GO) run ./cmd/benchharness -scenarios stream -update-baseline
+	$(GO) run ./cmd/benchharness -scenarios write -update-baseline
 
 # go vet + gofmt always; staticcheck/gosimple/unused etc. run via
 # golangci-lint when it is installed (CI always runs it — see the lint

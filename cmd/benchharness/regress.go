@@ -190,8 +190,10 @@ func runRegress(set, out, baselinePath string, updateBaseline, gate bool) int {
 		results = storeScenarios()
 	case "stream":
 		results = streamScenarios()
+	case "write":
+		results = writeScenarios()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -scenarios set %q (want store or stream)\n", set)
+		fmt.Fprintf(os.Stderr, "unknown -scenarios set %q (want store, stream, or write)\n", set)
 		return 2
 	}
 	for _, r := range results {

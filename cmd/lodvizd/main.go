@@ -20,6 +20,12 @@
 //	                    how often to persist a snapshot while serving
 //	                    (0 disables periodic writes; unchanged generations
 //	                    are skipped)
+//	-wal string         write-ahead log file: every acknowledged write is
+//	                    appended (and fsynced, see -wal-sync) before it is
+//	                    applied, then replayed over the snapshot at startup
+//	-wal-sync string    "always" (group-committed fsync per acknowledged
+//	                    write, the default) or "none" (OS decides when
+//	                    bytes hit disk)
 //	-parallelism int    SPARQL worker count (default: NumCPU)
 //	-cache int          response-cache capacity in entries; -1 disables
 //	                    (default 4096)
@@ -55,6 +61,17 @@
 // persists a checksummed binary snapshot (dictionary + sorted SPO index)
 // via an atomic temp-file-and-rename, restores it on the next start, and
 // the restored store answers queries identically to the one that saved it.
+//
+// With -wal, every acknowledged write (POST /triples, SPARQL update) is
+// additionally appended to a group-committed write-ahead log before it is
+// applied, so writes survive a crash between snapshots. Startup layers the
+// two: restore the snapshot, then replay the WAL suffix over it; each
+// successful snapshot truncates the WAL records it covers. -wal-sync picks
+// the durability point: "always" (default) fsyncs before acknowledging —
+// concurrent writers share one fsync via group commit — and "none" leaves
+// flushing to the OS. The WAL also feeds an in-memory Merkle mutation
+// ledger served on /ledger/root and /ledger/proof, so clients can verify a
+// particular mutation is part of the dataset's history.
 package main
 
 import (
@@ -73,9 +90,11 @@ import (
 
 	"github.com/lodviz/lodviz/internal/federation"
 	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/ledger"
 	"github.com/lodviz/lodviz/internal/server"
 	"github.com/lodviz/lodviz/internal/store"
 	"github.com/lodviz/lodviz/internal/turtle"
+	"github.com/lodviz/lodviz/internal/wal"
 )
 
 func main() {
@@ -83,6 +102,8 @@ func main() {
 	data := flag.String("data", "", "dataset file (.nt, .ntriples, .ttl, .turtle); empty loads the embedded MiniLOD demo")
 	snapshotPath := flag.String("snapshot", "", "snapshot file: restored at startup when present, written on shutdown and every -snapshot-interval")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "periodic snapshot write interval while serving (0 disables periodic writes)")
+	walPath := flag.String("wal", "", "write-ahead log file: acknowledged writes are logged before they apply and replayed over the snapshot at startup")
+	walSync := flag.String("wal-sync", "always", "WAL durability: \"always\" fsyncs (group-committed) before acknowledging a write, \"none\" leaves flushing to the OS")
 	parallelism := flag.Int("parallelism", 0, "SPARQL worker count (0 = NumCPU)")
 	cacheSize := flag.Int("cache", 0, "response-cache capacity in entries (0 = default 4096, negative disables)")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent requests per endpoint before 429 shedding (0 = default 64)")
@@ -108,6 +129,24 @@ func main() {
 	}
 	logger.Info("dataset loaded", "source", source, "triples", st.Len(), "terms", st.NumTerms())
 
+	var (
+		walLog *wal.Log
+		led    *ledger.Ledger
+	)
+	if *walPath != "" {
+		policy, err := parseSyncPolicy(*walSync)
+		if err != nil {
+			logger.Error("bad -wal-sync", "err", err)
+			os.Exit(2)
+		}
+		walLog, led, err = openWAL(*walPath, policy, st, logger)
+		if err != nil {
+			logger.Error("opening WAL", "path", *walPath, "err", err)
+			os.Exit(1)
+		}
+		defer walLog.Close()
+	}
+
 	mesh := federation.NewMesh(federation.Options{RestrictToPeers: *restrictPeers})
 	for _, p := range peers {
 		mesh.AddPeer(p)
@@ -120,6 +159,7 @@ func main() {
 		MaxFacetValues: *facetValues,
 		Logger:         logger,
 		Mesh:           mesh,
+		Ledger:         led,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -136,7 +176,7 @@ func main() {
 
 	var snap *snapshotter
 	if *snapshotPath != "" {
-		snap = &snapshotter{path: *snapshotPath, st: st, logger: logger}
+		snap = &snapshotter{path: *snapshotPath, st: st, wal: walLog, logger: logger}
 		if source == *snapshotPath {
 			// The on-disk image already matches the store; don't rewrite
 			// it until something changes.
@@ -154,16 +194,82 @@ func main() {
 		os.Exit(1)
 	}
 	if snap != nil {
-		snap.save("shutdown")
+		if err := snap.save("shutdown"); err != nil {
+			// The shutdown snapshot is the only persistence point when no
+			// WAL is configured — exiting zero here would let supervisors
+			// discard acknowledged writes silently.
+			if walLog != nil {
+				logger.Error("shutdown snapshot failed; the WAL retains every acknowledged write and will replay it on the next start", "err", err)
+			} else {
+				logger.Error("shutdown snapshot failed; writes since the last snapshot are lost (consider -wal)", "err", err)
+			}
+			os.Exit(1)
+		}
 	}
 	logger.Info("stopped", "uptime", time.Since(start).Round(time.Second).String())
 }
 
+// parseSyncPolicy maps the -wal-sync flag to a wal.SyncPolicy.
+func parseSyncPolicy(v string) (wal.SyncPolicy, error) {
+	switch v {
+	case "always":
+		return wal.SyncAlways, nil
+	case "none":
+		return wal.SyncNone, nil
+	default:
+		return wal.SyncAlways, fmt.Errorf("unknown -wal-sync %q (want \"always\" or \"none\")", v)
+	}
+}
+
+// openWAL recovers and attaches the write-ahead log: open (which truncates
+// any torn tail left by a crash mid-write), replay the surviving records
+// over the just-restored store — rebuilding the mutation ledger from the
+// same payloads — and only then attach the log to the store, so replayed
+// writes are not re-appended. Replay is idempotent (re-adding a present
+// triple or re-deleting an absent one is a no-op), which is what makes the
+// snapshot-plus-WAL-suffix layering safe: records the snapshot already
+// covers simply do nothing.
+func openWAL(path string, policy wal.SyncPolicy, st *store.Store, logger *slog.Logger) (*wal.Log, *ledger.Ledger, error) {
+	led := ledger.New()
+	walLog, err := wal.Open(path, wal.Options{Sync: policy, Observer: led.Append})
+	if err != nil {
+		return nil, nil, err
+	}
+	records := 0
+	start := time.Now()
+	_, err = wal.Replay(path, func(rec wal.Record) error {
+		records++
+		led.Append(rec.Seq, rec.Payload)
+		switch rec.Op {
+		case wal.OpAdd:
+			_, err := st.AddBatch(rec.Triples)
+			return err
+		case wal.OpDelete:
+			_, err := st.DeleteBatch(rec.Triples)
+			return err
+		default:
+			return fmt.Errorf("unknown op %v at seq %d", rec.Op, rec.Seq)
+		}
+	})
+	if err != nil {
+		walLog.Close()
+		return nil, nil, fmt.Errorf("replaying: %w", err)
+	}
+	st.SetWAL(walLog)
+	logger.Info("wal recovered", "path", path, "records", records,
+		"lastSeq", walLog.LastSeq(), "triples", st.Len(),
+		"dur", time.Since(start).Round(time.Millisecond).String())
+	return walLog, led, nil
+}
+
 // snapshotter serializes periodic and shutdown snapshot writes, skipping
-// writes when the store generation has not moved since the last save.
+// writes when the store generation has not moved since the last save. When
+// a WAL is attached, each successful snapshot truncates the log records the
+// snapshot covers.
 type snapshotter struct {
 	path   string
 	st     *store.Store
+	wal    *wal.Log // nil when running without a WAL
 	logger *slog.Logger
 
 	mu        sync.Mutex
@@ -179,28 +285,48 @@ func (sn *snapshotter) run(ctx context.Context, interval time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			sn.save("interval")
+			// Periodic failures are logged inside save and retried next
+			// tick; only the shutdown save's error reaches main.
+			_ = sn.save("interval")
 		}
 	}
 }
 
-func (sn *snapshotter) save(reason string) {
+func (sn *snapshotter) save(reason string) error {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
 	gen := sn.st.Generation()
 	if sn.haveSaved && gen == sn.savedGen {
-		return
+		return nil
+	}
+	// The truncation frontier is read BEFORE the snapshot captures the
+	// store: a WAL append and its store apply share the store's write lock,
+	// so every record at or below this frontier is applied — and therefore
+	// inside the snapshot — by the time the snapshot's read lock is granted.
+	// Records appended after this point survive truncation and replay over
+	// the snapshot idempotently.
+	var frontier uint64
+	if sn.wal != nil {
+		frontier = sn.wal.LastSeq()
 	}
 	start := time.Now()
 	if err := sn.st.WriteSnapshotFile(sn.path); err != nil {
 		sn.logger.Error("snapshot write failed", "path", sn.path, "reason", reason, "err", err)
-		return
+		return err
 	}
 	sn.savedGen = gen
 	sn.haveSaved = true
+	if sn.wal != nil && frontier > 0 {
+		if err := sn.wal.TruncateThrough(frontier); err != nil {
+			// The snapshot itself succeeded; a fat WAL only means a longer
+			// replay, so don't fail the save over it.
+			sn.logger.Error("wal truncate failed", "throughSeq", frontier, "err", err)
+		}
+	}
 	sn.logger.Info("snapshot written", "path", sn.path, "reason", reason,
 		"triples", sn.st.Len(), "generation", gen,
 		"dur", time.Since(start).Round(time.Millisecond).String())
+	return nil
 }
 
 // openStore picks the startup source: an existing snapshot wins (it holds

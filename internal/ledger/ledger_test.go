@@ -1,0 +1,159 @@
+package ledger
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func payload(i int) []byte { return []byte(fmt.Sprintf("mutation-%04d", i)) }
+
+func fill(l *Ledger, firstSeq uint64, n int) {
+	for i := 0; i < n; i++ {
+		l.Append(firstSeq+uint64(i), payload(i))
+	}
+}
+
+func TestEmptyLedgerRoot(t *testing.T) {
+	l := New()
+	info := l.Root()
+	if info.Count != 0 || info.FirstSeq != 0 || info.LastSeq != 0 || info.SealedBatches != 0 {
+		t.Fatalf("empty ledger info = %+v", info)
+	}
+	want := hex.EncodeToString(genesis[:])
+	if info.Root != want {
+		t.Fatalf("empty root = %s, want genesis %s", info.Root, want)
+	}
+	if _, err := l.Proof(1); err == nil {
+		t.Fatal("Proof on empty ledger succeeded")
+	}
+}
+
+func TestRootEvolvesAndIsDeterministic(t *testing.T) {
+	a := NewWithBatchSize(4)
+	b := NewWithBatchSize(4)
+	seen := map[string]bool{}
+	for i := 0; i < 11; i++ {
+		a.Append(uint64(i+1), payload(i))
+		b.Append(uint64(i+1), payload(i))
+		ra, rb := a.Root(), b.Root()
+		if ra.Root != rb.Root {
+			t.Fatalf("after %d appends roots diverge: %s vs %s", i+1, ra.Root, rb.Root)
+		}
+		if seen[ra.Root] {
+			t.Fatalf("root repeated after append %d", i+1)
+		}
+		seen[ra.Root] = true
+		if ra.Count != uint64(i+1) || ra.LastSeq != uint64(i+1) || ra.FirstSeq != 1 {
+			t.Fatalf("after %d appends info = %+v", i+1, ra)
+		}
+	}
+	if got := a.Root().SealedBatches; got != 2 {
+		t.Fatalf("sealed batches = %d, want 2", got)
+	}
+}
+
+func TestProofVerifiesEveryLeaf(t *testing.T) {
+	// Cover sealed batches, the partial tail, and batch-size-1 edge cases.
+	for _, bs := range []int{1, 2, 4, 64} {
+		for _, n := range []int{1, 3, 4, 7, 9} {
+			l := NewWithBatchSize(bs)
+			fill(l, 10, n) // nonzero first seq, as after a truncation rebuild
+			root := l.Root().Root
+			for seq := uint64(10); seq < 10+uint64(n); seq++ {
+				p, err := l.Proof(seq)
+				if err != nil {
+					t.Fatalf("bs=%d n=%d Proof(%d): %v", bs, n, seq, err)
+				}
+				if p.Root != root {
+					t.Fatalf("bs=%d n=%d proof root %s != ledger root %s", bs, n, p.Root, root)
+				}
+				if p.Leaf != LeafHash(payload(int(seq-10))) {
+					t.Fatalf("bs=%d n=%d leaf mismatch for seq %d", bs, n, seq)
+				}
+				if !VerifyProof(p) {
+					t.Fatalf("bs=%d n=%d proof for seq %d does not verify: %+v", bs, n, seq, p)
+				}
+			}
+		}
+	}
+}
+
+func TestProofTamperDetected(t *testing.T) {
+	l := NewWithBatchSize(4)
+	fill(l, 1, 10)
+	p, err := l.Proof(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(s string) string {
+		c := byte('0')
+		if s[0] == '0' {
+			c = '1'
+		}
+		return string(c) + s[1:]
+	}
+	cases := map[string]func(Proof) Proof{
+		"leaf":       func(p Proof) Proof { p.Leaf = flip(p.Leaf); return p },
+		"root":       func(p Proof) Proof { p.Root = flip(p.Root); return p },
+		"prev chain": func(p Proof) Proof { p.PrevChain = flip(p.PrevChain); return p },
+		"path hash": func(p Proof) Proof {
+			p.Path = append([]ProofStep{}, p.Path...)
+			p.Path[0].Hash = flip(p.Path[0].Hash)
+			return p
+		},
+		"path side": func(p Proof) Proof {
+			p.Path = append([]ProofStep{}, p.Path...)
+			p.Path[0].Left = !p.Path[0].Left
+			return p
+		},
+		"follow": func(p Proof) Proof {
+			p.Follow = append([]string{}, p.Follow...)
+			p.Follow[0] = flip(p.Follow[0])
+			return p
+		},
+		"dropped follow": func(p Proof) Proof { p.Follow = p.Follow[:len(p.Follow)-1]; return p },
+		"bad hex":        func(p Proof) Proof { p.Leaf = strings.Repeat("zz", 32); return p },
+		"short hash":     func(p Proof) Proof { p.Leaf = p.Leaf[:16]; return p },
+	}
+	if !VerifyProof(p) {
+		t.Fatal("untampered proof must verify")
+	}
+	for name, mutate := range cases {
+		if VerifyProof(mutate(p)) {
+			t.Errorf("tampered proof (%s) verified", name)
+		}
+	}
+}
+
+func TestProofUnknownSeq(t *testing.T) {
+	l := New()
+	fill(l, 5, 3) // covers 5..7
+	for _, seq := range []uint64{0, 1, 4, 8, 100} {
+		if _, err := l.Proof(seq); err == nil {
+			t.Errorf("Proof(%d) succeeded outside coverage", seq)
+		}
+	}
+}
+
+func TestAppendOutOfOrderPanics(t *testing.T) {
+	l := New()
+	l.Append(3, payload(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gapped append did not panic")
+		}
+	}()
+	l.Append(5, payload(1))
+}
+
+func TestPayloadBindsLeaf(t *testing.T) {
+	// Two ledgers over different payloads never share a root.
+	a, b := New(), New()
+	a.Append(1, []byte("x"))
+	b.Append(1, []byte("y"))
+	if a.Root().Root == b.Root().Root {
+		t.Fatal("different payloads produced the same root")
+	}
+}

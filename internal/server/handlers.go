@@ -24,18 +24,25 @@ const maxQueryBytes = 1 << 20
 // maxIngestBytes bounds one POST /triples body.
 const maxIngestBytes = 64 << 20
 
-// handleSPARQL implements the SPARQL 1.1 Protocol query operation: the query
-// arrives as ?query= on GET, as a form field on an urlencoded POST, or as
-// the raw body with Content-Type application/sparql-query. Results are
-// SPARQL JSON. Responses are cached under the whitespace/comment-normalized
-// query text plus the store generation — except queries with a SERVICE
-// clause, whose results depend on remote data the local generation cannot
-// see; those bypass the response cache and rely on the federation layer's
-// TTL-bounded remote-result cache instead.
+// handleSPARQL implements the SPARQL 1.1 Protocol query and update
+// operations on one endpoint. A query arrives as ?query= on GET, as a form
+// field on an urlencoded POST, or as the raw body with Content-Type
+// application/sparql-query; results are SPARQL JSON. An update arrives only
+// by POST — as an `update` form field or a raw application/sparql-update
+// body — and is dispatched to handleUpdate. Query responses are cached
+// under the whitespace/comment-normalized query text plus the store
+// generation — except queries with a SERVICE clause, whose results depend
+// on remote data the local generation cannot see; those bypass the response
+// cache and rely on the federation layer's TTL-bounded remote-result cache
+// instead.
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
-	q, errStatus, errMsg := sparqlQueryText(r)
+	q, isUpdate, errStatus, errMsg := sparqlRequestText(r)
 	if errStatus != 0 {
 		writeError(w, errStatus, errMsg)
+		return
+	}
+	if isUpdate {
+		s.handleUpdate(w, r, q)
 		return
 	}
 	norm := NormalizeQuery(q)
@@ -79,9 +86,11 @@ func queryUsesService(norm, raw string) bool {
 	return sparql.HasService(parsed.Where)
 }
 
-// sparqlQueryText extracts the query string per the SPARQL Protocol; a
-// non-zero status signals a client error.
-func sparqlQueryText(r *http.Request) (q string, errStatus int, errMsg string) {
+// sparqlRequestText extracts the query or update string per the SPARQL
+// Protocol; a non-zero status signals a client error. Updates ride only on
+// POST — the protocol has no GET binding for updates, so ?update= on a GET
+// is just an absent query.
+func sparqlRequestText(r *http.Request) (q string, isUpdate bool, errStatus int, errMsg string) {
 	switch r.Method {
 	case http.MethodGet:
 		q = r.URL.Query().Get("query")
@@ -95,24 +104,105 @@ func sparqlQueryText(r *http.Request) (q string, errStatus int, errMsg string) {
 		case "application/x-www-form-urlencoded", "":
 			r.Body = http.MaxBytesReader(nil, r.Body, maxQueryBytes)
 			if err := r.ParseForm(); err != nil {
-				return "", http.StatusBadRequest, "parsing form body: " + err.Error()
+				return "", false, http.StatusBadRequest, "parsing form body: " + err.Error()
 			}
 			q = r.PostForm.Get("query")
-		case "application/sparql-query":
+			if u := r.PostForm.Get("update"); u != "" {
+				if q != "" {
+					return "", false, http.StatusBadRequest, "request carries both query and update"
+				}
+				return u, true, 0, ""
+			}
+		case "application/sparql-query", "application/sparql-update":
 			body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxQueryBytes))
 			if err != nil {
-				return "", http.StatusBadRequest, "reading query body: " + err.Error()
+				return "", false, http.StatusBadRequest, "reading query body: " + err.Error()
 			}
 			q = string(body)
+			if ct == "application/sparql-update" {
+				if strings.TrimSpace(q) == "" {
+					return "", false, http.StatusBadRequest, "missing update body"
+				}
+				return q, true, 0, ""
+			}
 		default:
-			return "", http.StatusUnsupportedMediaType, "unsupported Content-Type " + ct +
-				" (use application/x-www-form-urlencoded or application/sparql-query)"
+			return "", false, http.StatusUnsupportedMediaType, "unsupported Content-Type " + ct +
+				" (use application/x-www-form-urlencoded, application/sparql-query, or application/sparql-update)"
 		}
 	}
 	if strings.TrimSpace(q) == "" {
-		return "", http.StatusBadRequest, "missing query parameter"
+		return "", false, http.StatusBadRequest, "missing query parameter"
 	}
-	return q, 0, ""
+	return q, false, 0, ""
+}
+
+// updateResponse is the JSON shape of a successful SPARQL update.
+type updateResponse struct {
+	Inserted   int    `json:"inserted"`
+	Deleted    int    `json:"deleted"`
+	Ops        int    `json:"ops"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleUpdate executes a SPARQL update request. Updates share /sparql's
+// route (the protocol says the update operation may live on the query
+// endpoint), and that route is CORS-enabled for browser exploration UIs —
+// so its preflight would approve a cross-origin POST that this
+// unauthenticated server must not honor for writes. Mirroring writeRoute's
+// policy on POST /triples, any update bearing an Origin header is refused
+// before execution: browser UIs read cross-origin, writes stay same-origin
+// (or non-browser). Cache invalidation is free: every response cache key
+// embeds the store generation, which an effective update advances.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, text string) {
+	if r.Header.Get("Origin") != "" {
+		writeError(w, http.StatusForbidden, "cross-origin SPARQL updates are not allowed")
+		return
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	res, err := sparql.ExecUpdateCtx(ctx, s.st, text, sparql.Options{Parallelism: s.cfg.Parallelism})
+	if err != nil {
+		status, msg := queryError(err)
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Inserted:   res.Inserted,
+		Deleted:    res.Deleted,
+		Ops:        res.Ops,
+		Generation: s.st.Generation(),
+	})
+}
+
+// handleLedgerRoot serves the mutation ledger's current root and coverage.
+// 404 when the server runs without a WAL-backed ledger. Never cached: the
+// root must reflect the instant it is asked.
+func (s *Server) handleLedgerRoot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Ledger == nil {
+		writeError(w, http.StatusNotFound, "no mutation ledger configured (start with -wal)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Ledger.Root())
+}
+
+// handleLedgerProof serves an inclusion proof for one WAL sequence
+// (?seq=N) against the current ledger root.
+func (s *Server) handleLedgerProof(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Ledger == nil {
+		writeError(w, http.StatusNotFound, "no mutation ledger configured (start with -wal)")
+		return
+	}
+	seq, err := strconv.ParseUint(r.URL.Query().Get("seq"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "seq must be a non-negative integer")
+		return
+	}
+	proof, err := s.cfg.Ledger.Proof(seq)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, proof)
 }
 
 func errorJSON(msg string) []byte {

@@ -40,6 +40,7 @@ import (
 
 	"github.com/lodviz/lodviz/internal/federation"
 	"github.com/lodviz/lodviz/internal/keyword"
+	"github.com/lodviz/lodviz/internal/ledger"
 	"github.com/lodviz/lodviz/internal/server/cache"
 	"github.com/lodviz/lodviz/internal/sparql"
 	"github.com/lodviz/lodviz/internal/store"
@@ -75,6 +76,10 @@ type Config struct {
 	// /complete; nil builds one. The façade passes its own so a dataset
 	// serving HTTP keeps a single index copy.
 	Keyword *keyword.Lazy
+	// Ledger, when set, is the Merkle mutation ledger over the WAL; it
+	// enables /ledger/root and /ledger/proof. Nil (no WAL configured)
+	// leaves those endpoints answering 404.
+	Ledger *ledger.Ledger
 
 	// querySource, when set by tests, replaces the store as the triple
 	// source SPARQL evaluation scans — the seam for wrapping the store
@@ -146,6 +151,8 @@ func New(st *store.Store, cfg Config) *Server {
 	s.route("/search", s.handleSearch, "GET")
 	s.route("/complete", s.handleComplete, "GET")
 	s.route("/federation", s.handleFederation, "GET")
+	s.route("/ledger/root", s.handleLedgerRoot, "GET")
+	s.route("/ledger/proof", s.handleLedgerProof, "GET")
 	s.writeRoute("/triples", s.handleIngest, "POST")
 	s.route("/healthz", s.handleHealthz, "GET")
 	return s

@@ -41,9 +41,13 @@ type streamAsk struct {
 // Responses always bypass the generation cache, like SERVICE queries on
 // /sparql: buffering a stream to cache it would forfeit the point.
 func (s *Server) handleSPARQLStream(w http.ResponseWriter, r *http.Request) {
-	q, errStatus, errMsg := sparqlQueryText(r)
+	q, isUpdate, errStatus, errMsg := sparqlRequestText(r)
 	if errStatus != 0 {
 		writeError(w, errStatus, errMsg)
+		return
+	}
+	if isUpdate {
+		writeError(w, http.StatusBadRequest, "updates are not streamable; POST them to /sparql")
 		return
 	}
 	ctx, cancel := s.queryCtx(r)

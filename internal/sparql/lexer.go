@@ -123,6 +123,7 @@ var keywords = map[string]bool{
 	"IN": true, "EXISTS": true, "CONCAT": true, "SUBSTR": true,
 	"REPLACE": true, "YEAR": true, "MONTH": true, "DAY": true,
 	"SERVICE": true, "SILENT": true,
+	"INSERT": true, "DELETE": true, "DATA": true,
 }
 
 func (lx *lexer) next() (tok, error) {

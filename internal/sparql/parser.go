@@ -32,6 +32,9 @@ type parser struct {
 	peeked   *tok
 	prefixes map[string]string
 	bnodeSeq int
+	// groundOnly rejects variables (and [] anonymous nodes, which desugar to
+	// variables) inside a triples block; update data blocks set it.
+	groundOnly bool
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -70,43 +73,49 @@ func (p *parser) expect(k tokKind) error {
 	return p.advance()
 }
 
-func (p *parser) parseQuery() (*Query, error) {
-	// Prologue.
+// parsePrologue consumes the shared PREFIX/BASE prologue (queries and
+// updates use the same one).
+func (p *parser) parsePrologue() error {
 	for {
 		switch {
 		case p.isKeyword("PREFIX"):
 			if err := p.advance(); err != nil {
-				return nil, err
+				return err
 			}
 			if p.tok.kind != tPName {
-				return nil, p.errf("expected prefix label")
+				return p.errf("expected prefix label")
 			}
 			label := strings.TrimSuffix(p.tok.text, ":")
 			if err := p.advance(); err != nil {
-				return nil, err
+				return err
 			}
 			if p.tok.kind != tIRI {
-				return nil, p.errf("expected namespace IRI")
+				return p.errf("expected namespace IRI")
 			}
 			p.prefixes[label] = p.tok.text
 			if err := p.advance(); err != nil {
-				return nil, err
+				return err
 			}
 		case p.isKeyword("BASE"):
 			if err := p.advance(); err != nil {
-				return nil, err
+				return err
 			}
 			if p.tok.kind != tIRI {
-				return nil, p.errf("expected base IRI")
+				return p.errf("expected base IRI")
 			}
 			if err := p.advance(); err != nil {
-				return nil, err
+				return err
 			}
 		default:
-			goto forms
+			return nil
 		}
 	}
-forms:
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.parsePrologue(); err != nil {
+		return nil, err
+	}
 	switch {
 	case p.isKeyword("SELECT"):
 		return p.parseSelect()
@@ -655,7 +664,7 @@ func (p *parser) parseVerb() (Node, error) {
 func (p *parser) parseNode(allowVar bool) (Node, error) {
 	switch p.tok.kind {
 	case tVar:
-		if !allowVar {
+		if !allowVar || p.groundOnly {
 			return Node{}, p.errf("variable not allowed here")
 		}
 		n := Node{Var: p.tok.text}
@@ -674,6 +683,9 @@ func (p *parser) parseNode(allowVar bool) (Node, error) {
 		n := Node{Term: rdf.BlankNode(p.tok.text)}
 		return n, p.advance()
 	case tAnon:
+		if p.groundOnly {
+			return Node{}, p.errf("anonymous blank node not allowed here")
+		}
 		p.bnodeSeq++
 		n := Node{Var: fmt.Sprintf("_anon%d", p.bnodeSeq)}
 		return n, p.advance()

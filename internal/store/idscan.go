@@ -207,8 +207,9 @@ func (st *Store) ForEachID(s, p, o ID, fn func(IDTriple) bool) {
 }
 
 // EstimateCountIDs is EstimateCount for an already-encoded pattern: the base
-// range size plus matching delta entries, tombstones ignored. The engine
-// uses it to choose between merge-joining a range and probing per binding.
+// range size plus matching delta entries, minus matching tombstones. The
+// engine uses it to choose between merge-joining a range and probing per
+// binding.
 func (st *Store) EstimateCountIDs(s, p, o ID) int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -221,7 +222,30 @@ func (st *Store) EstimateCountIDs(s, p, o ID) int {
 			n++
 		}
 	}
+	n -= st.countTombstonedLocked(s, p, o)
+	if n < 0 {
+		n = 0
+	}
 	return n
+}
+
+// countTombstonedLocked counts tombstones matching the bound positions
+// (0 = wildcard). Every tombstone shadows exactly one entry counted by the
+// base range or the delta pass (Delete only tombstones live triples, and a
+// triple is never in both base and delta), so subtracting the matching
+// tombstones makes the estimate exact up to in-flight mutations — without
+// it, a delete-churned predicate looks as big as it was before the churn
+// until the next compaction, and the planner picks probe joins and join
+// orders sized for data that is no longer there. O(|deleted|), symmetric to
+// the existing delta pass; both sets are compaction-bounded.
+func (st *Store) countTombstonedLocked(s, p, o ID) int {
+	dead := 0
+	for e := range st.deleted {
+		if (s == 0 || e.s == s) && (p == 0 || e.p == p) && (o == 0 || e.o == o) {
+			dead++
+		}
+	}
+	return dead
 }
 
 // IDRun is one materialized ID-space scan: the base-index matches sorted in

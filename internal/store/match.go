@@ -230,13 +230,16 @@ func (st *Store) Triples() []rdf.Triple {
 	return st.Match(Pattern{})
 }
 
-// EstimateCount returns an upper-bound estimate of the triples matching the
-// pattern: the base-index range size (one O(log n) binary search) plus the
-// delta entries that actually match the bound positions (the delta is capped
-// at ~1024 entries, so the linear pass is O(1) in practice). Tombstones are
-// ignored — callers use this for join ordering, where being a few triples
-// off is irrelevant and being 1000× off is not; counting the whole delta
-// against every pattern would skew reordering after an insert burst.
+// EstimateCount returns an estimate of the triples matching the pattern:
+// the base-index range size (one O(log n) binary search) plus the delta
+// entries that actually match the bound positions, minus the tombstones
+// that match them. Delta and tombstone sets are both compaction-bounded, so
+// the two linear passes are O(1) in practice. Subtracting tombstones
+// matters for the same reason counting the delta does: join ordering
+// tolerates being a few triples off but not 1000× off, and a delete burst
+// that tombstones most of a predicate would otherwise leave the planner
+// ordering joins — and choosing merge-vs-probe strategies — against
+// pre-delete sizes until the next compaction.
 func (st *Store) EstimateCount(p Pattern) int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -267,6 +270,10 @@ func (st *Store) EstimateCount(p Pattern) int {
 		if (sid == 0 || e.s == sid) && (pid == 0 || e.p == pid) && (oid == 0 || e.o == oid) {
 			n++
 		}
+	}
+	n -= st.countTombstonedLocked(sid, pid, oid)
+	if n < 0 {
+		n = 0
 	}
 	return n
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -113,5 +114,55 @@ func TestCardinalitiesConcurrentReaders(t *testing.T) {
 	}
 	if len(first) != 7 {
 		t.Errorf("predicates = %d, want 7", len(first))
+	}
+}
+
+func TestCardinalitiesWarmStartAfterDeleteSnapshotRestore(t *testing.T) {
+	// A delete burst, then snapshot, then restore: the restored store's
+	// warm-started cardinality table (persisted v2 stats) must match a
+	// fresh recount over the surviving triples — tombstoned triples must
+	// not leak into the persisted statistics.
+	var triples []rdf.Triple
+	for i := 0; i < 200; i++ {
+		triples = append(triples,
+			tr(fmt.Sprintf("s%d", i), "keep", fmt.Sprintf("o%d", i%13)),
+			tr(fmt.Sprintf("s%d", i), "churn", fmt.Sprintf("v%d", i)),
+		)
+	}
+	st, err := Load(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victims []rdf.Triple
+	for i := 0; i < 150; i++ {
+		victims = append(victims, tr(fmt.Sprintf("s%d", i), "churn", fmt.Sprintf("v%d", i)))
+	}
+	if n, err := st.DeleteBatch(victims); err != nil || n != 150 {
+		t.Fatalf("DeleteBatch = %d, %v; want 150", n, err)
+	}
+
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Load(restored.Triples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, recount := restored.Cardinalities(), fresh.Cardinalities()
+	if len(warm) != len(recount) {
+		t.Fatalf("warm table has %d predicates, recount %d", len(warm), len(recount))
+	}
+	for p, w := range warm {
+		if r := recount[p]; w != r {
+			t.Errorf("warm Cardinalities[%s] = %+v, recount %+v", p, w, r)
+		}
+	}
+	if got := warm[iri("churn")]; got != (PredCardinality{Triples: 50, DistinctSubjects: 50, DistinctObjects: 50}) {
+		t.Errorf("churn after restore = %+v, want {50 50 50}", got)
 	}
 }

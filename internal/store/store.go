@@ -64,6 +64,10 @@ type Store struct {
 	// cards caches per-predicate cardinalities for the query planner;
 	// nil means stale. Guarded by mu, invalidated on every mutation.
 	cards map[rdf.IRI]PredCardinality
+
+	// wal, when set via SetWAL, receives every effective mutation before it
+	// is applied (see walsink.go for the ordering contract).
+	wal WALSink
 }
 
 // New returns an empty store.
@@ -153,36 +157,11 @@ func (st *Store) Term(id ID) (rdf.Term, bool) {
 	return st.terms[id], true
 }
 
-// Add inserts one triple. Duplicate inserts are idempotent.
+// Add inserts one triple. Duplicate inserts are idempotent. It is AddBatch
+// on a single-element batch and shares its WAL semantics.
 func (st *Store) Add(t rdf.Triple) error {
-	if !t.Valid() {
-		return fmt.Errorf("store: invalid triple %v", t)
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	e := enc{st.intern(t.S), st.intern(rdf.Term(t.P)), st.intern(t.O)}
-	st.addEncLocked(e)
-	return nil
-}
-
-func (st *Store) addEncLocked(e enc) {
-	if _, dead := st.deleted[e]; dead {
-		delete(st.deleted, e)
-		st.size++
-		st.gen++
-		st.cards = nil
-		return
-	}
-	if st.containsLocked(e) {
-		return
-	}
-	st.delta = append(st.delta, e)
-	st.size++
-	st.gen++
-	st.cards = nil
-	if len(st.delta) > 1024 && len(st.delta) > len(st.spo)/8 {
-		st.mergeLocked()
-	}
+	_, err := st.AddBatch([]rdf.Triple{t})
+	return err
 }
 
 // AddAll inserts a batch of triples atomically; see AddBatch.
@@ -207,6 +186,14 @@ func (st *Store) AddAll(triples []rdf.Triple) error {
 // in-batch-deduplicates the encoded triples, and set-differences them
 // against the base index (one binary search each) and the delta buffer (one
 // map build) — O(n log n) for the whole batch.
+//
+// With a WAL attached (SetWAL), the effective subset of the batch — the
+// triples that actually change the live set — is appended to the log before
+// being applied, and AddBatch does not return success until the record is
+// fsynced. A WAL append error leaves the live set untouched (only dictionary
+// interning may have grown, which is not query-visible); a sync error means
+// the mutation is applied in memory but its durability is unknown — the
+// error is returned and the caller must treat the write as failed.
 func (st *Store) AddBatch(triples []rdf.Triple) (int, error) {
 	for i, t := range triples {
 		if !t.Valid() {
@@ -217,8 +204,27 @@ func (st *Store) AddBatch(triples []rdf.Triple) (int, error) {
 		return 0, nil
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	added, seq, err := st.addBatchLocked(triples)
+	sink := st.wal
+	st.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	// Group commit happens out here: the fsync is outside the store lock, so
+	// concurrent committers pile up behind one disk flush without blocking
+	// readers or each other's in-memory work.
+	if sink != nil && seq > 0 {
+		if err := sink.Sync(seq); err != nil {
+			return added, fmt.Errorf("store: wal sync: %w", err)
+		}
+	}
+	return added, nil
+}
 
+// addBatchLocked plans, logs, and applies one insert batch. It returns the
+// number of live-set changes and the WAL sequence to sync (0 when nothing
+// changed or no WAL is attached). Caller holds mu.
+func (st *Store) addBatchLocked(triples []rdf.Triple) (int, uint64, error) {
 	// Bulk load into a fresh dictionary: size it for the incoming terms up
 	// front, since growing a map incrementally rehashes every key at every
 	// doubling (most of the cost of interning a large batch).
@@ -255,6 +261,10 @@ func (st *Store) AddBatch(triples []rdf.Triple) (int, error) {
 	// final SPO index — skip the per-element membership checks and the
 	// rebuild-everything merge.
 	if len(st.spo) == 0 && len(st.delta) == 0 && len(st.deleted) == 0 {
+		seq, err := st.walAppendLocked(false, batch)
+		if err != nil {
+			return 0, 0, err
+		}
 		st.spo = batch
 		st.rebuildDerivedLocked()
 		st.size = len(batch)
@@ -263,7 +273,7 @@ func (st *Store) AddBatch(triples []rdf.Triple) (int, error) {
 			st.gen++
 			st.cards = nil
 		}
-		return st.size, nil
+		return st.size, seq, nil
 	}
 
 	inDelta := make(map[enc]struct{}, len(st.delta))
@@ -271,12 +281,13 @@ func (st *Store) AddBatch(triples []rdf.Triple) (int, error) {
 		inDelta[e] = struct{}{}
 	}
 
-	added := 0
+	// Plan first, mutate after: the WAL record must hold exactly the
+	// effective subset, and a failed append must leave the live set as it
+	// was — so nothing is touched until the record is in the log.
+	effective := make([]enc, 0, len(batch))
 	for _, e := range batch {
 		if _, dead := st.deleted[e]; dead {
-			delete(st.deleted, e)
-			st.size++
-			added++
+			effective = append(effective, e)
 			continue
 		}
 		if _, pending := inDelta[e]; pending {
@@ -285,42 +296,104 @@ func (st *Store) AddBatch(triples []rdf.Triple) (int, error) {
 		if lo, hi := rangeSPO(st.spo, e.s, e.p, e.o); lo < hi {
 			continue
 		}
+		effective = append(effective, e)
+	}
+	if len(effective) == 0 {
+		return 0, 0, nil
+	}
+	seq, err := st.walAppendLocked(false, effective)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	for _, e := range effective {
+		if _, dead := st.deleted[e]; dead {
+			delete(st.deleted, e)
+			st.size++
+			continue
+		}
 		st.delta = append(st.delta, e)
 		st.size++
-		added++
 	}
-	if added > 0 {
-		st.gen++
-		st.cards = nil
-	}
+	st.gen++
+	st.cards = nil
 	if len(st.delta) > 1024 && len(st.delta) > len(st.spo)/8 {
 		st.mergeLocked()
 	}
-	return added, nil
+	return len(effective), seq, nil
 }
 
-// Delete removes a triple; it reports whether the triple was present.
+// Delete removes a triple; it reports whether the triple was present. It is
+// DeleteBatch on a single-element batch; callers that need the WAL error use
+// DeleteBatch directly.
 func (st *Store) Delete(t rdf.Triple) bool {
+	n, _ := st.DeleteBatch([]rdf.Triple{t})
+	return n == 1
+}
+
+// DeleteBatch removes a batch of triples under a single lock acquisition and
+// returns how many of them were present (and are now gone). Triples the
+// store does not hold are skipped. With a WAL attached, the present subset
+// is appended to the log before the tombstones are written, with the same
+// durability contract as AddBatch.
+func (st *Store) DeleteBatch(triples []rdf.Triple) (int, error) {
+	if len(triples) == 0 {
+		return 0, nil
+	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	sid, ok1 := st.lookup(t.S)
-	pid, ok2 := st.lookup(rdf.Term(t.P))
-	oid, ok3 := st.lookup(t.O)
-	if !ok1 || !ok2 || !ok3 {
-		return false
+	removed, seq, err := st.deleteBatchLocked(triples)
+	sink := st.wal
+	st.mu.Unlock()
+	if err != nil {
+		return 0, err
 	}
-	e := enc{sid, pid, oid}
-	if !st.containsLocked(e) {
-		return false
+	if sink != nil && seq > 0 {
+		if err := sink.Sync(seq); err != nil {
+			return removed, fmt.Errorf("store: wal sync: %w", err)
+		}
 	}
-	st.deleted[e] = struct{}{}
-	st.size--
+	return removed, nil
+}
+
+// deleteBatchLocked plans, logs, and applies one delete batch; the
+// plan/log/apply split mirrors addBatchLocked. Caller holds mu.
+func (st *Store) deleteBatchLocked(triples []rdf.Triple) (int, uint64, error) {
+	seen := make(map[enc]struct{}, len(triples))
+	present := make([]enc, 0, len(triples))
+	for _, t := range triples {
+		sid, ok1 := st.lookup(t.S)
+		pid, ok2 := st.lookup(rdf.Term(t.P))
+		oid, ok3 := st.lookup(t.O)
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		e := enc{sid, pid, oid}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		if !st.containsLocked(e) {
+			continue
+		}
+		seen[e] = struct{}{}
+		present = append(present, e)
+	}
+	if len(present) == 0 {
+		return 0, 0, nil
+	}
+	seq, err := st.walAppendLocked(true, present)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range present {
+		st.deleted[e] = struct{}{}
+		st.size--
+	}
 	st.gen++
 	st.cards = nil
 	if len(st.deleted) > 1024 && len(st.deleted) > len(st.spo)/8 {
 		st.mergeLocked()
 	}
-	return true
+	return len(present), seq, nil
 }
 
 // containsLocked reports whether e is live in base or delta.

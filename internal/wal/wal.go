@@ -1,0 +1,614 @@
+// Package wal implements the lodviz write-ahead log: an append-only file of
+// CRC-framed add/delete batch records that the store appends to before
+// applying a mutation, so that every acknowledged write survives a crash and
+// replays deterministically over a snapshot restore.
+//
+// On-disk format — a flat sequence of frames, no header:
+//
+//	frame    uint32 LE payload length | payload | uint32 LE CRC-32 (IEEE)
+//	         of the payload
+//	payload  uint64 LE sequence number | op byte (OpAdd/OpDelete) |
+//	         uvarint triple count | count × (subject term, predicate term,
+//	         object term)
+//	term     kind byte (rdf.TermKind) followed by uvarint-length-prefixed
+//	         string fields — IRI/blank: one field; literal: lexical,
+//	         datatype, lang — the same codec the snapshot dictionary uses
+//
+// Sequence numbers are assigned at append time and increase by exactly one
+// per record; after TruncateThrough the file starts at an arbitrary sequence
+// but stays contiguous. Replay treats the first frame that fails length or
+// checksum validation as the end of the log (a torn tail from a crash
+// mid-append) and ignores everything after it; a frame whose checksum passes
+// but whose payload does not decode is reported as corruption instead, since
+// fsync never acknowledged half a payload.
+//
+// Durability contract: Append writes the frame into the OS file; Sync(seq)
+// returns once every record up to at least seq is fsynced. Concurrent
+// committers group-commit — one leader fsyncs on behalf of every record
+// written before the syscall started, and waiters whose sequence is already
+// covered return without touching the disk.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+// Op tags a record as a batch of inserts or a batch of deletes.
+type Op uint8
+
+const (
+	// OpAdd records triples inserted into the live set.
+	OpAdd Op = 1
+	// OpDelete records triples removed from the live set.
+	OpDelete Op = 2
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpAdd:
+		return "add"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// SyncPolicy selects when Sync actually reaches the disk.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before acknowledging a write (the default; the
+	// durability contract above holds).
+	SyncAlways SyncPolicy = iota
+	// SyncNone never fsyncs — the OS flushes on its own schedule. Crash
+	// durability drops to "whatever the page cache got out"; benchmarks and
+	// tests that measure the non-fsync cost use it.
+	SyncNone
+)
+
+// maxRecordLen bounds one frame's declared payload length; larger values are
+// treated as corruption rather than honored as allocations. Ingest bodies
+// are capped well below this.
+const maxRecordLen = 1 << 28
+
+// ErrCorrupt marks a frame whose checksum passed but whose payload does not
+// decode — not a torn tail, an actual format violation.
+var ErrCorrupt = errors.New("wal: corrupt record payload")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Record is one decoded log entry.
+type Record struct {
+	// Seq is the record's sequence number.
+	Seq uint64
+	// Op says whether Triples were added or deleted.
+	Op Op
+	// Triples is the batch, in the order it was applied.
+	Triples []rdf.Triple
+	// Payload is the raw encoded payload (sequence number included) — the
+	// bytes the ledger hashes, identical across append and replay.
+	Payload []byte
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync is the fsync policy; zero value is SyncAlways.
+	Sync SyncPolicy
+	// Observer, when set, is called with every appended record's sequence
+	// number and raw payload, in log order, before Append returns. The
+	// mutation ledger hangs off this. The callback runs under the append
+	// lock: keep it fast and never call back into the log.
+	Observer func(seq uint64, payload []byte)
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use.
+type Log struct {
+	policy   SyncPolicy
+	observer func(seq uint64, payload []byte)
+	path     string
+
+	mu      sync.Mutex // serializes appends and fd swaps
+	f       *os.File
+	nextSeq uint64
+	written uint64 // highest sequence written into the fd
+	closed  bool
+
+	syncMu  sync.Mutex
+	syncCv  *sync.Cond
+	synced  uint64 // highest sequence covered by a completed fsync
+	syncing bool   // a leader's fsync is in flight
+}
+
+// Open opens (creating if absent) the log at path, scans it, truncates a
+// torn tail if the last frame is incomplete, and positions for appending.
+// The next record gets the sequence number after the last surviving one.
+func Open(path string, opt Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	lastSeq, valid, err := scanLog(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	l := &Log{
+		policy:   opt.Sync,
+		observer: opt.Observer,
+		path:     path,
+		f:        f,
+		nextSeq:  lastSeq + 1,
+		written:  lastSeq,
+		synced:   lastSeq, // surviving records were durable before we opened
+	}
+	l.syncCv = sync.NewCond(&l.syncMu)
+	return l, nil
+}
+
+// LastSeq returns the sequence number of the last record written (not
+// necessarily synced); 0 if the log is empty.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.written
+}
+
+// Append encodes one batch record, assigns it the next sequence number, and
+// writes its frame into the log file. The record is NOT durable until
+// Sync(seq) returns; callers must not acknowledge the write before that.
+func (l *Log) Append(op Op, triples []rdf.Triple) (uint64, error) {
+	if op != OpAdd && op != OpDelete {
+		return 0, fmt.Errorf("wal: invalid op %d", op)
+	}
+	payload := encodePayload(0, op, triples)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	seq := l.nextSeq
+	binary.LittleEndian.PutUint64(payload[:8], seq)
+
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(frame); err != nil {
+		// The fd may now hold a torn frame; the next open's tail scan drops
+		// it. Do not advance the sequence past a record that isn't in the
+		// file.
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.nextSeq++
+	l.written = seq
+	if l.observer != nil {
+		l.observer(seq, payload)
+	}
+	return seq, nil
+}
+
+// AppendAdd appends an OpAdd record.
+func (l *Log) AppendAdd(triples []rdf.Triple) (uint64, error) {
+	return l.Append(OpAdd, triples)
+}
+
+// AppendDelete appends an OpDelete record.
+func (l *Log) AppendDelete(triples []rdf.Triple) (uint64, error) {
+	return l.Append(OpDelete, triples)
+}
+
+// Sync blocks until every record with sequence ≤ seq is fsynced (under
+// SyncAlways; a no-op under SyncNone). Concurrent callers group-commit: the
+// first uncovered caller becomes the leader and issues one fsync covering
+// everything written before it, and the rest wait on that fsync instead of
+// issuing their own.
+func (l *Log) Sync(seq uint64) error {
+	if l.policy == SyncNone {
+		return nil
+	}
+	l.syncMu.Lock()
+	for {
+		if l.synced >= seq {
+			l.syncMu.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			l.syncing = true
+			break
+		}
+		// A leader's fsync is in flight; it may already cover seq. Wait for
+		// its broadcast and re-check.
+		l.syncCv.Wait()
+	}
+	l.syncMu.Unlock()
+
+	// Leader: fsync covers every record written before the syscall starts.
+	l.mu.Lock()
+	target := l.written
+	f := l.f
+	closed := l.closed
+	l.mu.Unlock()
+	var err error
+	if closed {
+		err = ErrClosed
+	} else {
+		err = f.Sync()
+	}
+
+	l.syncMu.Lock()
+	l.syncing = false
+	if err == nil && target > l.synced {
+		l.synced = target
+	}
+	l.syncCv.Broadcast()
+	l.syncMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	// target ≥ seq: the caller's record was written before it called Sync.
+	return nil
+}
+
+// TruncateThrough atomically drops every record with sequence ≤ seq,
+// keeping the suffix. The store calls it after a snapshot that is known to
+// cover those records. The suffix is rewritten to a temporary file, fsynced,
+// and renamed over the log, so a crash at any point leaves either the old
+// or the new log — never a mix.
+func (l *Log) TruncateThrough(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+
+	src, err := os.Open(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: truncate open: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), filepath.Base(l.path)+".truncate-*")
+	if err != nil {
+		src.Close()
+		return fmt.Errorf("wal: truncate temp: %w", err)
+	}
+	tmpPath := tmp.Name()
+	fail := func(err error) error {
+		src.Close()
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	_, _, err = scanLog(src, func(rec Record) error {
+		if rec.Seq <= seq {
+			return nil
+		}
+		frame := make([]byte, 0, 8+len(rec.Payload))
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(rec.Payload)))
+		frame = append(frame, rec.Payload...)
+		frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(rec.Payload))
+		_, werr := tmp.Write(frame)
+		return werr
+	})
+	src.Close()
+	if err != nil {
+		return fail(fmt.Errorf("wal: truncate rewrite: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("wal: truncate sync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("wal: truncate close: %w", err))
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: truncate rename: %w", err)
+	}
+	syncDir(filepath.Dir(l.path))
+
+	nf, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: truncate reopen: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: truncate seek: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	// Everything in the rewritten file went through the temp file's fsync.
+	l.syncMu.Lock()
+	if l.written > l.synced {
+		l.synced = l.written
+	}
+	l.syncMu.Unlock()
+	return nil
+}
+
+// Close fsyncs (under SyncAlways) and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.policy == SyncAlways {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	// Release anyone parked behind an in-flight leader.
+	l.syncMu.Lock()
+	if l.written > l.synced {
+		l.synced = l.written
+	}
+	l.syncCv.Broadcast()
+	l.syncMu.Unlock()
+	return err
+}
+
+// Replay streams every decodable record in the log at path through fn, in
+// order, and returns the last sequence number seen (0 for an empty or
+// missing log). A torn final frame is silently tolerated; a checksum-valid
+// frame with an undecodable payload returns ErrCorrupt; an error from fn
+// aborts the replay.
+func Replay(path string, fn func(Record) error) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+	lastSeq, _, err := scanLog(f, fn)
+	return lastSeq, err
+}
+
+// scanLog reads frames from r until EOF or the first framing/checksum
+// failure (a torn tail), invoking fn — when non-nil — per decoded record. It
+// returns the last sequence seen and the byte offset just past the last
+// valid frame. Decode failures inside a checksum-valid frame, sequence
+// discontinuities, and fn errors are returned as errors.
+func scanLog(r io.Reader, fn func(Record) error) (lastSeq uint64, valid int64, err error) {
+	br := &countReader{r: r}
+	var hdr [4]byte
+	var prev uint64
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return prev, valid, nil // clean EOF or torn length prefix
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n < 9 || n > maxRecordLen {
+			return prev, valid, nil // absurd length: torn or scribbled tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return prev, valid, nil
+		}
+		var tr [4]byte
+		if _, err := io.ReadFull(br, tr[:]); err != nil {
+			return prev, valid, nil
+		}
+		if binary.LittleEndian.Uint32(tr[:]) != crc32.ChecksumIEEE(payload) {
+			return prev, valid, nil
+		}
+		rec, err := DecodePayload(payload)
+		if err != nil {
+			return prev, valid, err
+		}
+		if prev != 0 && rec.Seq != prev+1 {
+			return prev, valid, fmt.Errorf("%w: sequence %d after %d", ErrCorrupt, rec.Seq, prev)
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return prev, valid, err
+			}
+		}
+		prev = rec.Seq
+		valid = br.n
+	}
+}
+
+// countReader tracks how many bytes have been consumed.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// encodePayload serializes one record payload with the given sequence
+// number stamped into the first eight bytes.
+func encodePayload(seq uint64, op Op, triples []rdf.Triple) []byte {
+	buf := make([]byte, 0, 16+32*len(triples))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, byte(op))
+	buf = binary.AppendUvarint(buf, uint64(len(triples)))
+	for _, t := range triples {
+		buf = appendTerm(buf, t.S)
+		buf = appendTerm(buf, t.P)
+		buf = appendTerm(buf, t.O)
+	}
+	return buf
+}
+
+func appendTerm(buf []byte, t rdf.Term) []byte {
+	buf = append(buf, byte(t.Kind()))
+	switch v := t.(type) {
+	case rdf.IRI:
+		buf = appendString(buf, string(v))
+	case rdf.BlankNode:
+		buf = appendString(buf, string(v))
+	case rdf.Literal:
+		buf = appendString(buf, v.Lexical)
+		buf = appendString(buf, string(v.Datatype))
+		buf = appendString(buf, v.Lang)
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// DecodePayload decodes one record payload (the bytes between a frame's
+// length prefix and checksum). It never panics on malformed input; the fuzz
+// target drives it with arbitrary bytes.
+func DecodePayload(payload []byte) (Record, error) {
+	if len(payload) < 9 {
+		return Record{}, fmt.Errorf("%w: payload too short (%d bytes)", ErrCorrupt, len(payload))
+	}
+	rec := Record{
+		Seq:     binary.LittleEndian.Uint64(payload[:8]),
+		Op:      Op(payload[8]),
+		Payload: payload,
+	}
+	if rec.Seq == 0 {
+		return Record{}, fmt.Errorf("%w: sequence 0", ErrCorrupt)
+	}
+	if rec.Op != OpAdd && rec.Op != OpDelete {
+		return Record{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, payload[8])
+	}
+	d := &payloadDecoder{buf: payload, off: 9}
+	count, err := d.uvarint()
+	if err != nil {
+		return Record{}, err
+	}
+	if count > uint64(len(payload)) { // every triple takes ≥ 6 bytes
+		return Record{}, fmt.Errorf("%w: triple count %d exceeds payload", ErrCorrupt, count)
+	}
+	rec.Triples = make([]rdf.Triple, 0, count)
+	for i := uint64(0); i < count; i++ {
+		s, err := d.term()
+		if err != nil {
+			return Record{}, err
+		}
+		p, err := d.term()
+		if err != nil {
+			return Record{}, err
+		}
+		o, err := d.term()
+		if err != nil {
+			return Record{}, err
+		}
+		pred, ok := p.(rdf.IRI)
+		if !ok {
+			return Record{}, fmt.Errorf("%w: predicate is not an IRI", ErrCorrupt)
+		}
+		t := rdf.Triple{S: s, P: pred, O: o}
+		if !t.Valid() {
+			return Record{}, fmt.Errorf("%w: invalid triple at index %d", ErrCorrupt, i)
+		}
+		rec.Triples = append(rec.Triples, t)
+	}
+	if d.off != len(payload) {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(payload)-d.off)
+	}
+	return rec, nil
+}
+
+type payloadDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *payloadDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint at offset %d", ErrCorrupt, d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *payloadDecoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		return "", fmt.Errorf("%w: string length %d exceeds payload", ErrCorrupt, n)
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *payloadDecoder) term() (rdf.Term, error) {
+	if d.off >= len(d.buf) {
+		return nil, fmt.Errorf("%w: truncated term", ErrCorrupt)
+	}
+	kind := d.buf[d.off]
+	d.off++
+	switch rdf.TermKind(kind) {
+	case rdf.KindIRI:
+		s, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		return rdf.IRI(s), nil
+	case rdf.KindBlank:
+		s, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		return rdf.BlankNode(s), nil
+	case rdf.KindLiteral:
+		lex, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		dt, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		lang, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		return rdf.Literal{Lexical: lex, Datatype: rdf.IRI(dt), Lang: lang}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown term kind %d", ErrCorrupt, kind)
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Errors are ignored: some filesystems reject directory fsync, and
+// the rename itself already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

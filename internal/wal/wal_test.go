@@ -1,0 +1,358 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+func mkTriples(n, base int) []rdf.Triple {
+	out := make([]rdf.Triple, n)
+	for i := range out {
+		out[i] = rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://ex/s%d", base+i)),
+			P: "http://ex/p",
+			O: rdf.NewInteger(int64(base + i)),
+		}
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]rdf.Triple{
+		{{S: rdf.IRI("http://ex/a"), P: "http://ex/p", O: rdf.IRI("http://ex/b")}},
+		{
+			{S: rdf.BlankNode("b1"), P: "http://ex/p", O: rdf.NewLangLiteral("hi", "en")},
+			{S: rdf.IRI("http://ex/c"), P: "http://ex/q", O: rdf.NewInteger(42)},
+		},
+	}
+	if seq, err := l.AppendAdd(batches[0]); err != nil || seq != 1 {
+		t.Fatalf("AppendAdd = (%d, %v), want (1, nil)", seq, err)
+	}
+	if seq, err := l.AppendDelete(batches[1]); err != nil || seq != 2 {
+		t.Fatalf("AppendDelete = (%d, %v), want (2, nil)", seq, err)
+	}
+	if err := l.Sync(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []Record
+	last, err := Replay(path, func(r Record) error { recs = append(recs, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 2 || len(recs) != 2 {
+		t.Fatalf("Replay: last=%d records=%d, want 2 and 2", last, len(recs))
+	}
+	if recs[0].Op != OpAdd || recs[1].Op != OpDelete {
+		t.Fatalf("ops = %v, %v", recs[0].Op, recs[1].Op)
+	}
+	for i, rec := range recs {
+		if len(rec.Triples) != len(batches[i]) {
+			t.Fatalf("record %d: %d triples, want %d", i, len(rec.Triples), len(batches[i]))
+		}
+		for j, tr := range rec.Triples {
+			if !rdf.Equal(tr.S, batches[i][j].S) || tr.P != batches[i][j].P || !rdf.Equal(tr.O, batches[i][j].O) {
+				t.Fatalf("record %d triple %d = %v, want %v", i, j, tr, batches[i][j])
+			}
+		}
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	last, err := Replay(filepath.Join(t.TempDir(), "nope.wal"), func(Record) error {
+		t.Fatal("unexpected record")
+		return nil
+	})
+	if err != nil || last != 0 {
+		t.Fatalf("Replay(missing) = (%d, %v), want (0, nil)", last, err)
+	}
+}
+
+func TestTornTailToleratedAndTruncatedOnOpen(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.AppendAdd(mkTriples(2, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"half-frame": func(b []byte) []byte { return b[:len(b)-7] },
+		"length-only": func(b []byte) []byte {
+			return append(append([]byte{}, b...), 0x20, 0, 0)
+		},
+		"bad-crc": func(b []byte) []byte {
+			out := append([]byte{}, b...)
+			out[len(out)-1] ^= 0xff
+			return out
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			torn := filepath.Join(t.TempDir(), "torn.wal")
+			if err := os.WriteFile(torn, mutate(clean), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			last, err := Replay(torn, func(Record) error { count++; return nil })
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+			wantRecs := 3
+			if name == "half-frame" || name == "bad-crc" {
+				wantRecs = 2
+			}
+			if count != wantRecs || last != uint64(wantRecs) {
+				t.Fatalf("Replay: %d records last=%d, want %d", count, last, wantRecs)
+			}
+
+			// Reopening truncates the tail and appends continue cleanly.
+			l2, err := Open(torn, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := l2.AppendAdd(mkTriples(1, 99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != uint64(wantRecs)+1 {
+				t.Fatalf("post-recovery seq = %d, want %d", seq, wantRecs+1)
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			if _, err := Replay(torn, func(Record) error { total++; return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if total != wantRecs+1 {
+				t.Fatalf("after reopen+append: %d records, want %d", total, wantRecs+1)
+			}
+		})
+	}
+}
+
+func TestCorruptPayloadIsError(t *testing.T) {
+	// A checksum-valid frame with garbage payload must be reported, not
+	// silently treated as a torn tail.
+	payload := []byte{1, 0, 0, 0, 0, 0, 0, 0, 99 /* bad op */, 0}
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[:], crc32.ChecksumIEEE(payload))
+	buf.Write(hdr[:])
+
+	path := tmpLog(t)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(path, nil); err == nil {
+		t.Fatal("Replay accepted a checksum-valid frame with a bad op")
+	}
+}
+
+func TestTruncateThrough(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.AppendAdd(mkTriples(1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateThrough(3); err != nil {
+		t.Fatal(err)
+	}
+	// Appends continue after the truncation point.
+	if seq, err := l.AppendAdd(mkTriples(1, 50)); err != nil || seq != 6 {
+		t.Fatalf("append after truncate = (%d, %v), want (6, nil)", seq, err)
+	}
+	if err := l.Sync(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var seqs []uint64
+	if _, err := Replay(path, func(r Record) error { seqs = append(seqs, r.Seq); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{4, 5, 6}
+	if len(seqs) != len(want) {
+		t.Fatalf("surviving seqs = %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("surviving seqs = %v, want %v", seqs, want)
+		}
+	}
+
+	// TruncateThrough everything → empty log, sequence numbering continues.
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.TruncateThrough(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.LastSeq(); got != 6 {
+		t.Fatalf("LastSeq after full truncate = %d, want 6", got)
+	}
+	if seq, err := l2.AppendAdd(mkTriples(1, 60)); err != nil || seq != 7 {
+		t.Fatalf("append after full truncate = (%d, %v), want (7, nil)", seq, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserverSeesAppendsInOrder(t *testing.T) {
+	path := tmpLog(t)
+	var seqs []uint64
+	var payloads [][]byte
+	l, err := Open(path, Options{Observer: func(seq uint64, payload []byte) {
+		seqs = append(seqs, seq)
+		payloads = append(payloads, append([]byte{}, payload...))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.AppendAdd(mkTriples(1, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 {
+		t.Fatalf("observer saw %d records, want 4", len(seqs))
+	}
+	// Replay must hand the ledger byte-identical payloads.
+	i := 0
+	if _, err := Replay(path, func(r Record) error {
+		if r.Seq != seqs[i] || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d: replayed payload differs from observed append", i)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentGroupCommit(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				seq, err := l.AppendAdd(mkTriples(1, w*1000+i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.Sync(seq); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	last, err := Replay(path, func(r Record) error { count++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != writers*perWriter || last != uint64(writers*perWriter) {
+		t.Fatalf("replayed %d records last=%d, want %d", count, last, writers*perWriter)
+	}
+}
+
+func TestSyncNonePolicy(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.AppendAdd(mkTriples(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if _, err := Replay(path, func(Record) error { count++; return nil }); err != nil || count != 1 {
+		t.Fatalf("replay after SyncNone: count=%d err=%v", count, err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := tmpLog(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendAdd(mkTriples(1, 0)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
