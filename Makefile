@@ -20,7 +20,7 @@ test:
 # dictionary/permutation paths under writers and the multi-node federation
 # smoke (two httptest lodvizd instances answering one SERVICE query).
 race:
-	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/federation/... ./internal/server/... ./internal/wal/... ./internal/ledger/...
+	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/federation/... ./internal/server/... ./internal/wal/... ./internal/ledger/... ./internal/explore/... ./internal/facet/... ./internal/hetree/... ./internal/progressive/... ./internal/sampling/... ./internal/prefetch/...
 	$(GO) test -race -count=2 -run 'ScanIDs|IDJoin|StreamConcurrentWriters' ./internal/store ./internal/sparql
 	$(GO) test -race -run 'Federated|ServiceSilent' .
 
@@ -80,6 +80,7 @@ bench-regression:
 	$(GO) run ./cmd/benchharness -scenarios store -out BENCH_store.json -gate
 	$(GO) run ./cmd/benchharness -scenarios stream -out BENCH_stream.json -gate
 	$(GO) run ./cmd/benchharness -scenarios write -out BENCH_write.json -gate
+	$(GO) run ./cmd/benchharness -scenarios explore -out BENCH_explore.json -gate
 
 # Refresh the committed baseline after an intentional perf change; commit
 # the resulting bench/baseline.json diff alongside the change.
@@ -87,6 +88,7 @@ bench-baseline:
 	$(GO) run ./cmd/benchharness -scenarios store -update-baseline
 	$(GO) run ./cmd/benchharness -scenarios stream -update-baseline
 	$(GO) run ./cmd/benchharness -scenarios write -update-baseline
+	$(GO) run ./cmd/benchharness -scenarios explore -update-baseline
 
 # go vet + gofmt always; staticcheck/gosimple/unused etc. run via
 # golangci-lint when it is installed (CI always runs it — see the lint

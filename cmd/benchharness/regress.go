@@ -192,8 +192,10 @@ func runRegress(set, out, baselinePath string, updateBaseline, gate bool) int {
 		results = streamScenarios()
 	case "write":
 		results = writeScenarios()
+	case "explore":
+		results = exploreScenarios()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -scenarios set %q (want store, stream, or write)\n", set)
+		fmt.Fprintf(os.Stderr, "unknown -scenarios set %q (want store, stream, write, or explore)\n", set)
 		return 2
 	}
 	for _, r := range results {

@@ -3,8 +3,12 @@
 // (/sparql/stream, NDJSON — rows are flushed as the engine finds them, so
 // the first row of a LIMIT query arrives while the scan is still running
 // and the scan stops once the limit is filled), plus the exploration
-// endpoints /facets, /graph/neighborhood, /hetree, /stats, an N-Triples
-// ingestion endpoint (POST /triples), and /healthz.
+// endpoints /facets, /graph/neighborhood, /hetree, /stats — with progressive
+// NDJSON twins /facets/stream and /stats/stream that emit CLT-bounded
+// approximate batches mid-scan before converging to the exact answer, and
+// sample=/seed= parameters on /graph/neighborhood for bounded
+// reservoir-sampled expansions — an N-Triples ingestion endpoint
+// (POST /triples), and /healthz.
 //
 // Usage:
 //
@@ -33,6 +37,11 @@
 //	                    shedding with 429 (default 64)
 //	-timeout duration   per-query evaluation timeout (default 30s)
 //	-facet-values int   max values listed per facet on /facets (default 25)
+//	-facet-warming      pre-compute ancestor facet views (one filter removed
+//	                    at a time) into the response cache in the background
+//	                    after each /facets request, so backing out of a
+//	                    refinement is a cache hit (default true; requires
+//	                    the cache)
 //	-peer url           remote SPARQL endpoint to federate with; repeatable.
 //	                    Peers answer SERVICE clauses and show up on
 //	                    /federation with live health state
@@ -109,6 +118,7 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent requests per endpoint before 429 shedding (0 = default 64)")
 	timeout := flag.Duration("timeout", 0, "per-query evaluation timeout (0 = default 30s)")
 	facetValues := flag.Int("facet-values", 0, "max values listed per facet (0 = default 25)")
+	facetWarming := flag.Bool("facet-warming", true, "pre-compute ancestor facet views into the response cache after each /facets request")
 	var peers []string
 	flag.Func("peer", "remote SPARQL endpoint URL to federate with (repeatable)", func(v string) error {
 		if v == "" {
@@ -157,6 +167,7 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		QueryTimeout:   *timeout,
 		MaxFacetValues: *facetValues,
+		FacetWarming:   *facetWarming,
 		Logger:         logger,
 		Mesh:           mesh,
 		Ledger:         led,

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -191,31 +193,24 @@ func (e *Explorer) Details(entity rdf.Term) Details {
 // NumericHierarchy returns (building on first use, incrementally) the HETree
 // over a numeric or temporal property — the SynopsViz-style multilevel view.
 func (e *Explorer) NumericHierarchy(prop rdf.IRI) (*hetree.Tree, error) {
+	return e.NumericHierarchyCtx(context.Background(), prop)
+}
+
+// NumericHierarchyCtx is NumericHierarchy with cancellation: the underlying
+// ID-space collection honors ctx while grouping large predicate runs.
+func (e *Explorer) NumericHierarchyCtx(ctx context.Context, prop rdf.IRI) (*hetree.Tree, error) {
 	if t, ok := e.trees[prop]; ok {
 		return t, nil
 	}
-	var items []hetree.Item
-	e.st.ForEach(store.Pattern{P: prop}, func(t rdf.Triple) bool {
-		l, ok := t.O.(rdf.Literal)
-		if !ok {
-			return true
-		}
-		if v, ok := l.Float(); ok {
-			items = append(items, hetree.Item{Value: v, Ref: t.S})
-		} else if tm, ok := l.Time(); ok {
-			items = append(items, hetree.Item{Value: float64(tm.Unix()), Ref: t.S})
-		}
-		return true
-	})
-	if len(items) == 0 {
-		return nil, fmt.Errorf("core: property %s has no numeric or temporal values", prop)
-	}
-	tree, err := hetree.New(items, hetree.Options{
+	tree, err := hetree.FromSource(ctx, e.st, prop, hetree.Options{
 		Mode:         hetree.ContentBased,
 		Degree:       e.prefs.TreeDegree,
 		LeafCapacity: e.prefs.LeafCapacity,
 		Incremental:  true, // the dynamic setting forbids full preprocessing
 	})
+	if errors.Is(err, hetree.ErrNoValues) {
+		return nil, fmt.Errorf("core: property %s has no numeric or temporal values", prop)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: build hierarchy for %s: %w", prop, err)
 	}

@@ -1,0 +1,117 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+func TestStreamStatsConvergesToExact(t *testing.T) {
+	st := walkStore(t, 150)
+	// Delta adds and a tombstone so the stream covers all three regions.
+	for i := 0; i < 5; i++ {
+		if err := st.Add(rdf.Triple{
+			S: rdf.IRI(fmt.Sprintf("http://x/extra%d", i)),
+			P: "http://x/p",
+			O: rdf.NewInteger(int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.Delete(rdf.Triple{S: rdf.IRI("http://x/extra2"), P: "http://x/p", O: rdf.NewInteger(2)}) {
+		t.Fatal("delete failed")
+	}
+
+	var batches []StatsBatch
+	final, err := StreamStats(context.Background(), st, 32, 1, func(b StatsBatch) bool {
+		batches = append(batches, b)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st.ComputeStats()
+	if !reflect.DeepEqual(final, want) {
+		t.Fatalf("streamed final diverges from ComputeStats:\n got %+v\nwant %+v", final, want)
+	}
+	if len(batches) < 2 {
+		t.Fatalf("got %d approximate batches, want >= 2 (page size 32 over %d triples)", len(batches), st.Len())
+	}
+	prev := 0
+	for i, b := range batches {
+		if b.Scanned <= prev {
+			t.Fatalf("batch %d: Scanned %d not increasing (prev %d)", i, b.Scanned, prev)
+		}
+		prev = b.Scanned
+		if b.Fraction <= 0 || b.Fraction > 1 {
+			t.Fatalf("batch %d: Fraction %v out of (0,1]", i, b.Fraction)
+		}
+		for _, p := range b.Predicates {
+			if p.Triples.Value < 0 || p.Triples.CI95 < 0 {
+				t.Fatalf("batch %d: negative estimate %+v", i, p.Triples)
+			}
+			if b.Fraction < 1 && p.Triples.Final {
+				t.Fatalf("batch %d: estimate marked final at fraction %v", i, b.Fraction)
+			}
+		}
+		for j := 1; j < len(b.Predicates); j++ {
+			a, c := b.Predicates[j-1], b.Predicates[j]
+			if a.Triples.Value < c.Triples.Value {
+				t.Fatalf("batch %d: predicates not sorted by estimated count desc", i)
+			}
+		}
+	}
+}
+
+func TestStreamStatsSurvivesEpochRestart(t *testing.T) {
+	st := walkStore(t, 120)
+	src := &flipSource{Store: st}
+	final, err := StreamStats(context.Background(), src, 32, 1, func(StatsBatch) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := st.ComputeStats(); !reflect.DeepEqual(final, want) {
+		t.Fatalf("final after epoch restart diverges from exact stats")
+	}
+}
+
+func TestStreamStatsStopped(t *testing.T) {
+	st := walkStore(t, 80)
+	_, err := StreamStats(context.Background(), st, 16, 1, func(StatsBatch) bool { return false })
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestStreamStatsCancelled(t *testing.T) {
+	st := walkStore(t, 80)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := StreamStats(ctx, st, 16, 1, func(StatsBatch) bool { return true })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStreamStatsEmptyStore(t *testing.T) {
+	st := store.New()
+	emitted := 0
+	final, err := StreamStats(context.Background(), st, 16, 1, func(StatsBatch) bool {
+		emitted++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 0 {
+		t.Fatalf("empty store emitted %d batches, want 0", emitted)
+	}
+	if want := st.ComputeStats(); !reflect.DeepEqual(final, want) {
+		t.Fatalf("empty final = %+v, want %+v", final, want)
+	}
+}

@@ -1,0 +1,175 @@
+package explore
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// walkStore builds a small mixed dataset: typed entities with labels,
+// categorical literals, and entity links.
+func walkStore(t testing.TB, entities int) *store.Store {
+	t.Helper()
+	triples := gen.EntityDataset(gen.EntityOptions{
+		Entities: entities, Classes: 3, CategoryProps: 2, Categories: 4, LinkProps: 1, Seed: 7,
+	})
+	st, err := store.Load(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// flipSource reports a layout-epoch bump as soon as the first page has been
+// served, forcing exactly one Walk restart; the epoch is stable afterwards so
+// the second attempt completes.
+type flipSource struct {
+	*store.Store
+	mu    sync.Mutex
+	pages int
+}
+
+func (f *flipSource) ForEachIDPage(s, p, o store.ID, pos, max int, fn func(store.IDTriple) bool) (int, bool) {
+	next, done := f.Store.ForEachIDPage(s, p, o, pos, max, fn)
+	f.mu.Lock()
+	f.pages++
+	f.mu.Unlock()
+	return next, done
+}
+
+func (f *flipSource) LayoutEpoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := f.Store.LayoutEpoch()
+	if f.pages >= 1 {
+		e++
+	}
+	return e
+}
+
+// everFlip reports a different epoch on every call, so no paged attempt can
+// ever validate its cursor and Walk must degrade to the materialized fallback.
+type everFlip struct {
+	*store.Store
+	mu    sync.Mutex
+	calls uint64
+}
+
+func (f *everFlip) LayoutEpoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	return f.calls
+}
+
+func TestWalkVisitsEverythingPaged(t *testing.T) {
+	st := walkStore(t, 80)
+	visited := 0
+	nonFinalPages := 0
+	sawDone := false
+	err := Walk(context.Background(), st, 0, 0, 0, 64, WalkHandler{
+		Visit: func(store.IDTriple) bool { visited++; return true },
+		Page: func(scanned int, done bool) bool {
+			if scanned != visited {
+				t.Fatalf("Page reported scanned=%d, visited=%d", scanned, visited)
+			}
+			if done {
+				sawDone = true
+			} else {
+				nonFinalPages++
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != st.Len() {
+		t.Fatalf("visited %d, want %d", visited, st.Len())
+	}
+	if nonFinalPages < 2 {
+		t.Fatalf("page size 64 over %d triples produced %d non-final pages, want >= 2", st.Len(), nonFinalPages)
+	}
+	if !sawDone {
+		t.Fatal("never saw the final done page")
+	}
+}
+
+func TestWalkEpochChangeRestarts(t *testing.T) {
+	st := walkStore(t, 80)
+	src := &flipSource{Store: st}
+	visited := 0
+	resets := 0
+	err := Walk(context.Background(), src, 0, 0, 0, 32, WalkHandler{
+		Visit: func(store.IDTriple) bool { visited++; return true },
+		Reset: func() { visited = 0; resets++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resets != 1 {
+		t.Fatalf("resets = %d, want exactly 1", resets)
+	}
+	if visited != st.Len() {
+		t.Fatalf("visited %d after restart, want %d (accumulator must be rebuilt, not doubled)", visited, st.Len())
+	}
+}
+
+func TestWalkFallsBackAfterRepeatedRestarts(t *testing.T) {
+	st := walkStore(t, 80)
+	src := &everFlip{Store: st}
+	visited := 0
+	resets := 0
+	sawDone := false
+	err := Walk(context.Background(), src, 0, 0, 0, 32, WalkHandler{
+		Visit: func(store.IDTriple) bool { visited++; return true },
+		Page: func(_ int, done bool) bool {
+			if done {
+				sawDone = true
+			}
+			return true
+		},
+		Reset: func() { visited = 0; resets++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resets != walkRestartAttempts {
+		t.Fatalf("resets = %d, want %d before the fallback", resets, walkRestartAttempts)
+	}
+	if visited != st.Len() {
+		t.Fatalf("fallback visited %d, want %d", visited, st.Len())
+	}
+	if !sawDone {
+		t.Fatal("fallback never reported the final page")
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	st := walkStore(t, 40)
+	visited := 0
+	err := Walk(context.Background(), st, 0, 0, 0, 16, WalkHandler{
+		Visit: func(store.IDTriple) bool { visited++; return visited < 5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 5 {
+		t.Fatalf("visited %d after Visit returned false, want 5", visited)
+	}
+}
+
+func TestWalkContextCancelled(t *testing.T) {
+	st := walkStore(t, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Walk(ctx, st, 0, 0, 0, 16, WalkHandler{
+		Visit: func(store.IDTriple) bool { return true },
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

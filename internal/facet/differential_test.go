@@ -1,0 +1,223 @@
+package facet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/explore"
+	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// entityStore builds a typed entity dataset with categorical facets, then
+// layers delta adds on top so the ID-space paths cross the base/delta
+// boundary.
+func entityStore(t testing.TB) *store.Store {
+	t.Helper()
+	triples := gen.EntityDataset(gen.EntityOptions{
+		Entities: 120, Classes: 3, CategoryProps: 3, Categories: 5, LinkProps: 1, Seed: 21,
+	})
+	st, err := store.Load(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := st.Add(rdf.Triple{
+			S: gen.Res("entity", i),
+			P: gen.Prop("cat0"),
+			O: rdf.NewLiteral("category-extra"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestFacetsMatchReference is the differential test for the ID-space refactor:
+// the Session's facet distribution must be identical to the preserved
+// term-space reference algorithm, with and without filters, across both
+// aggregation strategies (probe for small match sets, merged walk for large).
+func TestFacetsMatchReference(t *testing.T) {
+	st := entityStore(t)
+	ctx := context.Background()
+
+	cases := []struct {
+		name    string
+		filters []Filter
+		max     int
+	}{
+		{"unfiltered", nil, 0},
+		{"one-filter", []Filter{{Predicate: gen.Prop("cat1"), Value: rdf.NewLiteral("category-2")}}, 0},
+		{"two-filters", []Filter{
+			{Predicate: gen.Prop("cat1"), Value: rdf.NewLiteral("category-2")},
+			{Predicate: gen.Prop("cat2"), Value: rdf.NewLiteral("category-0")},
+		}, 0},
+		{"absent-value", []Filter{{Predicate: gen.Prop("cat1"), Value: rdf.NewLiteral("no-such-category")}}, 0},
+		{"capped", []Filter{{Predicate: gen.Prop("cat0"), Value: rdf.NewLiteral("category-1")}}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess := NewSession(st)
+			sess.MaxValuesPerFacet = tc.max
+			for _, f := range tc.filters {
+				sess.Apply(f)
+			}
+			got, err := sess.FacetsCtx(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ReferenceFacets(st, NewSession(st).BaseEntities(), tc.filters, tc.max)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("ID-space facets diverge from reference:\n got %+v\nwant %+v", got, want)
+			}
+			n, err := sess.CountCtx(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMatches := 0
+			for _, e := range NewSession(st).BaseEntities() {
+				ok := true
+				for _, f := range tc.filters {
+					if !st.Contains(rdf.Triple{S: e, P: f.Predicate, O: f.Value}) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					wantMatches++
+				}
+			}
+			if n != wantMatches {
+				t.Fatalf("CountCtx = %d, reference matches = %d", n, wantMatches)
+			}
+		})
+	}
+}
+
+// TestFacetsProbePathMatchesReference pins the small-match-set strategy: a
+// handful of explicit entities is far below probeThreshold relative to the
+// dataset, so this exercises aggregateProbe (the walk cases above exercise
+// aggregateWalk).
+func TestFacetsProbePathMatchesReference(t *testing.T) {
+	st := entityStore(t)
+	entities := []rdf.Term{gen.Res("entity", 1), gen.Res("entity", 2), gen.Res("entity", 3)}
+	sess := NewSessionOver(st, entities)
+	got, err := sess.FacetsCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ReferenceFacets(st, entities, nil, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("probe-path facets diverge from reference:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStreamFinalMatchesFacets checks the progressive path's convergence
+// contract: the final (count, facets) pair returned by Stream must equal what
+// FacetsCtx computes, while at least one approximate batch was emitted
+// mid-scan with the exact count and a fraction below 1.
+func TestStreamFinalMatchesFacets(t *testing.T) {
+	st := entityStore(t)
+	ctx := context.Background()
+	for _, filters := range [][]Filter{
+		nil,
+		{{Predicate: gen.Prop("cat1"), Value: rdf.NewLiteral("category-2")}},
+	} {
+		sess := NewSession(st)
+		for _, f := range filters {
+			sess.Apply(f)
+		}
+		wantFacets, err := sess.FacetsCtx(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCount, err := sess.CountCtx(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var batches []Batch
+		count, fs, err := sess.Stream(ctx, 32, 1, func(b Batch) bool {
+			batches = append(batches, b)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != wantCount {
+			t.Fatalf("Stream count = %d, want %d", count, wantCount)
+		}
+		if !reflect.DeepEqual(fs, wantFacets) {
+			t.Fatalf("Stream final facets diverge from FacetsCtx:\n got %+v\nwant %+v", fs, wantFacets)
+		}
+		if len(batches) < 2 {
+			t.Fatalf("got %d approximate batches, want >= 2", len(batches))
+		}
+		for i, b := range batches {
+			if b.Count != wantCount {
+				t.Fatalf("batch %d: count %d, want exact %d from the first batch on", i, b.Count, wantCount)
+			}
+			if b.Fraction <= 0 || b.Fraction > 1 {
+				t.Fatalf("batch %d: fraction %v", i, b.Fraction)
+			}
+			for _, fe := range b.Facets {
+				if fe.Total.Value < 0 || fe.Total.CI95 < 0 {
+					t.Fatalf("batch %d: bad estimate %+v", i, fe.Total)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamStopAndCancel(t *testing.T) {
+	st := entityStore(t)
+	sess := NewSession(st)
+	if _, _, err := sess.Stream(context.Background(), 16, 1, func(Batch) bool { return false }); !errors.Is(err, explore.ErrStopped) {
+		t.Fatalf("err = %v, want explore.ErrStopped", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := sess.Stream(ctx, 16, 1, func(Batch) bool { return true }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMaxValuesDeterministic pins tie-breaking under a value cap: repeated
+// computations over a store whose counts tie heavily must produce identical
+// capped value lists (count descending, term order on ties).
+func TestMaxValuesDeterministic(t *testing.T) {
+	var triples []rdf.Triple
+	for i := 0; i < 30; i++ {
+		e := rdf.IRI(fmt.Sprintf("http://x/e%d", i))
+		triples = append(triples,
+			rdf.Triple{S: e, P: rdf.RDFType, O: rdf.IRI("http://x/Thing")},
+			// Every value appears exactly 3 times: all ties.
+			rdf.Triple{S: e, P: "http://x/bucket", O: rdf.NewLiteral(fmt.Sprintf("b%02d", i%10))},
+		)
+	}
+	st, err := store.Load(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() []Facet {
+		sess := NewSession(st)
+		sess.MaxValuesPerFacet = 4
+		fs, err := sess.FacetsCtx(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		if got := build(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: capped facet values changed across identical computations", i)
+		}
+	}
+	if want := ReferenceFacets(st, NewSession(st).BaseEntities(), nil, 4); !reflect.DeepEqual(first, want) {
+		t.Fatalf("capped ID-space facets diverge from reference:\n got %+v\nwant %+v", first, want)
+	}
+}

@@ -3,14 +3,29 @@
 // are extracted from the dataset's predicates, values carry counts that
 // refine as filters are applied conjunctively, and a pivot operation
 // re-roots the browsing session on a related entity set.
+//
+// Since the progressive-exploration refactor the whole computation runs in
+// dictionary-ID space over an explore.Source: the entity set is a sorted
+// []store.ID, filters intersect sorted permutation runs, and distributions
+// come from either per-entity ID probes or one merged SPO walk — terms are
+// decoded once, at emission. The previous per-entity term-space algorithm is
+// preserved as ReferenceFacets for differential tests and benchmarks.
 package facet
 
 import (
+	"context"
 	"sort"
 
+	"github.com/lodviz/lodviz/internal/explore"
 	"github.com/lodviz/lodviz/internal/rdf"
 	"github.com/lodviz/lodviz/internal/store"
 )
+
+// DefaultMaxValues is the server-side default for MaxValuesPerFacet: enough
+// values to render a facet widget, far fewer than an unfiltered predicate
+// can hold. The package itself defaults to unlimited (0) for API
+// compatibility; servers should cap.
+const DefaultMaxValues = 25
 
 // Value is one facet value with its count under the current filter.
 type Value struct {
@@ -34,11 +49,17 @@ type Filter struct {
 	Value     rdf.Term
 }
 
-// Session is a faceted-browsing session over a store: a current entity set
+// Session is a faceted-browsing session over a source: a current entity set
 // (initially all subjects of rdf:type, or all subjects) plus active filters.
 type Session struct {
-	st      *store.Store
-	base    []rdf.Term
+	src explore.Source
+	// base is the sorted, distinct dictionary-ID entity set.
+	base []store.ID
+	// extra holds base terms missing from the dictionary (an explicit
+	// NewSessionOver set may mention entities with no statements); they
+	// match only while no filter is active, like the old term-space
+	// Contains check behaved.
+	extra   []rdf.Term
 	filters []Filter
 	// MaxValuesPerFacet caps the values listed per facet (0 = unlimited).
 	MaxValuesPerFacet int
@@ -46,21 +67,64 @@ type Session struct {
 
 // NewSession starts a session over all entities with an rdf:type; when the
 // dataset declares no types, all subjects become the base set.
-func NewSession(st *store.Store) *Session {
-	base := st.Subjects(rdf.RDFType, nil)
-	if len(base) == 0 {
-		base = st.Subjects(nil, nil)
+func NewSession(src explore.Source) *Session {
+	var base []store.ID
+	if typeID, ok := src.LookupTermID(rdf.RDFType); ok {
+		base = distinctSubjects(src, typeID)
 	}
-	sortTerms(base)
-	return &Session{st: st, base: base}
+	if len(base) == 0 {
+		base = distinctSubjects(src, 0)
+	}
+	return &Session{src: src, base: base}
 }
 
 // NewSessionOver starts a session over an explicit entity set (the pivot
-// path).
-func NewSessionOver(st *store.Store, entities []rdf.Term) *Session {
-	base := append([]rdf.Term(nil), entities...)
-	sortTerms(base)
-	return &Session{st: st, base: base}
+// path). Duplicate entities are collapsed.
+func NewSessionOver(src explore.Source, entities []rdf.Term) *Session {
+	s := &Session{src: src}
+	seen := map[store.ID]struct{}{}
+	extraSeen := map[rdf.Term]struct{}{}
+	for _, e := range entities {
+		if id, ok := src.LookupTermID(e); ok {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				s.base = append(s.base, id)
+			}
+			continue
+		}
+		if _, dup := extraSeen[e]; !dup {
+			extraSeen[e] = struct{}{}
+			s.extra = append(s.extra, e)
+		}
+	}
+	sort.Slice(s.base, func(i, j int) bool { return s.base[i] < s.base[j] })
+	sortTerms(s.extra)
+	return s
+}
+
+// distinctSubjects returns the ascending distinct subject IDs of statements
+// with predicate pid (0 = any). Both the PSO run (pid bound) and the SPO run
+// (unbound) yield subjects in ascending order, so deduplication is one
+// consecutive comparison per statement.
+func distinctSubjects(src explore.Source, pid store.ID) []store.ID {
+	lead := store.PosS
+	if pid == 0 {
+		lead = store.PosAny
+	}
+	run, ok := src.ScanIDs(0, pid, 0, lead)
+	if !ok {
+		return nil
+	}
+	var out []store.ID
+	var last store.ID
+	run.ForEachSorted(func(t store.IDTriple) bool {
+		if t.S != last || len(out) == 0 {
+			out = append(out, t.S)
+			last = t.S
+		}
+		return true
+	})
+	return out
 }
 
 func sortTerms(ts []rdf.Term) {
@@ -92,67 +156,235 @@ func (s *Session) Filters() []Filter {
 	return append([]Filter(nil), s.filters...)
 }
 
-// Matches returns the current entity set under all filters.
-func (s *Session) Matches() []rdf.Term {
-	out := make([]rdf.Term, 0, len(s.base))
-	for _, e := range s.base {
-		if s.matches(e) {
-			out = append(out, e)
+// matchIDs intersects the base set with each filter's subject run: the
+// subjects carrying (pred, value) come out of the POS permutation already
+// sorted, so every conjunct is one two-pointer merge. A filter term absent
+// from the dictionary matches nothing.
+func (s *Session) matchIDs(ctx context.Context) ([]store.ID, error) {
+	ids := s.base
+	for _, f := range s.filters {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pid, okP := s.src.LookupTermID(f.Predicate)
+		vid, okV := s.src.LookupTermID(f.Value)
+		if !okP || !okV {
+			return nil, nil
+		}
+		run, ok := s.src.ScanIDs(0, pid, vid, store.PosS)
+		if !ok {
+			return nil, nil
+		}
+		var next []store.ID
+		i := 0
+		run.ForEachSorted(func(t store.IDTriple) bool {
+			for i < len(ids) && ids[i] < t.S {
+				i++
+			}
+			if i == len(ids) {
+				return false
+			}
+			if ids[i] == t.S {
+				next = append(next, t.S)
+				i++
+			}
+			return true
+		})
+		ids = next
+		if len(ids) == 0 {
+			break
 		}
 	}
-	return out
+	return ids, nil
+}
+
+// MatchesCtx returns the current entity set under all filters, sorted by
+// term order.
+func (s *Session) MatchesCtx(ctx context.Context) ([]rdf.Term, error) {
+	ids, err := s.matchIDs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := s.src.Terms(ids)
+	if out == nil {
+		out = []rdf.Term{}
+	}
+	if len(s.filters) == 0 {
+		out = append(out, s.extra...)
+	}
+	sortTerms(out)
+	return out, nil
+}
+
+// Matches returns the current entity set under all filters.
+func (s *Session) Matches() []rdf.Term {
+	m, _ := s.MatchesCtx(context.Background())
+	return m
+}
+
+// CountCtx returns the size of the current entity set.
+func (s *Session) CountCtx(ctx context.Context) (int, error) {
+	ids, err := s.matchIDs(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n := len(ids)
+	if len(s.filters) == 0 {
+		n += len(s.extra)
+	}
+	return n, nil
 }
 
 // Count returns the size of the current entity set.
 func (s *Session) Count() int {
-	n := 0
-	for _, e := range s.base {
-		if s.matches(e) {
-			n++
-		}
-	}
+	n, _ := s.CountCtx(context.Background())
 	return n
 }
 
-func (s *Session) matches(e rdf.Term) bool {
-	for _, f := range s.filters {
-		if !s.st.Contains(rdf.Triple{S: e, P: f.Predicate, O: f.Value}) {
-			return false
-		}
-	}
-	return true
+// pagg accumulates one predicate's distribution in ID space.
+type pagg struct {
+	counts map[store.ID]int
+	total  int
 }
 
-// Facets computes the facet distributions over the current entity set —
-// the counts shown beside each facet value, which refine after every click.
-func (s *Session) Facets() []Facet {
-	matches := s.Matches()
-	type agg struct {
-		counts map[rdf.Term]int
-		total  int
+type distribution map[store.ID]*pagg
+
+func (d distribution) get(p store.ID) *pagg {
+	a := d[p]
+	if a == nil {
+		a = &pagg{counts: map[store.ID]int{}}
+		d[p] = a
 	}
-	per := map[rdf.IRI]*agg{}
-	for _, e := range matches {
-		seenPred := map[rdf.IRI]bool{}
-		s.st.ForEach(store.Pattern{S: e}, func(t rdf.Triple) bool {
-			a := per[t.P]
-			if a == nil {
-				a = &agg{counts: map[rdf.Term]int{}}
-				per[t.P] = a
+	return a
+}
+
+// probeThreshold picks the aggregation strategy: a match set small relative
+// to the dataset is served by per-entity ID probes; otherwise one merged SPO
+// walk with a two-pointer membership test beats O(matches) index lookups.
+const probeThreshold = 32
+
+// FacetsCtx computes the facet distributions over the current entity set —
+// the counts shown beside each facet value, which refine after every click.
+func (s *Session) FacetsCtx(ctx context.Context) ([]Facet, error) {
+	matches, err := s.matchIDs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	per := distribution{}
+	if len(matches) > 0 {
+		if len(matches)*probeThreshold < s.src.EstimateCountIDs(0, 0, 0) {
+			err = s.aggregateProbe(ctx, matches, per)
+		} else {
+			err = s.aggregateWalk(ctx, matches, per)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.assemble(per), nil
+}
+
+// Facets computes the facet distributions over the current entity set.
+func (s *Session) Facets() []Facet {
+	f, _ := s.FacetsCtx(context.Background())
+	return f
+}
+
+// aggregateProbe scans each matched entity's subject-bound run. The per-call
+// stream interleaves the sorted base with unsorted delta entries, so the
+// predicate-coverage total uses a small per-subject seen set instead of
+// ordering assumptions.
+func (s *Session) aggregateProbe(ctx context.Context, matches []store.ID, per distribution) error {
+	seen := map[store.ID]bool{}
+	for i, sid := range matches {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
+		}
+		for p := range seen {
+			delete(seen, p)
+		}
+		s.src.ForEachID(sid, 0, 0, func(t store.IDTriple) bool {
+			a := per.get(t.P)
 			a.counts[t.O]++
-			if !seenPred[t.P] {
-				seenPred[t.P] = true
+			if !seen[t.P] {
+				seen[t.P] = true
 				a.total++
 			}
 			return true
 		})
 	}
+	return nil
+}
+
+// aggregateWalk merges one globally sorted SPO run against the sorted match
+// set: subjects arrive grouped, so membership is a two-pointer advance and
+// the coverage total increments exactly on (subject, predicate) group
+// transitions — no per-triple term or map-of-sets work at all.
+func (s *Session) aggregateWalk(ctx context.Context, matches []store.ID, per distribution) error {
+	run, ok := s.src.ScanIDs(0, 0, 0, store.PosAny)
+	if !ok {
+		return nil
+	}
+	var err error
+	mi := 0
+	var lastS, lastP store.ID
+	first := true
+	visited := 0
+	run.ForEachSorted(func(t store.IDTriple) bool {
+		visited++
+		if visited%8192 == 0 {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+		}
+		for mi < len(matches) && matches[mi] < t.S {
+			mi++
+		}
+		if mi == len(matches) {
+			return false
+		}
+		if matches[mi] != t.S {
+			return true
+		}
+		a := per.get(t.P)
+		a.counts[t.O]++
+		if first || t.S != lastS || t.P != lastP {
+			a.total++
+		}
+		lastS, lastP, first = t.S, t.P, false
+		return true
+	})
+	return err
+}
+
+// assemble decodes an ID-space distribution into the public Facet slice:
+// one batch Terms call for every predicate and value, then the pinned
+// deterministic ordering — values by count descending with rdf.Compare
+// tie-breaks, facets by coverage descending with predicate tie-breaks.
+func (s *Session) assemble(per distribution) []Facet {
+	ids := make([]store.ID, 0, len(per))
+	for pid, a := range per {
+		ids = append(ids, pid)
+		for oid := range a.counts {
+			ids = append(ids, oid)
+		}
+	}
+	terms := s.src.Terms(ids)
+	decoded := make(map[store.ID]rdf.Term, len(ids))
+	for i, id := range ids {
+		decoded[id] = terms[i]
+	}
 	out := make([]Facet, 0, len(per))
-	for p, a := range per {
+	for pid, a := range per {
+		p, ok := decoded[pid].(rdf.IRI)
+		if !ok {
+			continue
+		}
 		f := Facet{Predicate: p, Total: a.total}
-		for term, c := range a.counts {
-			f.Values = append(f.Values, Value{Term: term, Count: c})
+		for oid, c := range a.counts {
+			f.Values = append(f.Values, Value{Term: decoded[oid], Count: c})
 		}
 		sort.Slice(f.Values, func(i, j int) bool {
 			if f.Values[i].Count != f.Values[j].Count {
@@ -177,19 +409,47 @@ func (s *Session) Facets() []Facet {
 // Pivot re-roots the session on the values of a predicate across the current
 // matches — Visor/Humboldt's "connect points of interest" operation. E.g.
 // from films filtered to comedies, pivot on "director" to browse directors.
+// The PSO run delivers (match, object) pairs with one two-pointer merge;
+// literal objects are filtered after a single batch decode.
 func (s *Session) Pivot(pred rdf.IRI) *Session {
-	seen := map[rdf.Term]struct{}{}
-	var next []rdf.Term
-	for _, e := range s.Matches() {
-		s.st.ForEach(store.Pattern{S: e, P: pred}, func(t rdf.Triple) bool {
-			if t.O.Kind() != rdf.KindLiteral {
-				if _, dup := seen[t.O]; !dup {
-					seen[t.O] = struct{}{}
-					next = append(next, t.O)
-				}
-			}
-			return true
-		})
+	next := &Session{src: s.src}
+	matches, err := s.matchIDs(context.Background())
+	if err != nil || len(matches) == 0 {
+		return next
 	}
-	return NewSessionOver(s.st, next)
+	pid, ok := s.src.LookupTermID(pred)
+	if !ok {
+		return next
+	}
+	run, ok := s.src.ScanIDs(0, pid, 0, store.PosS)
+	if !ok {
+		return next
+	}
+	objSet := map[store.ID]struct{}{}
+	var objs []store.ID
+	mi := 0
+	run.ForEachSorted(func(t store.IDTriple) bool {
+		for mi < len(matches) && matches[mi] < t.S {
+			mi++
+		}
+		if mi == len(matches) {
+			return false
+		}
+		if matches[mi] != t.S {
+			return true
+		}
+		if _, dup := objSet[t.O]; !dup {
+			objSet[t.O] = struct{}{}
+			objs = append(objs, t.O)
+		}
+		return true
+	})
+	terms := s.src.Terms(objs)
+	for i, oid := range objs {
+		if terms[i] != nil && terms[i].Kind() != rdf.KindLiteral {
+			next.base = append(next.base, oid)
+		}
+	}
+	sort.Slice(next.base, func(i, j int) bool { return next.base[i] < next.base[j] })
+	return next
 }

@@ -1,0 +1,150 @@
+package hetree
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+func numericStore(t *testing.T) *store.Store {
+	t.Helper()
+	triples := gen.EntityDataset(gen.EntityOptions{
+		Entities: 80, Classes: 2, NumericProps: 1, TemporalProps: 1, CategoryProps: 1, Seed: 17,
+	})
+	st, err := store.Load(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delta adds so the POS grouping crosses the base/delta boundary.
+	for i := 0; i < 4; i++ {
+		if err := st.Add(rdf.Triple{
+			S: gen.Res("late", i),
+			P: gen.Prop("num0"),
+			O: rdf.NewDouble(float64(1000 + i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestFromSourceMatchesTermSpaceValues checks the ID-space collection against
+// the term-space oracle: the tree must hold exactly the property's numeric
+// values, sorted, with every item's Ref resolving to a subject that carries
+// that value in the store.
+func TestFromSourceMatchesTermSpaceValues(t *testing.T) {
+	st := numericStore(t)
+	prop := gen.Prop("num0")
+	tree, err := FromSource(context.Background(), st, prop, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Mode() != ContentBased && tree.Mode() != RangeBased {
+		t.Fatalf("unexpected mode %v", tree.Mode())
+	}
+
+	// Term-space oracle: every (subject, value) pair of the property.
+	var want []float64
+	st.ForEach(store.Pattern{P: prop}, func(tr rdf.Triple) bool {
+		l, ok := tr.O.(rdf.Literal)
+		if !ok {
+			t.Fatalf("non-literal object %v", tr.O)
+		}
+		f, ok := l.Float()
+		if !ok {
+			t.Fatalf("non-numeric literal %v", tr.O)
+		}
+		want = append(want, f)
+		return true
+	})
+	sort.Float64s(want)
+	items := tree.Items(tree.Root())
+	if len(items) != len(want) {
+		t.Fatalf("tree holds %d items, property has %d values", len(items), len(want))
+	}
+	for i, it := range items {
+		if it.Value != want[i] {
+			t.Fatalf("item %d: value %v, want %v", i, it.Value, want[i])
+		}
+		ref, ok := it.Ref.(rdf.Term)
+		if !ok {
+			t.Fatalf("item %d: Ref %T is not a term", i, it.Ref)
+		}
+		if !st.Contains(rdf.Triple{S: ref, P: prop, O: rdf.NewDouble(it.Value)}) {
+			// The literal may have been written with a different lexical
+			// form; fall back to scanning the subject.
+			found := false
+			st.ForEach(store.Pattern{S: ref, P: prop}, func(tr rdf.Triple) bool {
+				if l, ok := tr.O.(rdf.Literal); ok {
+					if f, ok := l.Float(); ok && f == it.Value {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if !found {
+				t.Fatalf("item %d: subject %v does not carry value %v", i, ref, it.Value)
+			}
+		}
+	}
+}
+
+func TestFromSourceDeterministic(t *testing.T) {
+	st := numericStore(t)
+	build := func() []Item {
+		tree, err := FromSource(context.Background(), st, gen.Prop("num0"), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree.Items(tree.Root())
+	}
+	first := build()
+	for i := 0; i < 3; i++ {
+		if got := build(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: item sequence changed across identical builds", i)
+		}
+	}
+}
+
+func TestFromSourceTemporalProperty(t *testing.T) {
+	st := numericStore(t)
+	tree, err := FromSource(context.Background(), st, gen.Prop("date0"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 80 {
+		t.Fatalf("temporal tree holds %d items, want 80", tree.Len())
+	}
+}
+
+func TestFromSourceNoValues(t *testing.T) {
+	st := numericStore(t)
+	cases := []rdf.IRI{
+		"http://nowhere/prop", // unknown predicate
+		gen.Prop("cat0"),      // string literals only
+		rdf.RDFType,           // IRI objects only
+	}
+	for _, p := range cases {
+		if _, err := FromSource(context.Background(), st, p, Options{}); err != ErrNoValues {
+			t.Fatalf("prop %s: err = %v, want ErrNoValues", p, err)
+		}
+	}
+}
+
+func TestFromSourceCancelled(t *testing.T) {
+	st := numericStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The grouping loop checks ctx every 8192 visits; with only a few
+	// hundred statements the scan may complete before noticing, so accept
+	// either a clean tree or the context error — but never a different one.
+	if _, err := FromSource(ctx, st, gen.Prop("num0"), Options{}); err != nil && err != context.Canceled {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+}

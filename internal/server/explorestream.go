@@ -1,0 +1,215 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"github.com/lodviz/lodviz/internal/explore"
+	"github.com/lodviz/lodviz/internal/facet"
+	"github.com/lodviz/lodviz/internal/progressive"
+	"github.com/lodviz/lodviz/internal/server/cache"
+	"github.com/lodviz/lodviz/internal/sparql"
+)
+
+// exploreSrc is the ID-space source exploration endpoints scan: the store,
+// unless a test wrapped it (Config.exploreSource) to gate or instrument
+// paging.
+func (s *Server) exploreSrc() explore.Source {
+	if s.cfg.exploreSource != nil {
+		return s.cfg.exploreSource
+	}
+	return s.st
+}
+
+// estimateJSON carries one CLT-bounded progressive estimate on the wire:
+// value ± ci95 covers the exact answer with 95% confidence, fraction is the
+// share of the dataset scanned when it was taken.
+type estimateJSON struct {
+	Value    float64 `json:"value"`
+	CI95     float64 `json:"ci95"`
+	Fraction float64 `json:"fraction"`
+}
+
+func encodeEstimate(e progressive.Estimate) estimateJSON {
+	return estimateJSON{Value: e.Value, CI95: e.CI95, Fraction: e.Fraction}
+}
+
+// facetsStreamBatch is one approximate NDJSON line of /facets/stream.
+type facetsStreamBatch struct {
+	Fraction float64             `json:"fraction"`
+	Scanned  int                 `json:"scanned"`
+	Count    int                 `json:"count"`
+	Facets   []facetEstimateJSON `json:"facets"`
+}
+
+type facetEstimateJSON struct {
+	Predicate string                   `json:"predicate"`
+	Total     estimateJSON             `json:"total"`
+	Values    []facetValueEstimateJSON `json:"values"`
+}
+
+type facetValueEstimateJSON struct {
+	Term  sparql.JSONTerm `json:"term"`
+	Count estimateJSON    `json:"count"`
+}
+
+// exploreStreamFinal is the last NDJSON line of a progressive exploration
+// stream: the exact result (identical to the buffered endpoint's body) or a
+// mid-stream error.
+type exploreStreamFinal struct {
+	Done     bool    `json:"done"`
+	Fraction float64 `json:"fraction"`
+	Result   any     `json:"result,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// streamLiner sets up NDJSON streaming on w and returns the per-line writer
+// (false once the client is gone) — the chunked plumbing the SPARQL
+// streaming endpoint established.
+func streamLiner(w http.ResponseWriter) func(v any) bool {
+	h := w.Header()
+	h.Set("Content-Type", streamContentType)
+	h.Set("X-Cache", "BYPASS")
+	w.WriteHeader(http.StatusOK)
+	return ndjsonLiner(w)
+}
+
+// handleFacetsStream serves the facet distribution progressively as NDJSON:
+// approximate batches (exact count, CLT-scaled value estimates) while the
+// ID walk is still running, then a final done line whose result field is
+// byte-equivalent to /facets. Parameters are exactly /facets'. A completed
+// stream also fills the buffered endpoint's cache entry, so the next
+// /facets request for the same view is a HIT.
+func (s *Server) handleFacetsStream(w http.ResponseWriter, r *http.Request) {
+	max, filters, rawFilters, errStatus, errMsg := s.facetParams(r)
+	if errStatus != 0 {
+		writeError(w, errStatus, errMsg)
+		return
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	gen := s.st.Generation()
+	line := streamLiner(w)
+
+	sess := facet.NewSession(s.exploreSrc())
+	sess.MaxValuesPerFacet = max
+	for _, f := range filters {
+		sess.Apply(f)
+	}
+	count, fs, err := sess.Stream(ctx, 0, 1, func(b facet.Batch) bool {
+		out := facetsStreamBatch{
+			Fraction: b.Fraction,
+			Scanned:  b.Scanned,
+			Count:    b.Count,
+			Facets:   []facetEstimateJSON{},
+		}
+		for _, fe := range b.Facets {
+			fj := facetEstimateJSON{
+				Predicate: string(fe.Predicate),
+				Total:     encodeEstimate(fe.Total),
+				Values:    []facetValueEstimateJSON{},
+			}
+			for _, v := range fe.Values {
+				fj.Values = append(fj.Values, facetValueEstimateJSON{
+					Term:  sparql.EncodeTerm(v.Term),
+					Count: encodeEstimate(v.Count),
+				})
+			}
+			out.Facets = append(out.Facets, fj)
+		}
+		return line(out)
+	})
+	if errors.Is(err, explore.ErrStopped) {
+		return // client gone mid-stream
+	}
+	if err != nil {
+		_, msg := queryError(err)
+		line(exploreStreamFinal{Error: msg})
+		return
+	}
+	resp := encodeFacetsResponse(count, fs)
+	if line(exploreStreamFinal{Done: true, Fraction: 1, Result: resp}) {
+		s.fillCache(s.facetsKey(max, rawFilters, gen), gen, resp)
+	}
+}
+
+// statsStreamBatch is one approximate NDJSON line of /stats/stream.
+type statsStreamBatch struct {
+	Fraction   float64             `json:"fraction"`
+	Scanned    int                 `json:"scanned"`
+	Predicates []predEstimateJSON  `json:"predicates"`
+	Classes    []classEstimateJSON `json:"classes"`
+}
+
+type predEstimateJSON struct {
+	Predicate        string       `json:"predicate"`
+	Triples          estimateJSON `json:"triples"`
+	DistinctSubjects int          `json:"distinctSubjects"`
+	DistinctObjects  int          `json:"distinctObjects"`
+}
+
+type classEstimateJSON struct {
+	Class sparql.JSONTerm `json:"class"`
+	Count estimateJSON    `json:"count"`
+}
+
+// handleStatsStream serves the dataset summary progressively as NDJSON:
+// approximate batches with CLT-scaled per-predicate and per-class counts
+// while the scan runs, then a final done line whose result field is
+// byte-equivalent to /stats (and fills its cache entry).
+func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	gen := s.st.Generation()
+	line := streamLiner(w)
+
+	stats, err := explore.StreamStats(ctx, s.exploreSrc(), 0, 1, func(b explore.StatsBatch) bool {
+		out := statsStreamBatch{
+			Fraction:   b.Fraction,
+			Scanned:    b.Scanned,
+			Predicates: []predEstimateJSON{},
+			Classes:    []classEstimateJSON{},
+		}
+		for _, p := range b.Predicates {
+			out.Predicates = append(out.Predicates, predEstimateJSON{
+				Predicate:        string(p.Predicate),
+				Triples:          encodeEstimate(p.Triples),
+				DistinctSubjects: p.DistinctSubjects,
+				DistinctObjects:  p.DistinctObjects,
+			})
+		}
+		for _, c := range b.Classes {
+			out.Classes = append(out.Classes, classEstimateJSON{
+				Class: sparql.EncodeTerm(c.Class),
+				Count: encodeEstimate(c.Count),
+			})
+		}
+		return line(out)
+	})
+	if errors.Is(err, explore.ErrStopped) {
+		return // client gone mid-stream
+	}
+	if err != nil {
+		_, msg := queryError(err)
+		line(exploreStreamFinal{Error: msg})
+		return
+	}
+	resp := encodeStatsResponse(stats)
+	if line(exploreStreamFinal{Done: true, Fraction: 1, Result: resp}) {
+		s.fillCache(s.statsKey(gen), gen, resp)
+	}
+}
+
+// fillCache publishes a completed stream's exact result under the buffered
+// endpoint's cache key, provided the generation is still current — a stream
+// that raced a write must not cache a stale answer under the new key's
+// generation namespace (the key embeds gen, so this is belt and braces).
+func (s *Server) fillCache(key string, gen uint64, resp any) {
+	if s.cache == nil || s.st.Generation() != gen {
+		return
+	}
+	body, ct, status := mustJSON(resp)
+	if status == http.StatusOK {
+		s.cache.Put(key, cache.Entry{Body: body, ETag: etagFor(body), ContentType: ct, Status: status})
+	}
+}

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lodviz/lodviz/internal/gen"
+	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/store"
+)
+
+// streamFinalLine mirrors exploreStreamFinal with the result kept raw so
+// tests can compare it byte-for-byte against the buffered endpoint's body.
+type streamFinalLine struct {
+	Done     bool            `json:"done"`
+	Fraction float64         `json:"fraction"`
+	Result   json.RawMessage `json:"result"`
+	Error    string          `json:"error"`
+}
+
+// readStream drains an NDJSON exploration stream: all batch lines, then the
+// final done/error line.
+func readStream(t *testing.T, body io.Reader) (batches []json.RawMessage, final streamFinalLine) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	got := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if probe.Done || probe.Error != "" {
+			if err := json.Unmarshal(line, &final); err != nil {
+				t.Fatal(err)
+			}
+			got = true
+			break
+		}
+		batches = append(batches, append(json.RawMessage(nil), line...))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if !got {
+		t.Fatal("stream ended without a done/error line")
+	}
+	return batches, final
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestFacetsStreamFinalMatchesBuffered verifies the convergence contract on
+// the wire: the stream's final result must be byte-identical to the buffered
+// /facets response. The cache is disabled so both sides compute
+// independently.
+func TestFacetsStreamFinalMatchesBuffered(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{CacheCapacity: -1})
+	for _, params := range []string{"", "?max=3", "?filter=" + url.QueryEscape(exNS+"country=<"+exNS+"greece>")} {
+		resp, err := http.Get(ts.URL + "/facets/stream" + params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != streamContentType {
+			t.Fatalf("Content-Type = %q, want %q", ct, streamContentType)
+		}
+		if xc := resp.Header.Get("X-Cache"); xc != "BYPASS" {
+			t.Fatalf("X-Cache = %q, want BYPASS", xc)
+		}
+		_, final := readStream(t, resp.Body)
+		resp.Body.Close()
+		if !final.Done || final.Error != "" || final.Fraction != 1 {
+			t.Fatalf("final line = %+v, want done at fraction 1", final)
+		}
+
+		bresp, body := getBody(t, ts.URL+"/facets"+params)
+		if bresp.StatusCode != http.StatusOK {
+			t.Fatalf("buffered status = %d", bresp.StatusCode)
+		}
+		if string(final.Result) != strings.TrimSpace(string(body)) {
+			t.Fatalf("params %q: stream final differs from buffered body:\nstream:   %s\nbuffered: %s",
+				params, final.Result, body)
+		}
+	}
+}
+
+func TestStatsStreamFinalMatchesBuffered(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{CacheCapacity: -1})
+	resp, err := http.Get(ts.URL + "/stats/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, final := readStream(t, resp.Body)
+	resp.Body.Close()
+	if !final.Done || final.Error != "" {
+		t.Fatalf("final line = %+v, want done", final)
+	}
+	bresp, body := getBody(t, ts.URL+"/stats")
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("buffered status = %d", bresp.StatusCode)
+	}
+	if string(final.Result) != strings.TrimSpace(string(body)) {
+		t.Fatalf("stream final differs from buffered body:\nstream:   %s\nbuffered: %s", final.Result, body)
+	}
+}
+
+// TestStreamFillsBufferedCache: a completed stream publishes its exact result
+// under the buffered endpoint's cache key, so the next buffered request is a
+// HIT without ever computing.
+func TestStreamFillsBufferedCache(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	for _, ep := range []struct{ stream, buffered string }{
+		{"/facets/stream", "/facets"},
+		{"/stats/stream", "/stats"},
+	} {
+		resp, err := http.Get(ts.URL + ep.stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, final := readStream(t, resp.Body)
+		resp.Body.Close()
+		if !final.Done {
+			t.Fatalf("%s did not complete", ep.stream)
+		}
+		bresp, body := getBody(t, ts.URL+ep.buffered)
+		if xc := bresp.Header.Get("X-Cache"); xc != "HIT" {
+			t.Fatalf("%s after %s: X-Cache = %q, want HIT", ep.buffered, ep.stream, xc)
+		}
+		if string(final.Result) != strings.TrimSpace(string(body)) {
+			t.Fatalf("%s cache fill served different bytes than the stream final", ep.buffered)
+		}
+	}
+}
+
+// pageGatedSource wraps the store's ID-space surface, capping every page at a few
+// triples and blocking all pages after the first until released — the
+// deterministic way to hold a progressive stream mid-scan.
+type pageGatedSource struct {
+	*store.Store
+	mu      sync.Mutex
+	pages   int
+	release chan struct{}
+}
+
+func (g *pageGatedSource) ForEachIDPage(s, p, o store.ID, pos, max int, fn func(store.IDTriple) bool) (int, bool) {
+	g.mu.Lock()
+	n := g.pages
+	g.pages++
+	g.mu.Unlock()
+	if n >= 1 {
+		<-g.release
+	}
+	if max > 8 {
+		max = 8
+	}
+	return g.Store.ForEachIDPage(s, p, o, pos, max, fn)
+}
+
+// TestFacetsStreamFirstBatchArrivesMidScan is the progressive-delivery proof:
+// with every page after the first gated shut, the client still receives a
+// parseable approximate batch (fraction < 1, exact count, estimates with
+// intervals) — then, once the gate opens, the stream converges to done.
+func TestFacetsStreamFirstBatchArrivesMidScan(t *testing.T) {
+	st := gen.MiniLODStore()
+	gated := &pageGatedSource{Store: st, release: make(chan struct{})}
+	s := New(st, Config{Logger: discardLogger(), CacheCapacity: -1, exploreSource: gated})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	defer func() {
+		// Unblock any straggling pages even if an assertion bails out early.
+		select {
+		case <-gated.release:
+		default:
+			close(gated.release)
+		}
+	}()
+
+	resp, err := http.Get(ts.URL + "/facets/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+
+	// The first approximate batch must arrive while the scan is provably
+	// stuck: pages >= 2 is only reachable after the gate, and the gate has
+	// not been opened yet.
+	firstLine, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading first batch: %v", err)
+	}
+	var batch struct {
+		Fraction float64         `json:"fraction"`
+		Scanned  int             `json:"scanned"`
+		Count    int             `json:"count"`
+		Facets   json.RawMessage `json:"facets"`
+		Done     bool            `json:"done"`
+	}
+	if err := json.Unmarshal(firstLine, &batch); err != nil {
+		t.Fatalf("first line %q: %v", firstLine, err)
+	}
+	if batch.Done {
+		t.Fatal("first line is already the final result; the gate never held the scan")
+	}
+	if batch.Fraction <= 0 || batch.Fraction >= 1 {
+		t.Fatalf("first batch fraction = %v, want in (0,1)", batch.Fraction)
+	}
+	if batch.Scanned != 8 {
+		t.Fatalf("first batch scanned = %d, want exactly the first gated page of 8", batch.Scanned)
+	}
+	if batch.Count <= 0 {
+		t.Fatalf("count = %d, want the exact match-set size from the first batch on", batch.Count)
+	}
+
+	// Open the gate; the stream must now refine to the exact final answer.
+	close(gated.release)
+	_, final := readStream(t, br)
+	if !final.Done || final.Error != "" {
+		t.Fatalf("final = %+v, want done", final)
+	}
+	var parsed struct {
+		Count  int `json:"count"`
+		Facets []struct {
+			Predicate string `json:"predicate"`
+		} `json:"facets"`
+	}
+	if err := json.Unmarshal(final.Result, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Count != batch.Count {
+		t.Fatalf("final count %d != first-batch count %d (count is exact from the start)", parsed.Count, batch.Count)
+	}
+	if len(parsed.Facets) == 0 {
+		t.Fatal("final result carries no facets")
+	}
+}
+
+// TestNeighborhoodSampling: identical (sample, seed) requests must serve
+// identical bodies with the cache disabled, and sample validation rejects
+// non-positive values.
+func TestNeighborhoodSampling(t *testing.T) {
+	hub := rdf.IRI("http://x/hub")
+	var triples []rdf.Triple
+	for i := 0; i < 40; i++ {
+		leaf := rdf.IRI(fmt.Sprintf("http://x/leaf%d", i))
+		if i%2 == 0 {
+			triples = append(triples, rdf.Triple{S: hub, P: "http://x/out", O: leaf})
+		} else {
+			triples = append(triples, rdf.Triple{S: leaf, P: "http://x/in", O: hub})
+		}
+	}
+	st, err := store.Load(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(st, Config{Logger: discardLogger(), CacheCapacity: -1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	q := "/graph/neighborhood?node=" + url.QueryEscape("<http://x/hub>") + "&sample=4&seed=11"
+	resp1, body1 := getBody(t, ts.URL+q)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp1.StatusCode, body1)
+	}
+	var nb struct {
+		Sampled  bool            `json:"sampled"`
+		Coverage float64         `json:"coverage"`
+		Nodes    json.RawMessage `json:"nodes"`
+	}
+	if err := json.Unmarshal(body1, &nb); err != nil {
+		t.Fatal(err)
+	}
+	if !nb.Sampled {
+		t.Fatal("fan-out 40 with sample=4 should report sampled")
+	}
+	if nb.Coverage <= 0 || nb.Coverage >= 1 {
+		t.Fatalf("coverage = %v, want in (0,1)", nb.Coverage)
+	}
+	_, body2 := getBody(t, ts.URL+q)
+	if string(body1) != string(body2) {
+		t.Fatal("same (sample, seed) served different neighborhoods")
+	}
+
+	for _, bad := range []string{"sample=0", "sample=-3", "sample=abc"} {
+		resp, body := getBody(t, ts.URL+"/graph/neighborhood?node="+url.QueryEscape("<http://x/hub>")+"&"+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d (%s), want 400", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestFacetWarming: serving a filtered /facets view must build its ancestor
+// views (each filter prefix, down to the unfiltered root) into the response
+// cache in the background, so zooming out is a HIT.
+func TestFacetWarming(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{FacetWarming: true})
+	warmed := make(chan string, 8)
+	s.warmHook = func(key string) { warmed <- key }
+
+	params := url.Values{}
+	params.Add("filter", exNS+"country=<"+exNS+"greece>")
+	params.Add("filter", exNS+"population=664046")
+	resp, body := getBody(t, ts.URL+"/facets?"+params.Encode())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filtered request status = %d: %s", resp.StatusCode, body)
+	}
+
+	// Two filters -> two ancestor views (one-filter prefix and the root).
+	for i := 0; i < 2; i++ {
+		select {
+		case <-warmed:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("warm job %d never finished", i)
+		}
+	}
+
+	uresp, _ := getBody(t, ts.URL+"/facets")
+	if xc := uresp.Header.Get("X-Cache"); xc != "HIT" {
+		t.Fatalf("unfiltered /facets after warming: X-Cache = %q, want HIT", xc)
+	}
+
+	// The same filtered view again must not schedule duplicate warm jobs.
+	getBody(t, ts.URL+"/facets?"+params.Encode())
+	select {
+	case key := <-warmed:
+		t.Fatalf("duplicate warm job for %q", key)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

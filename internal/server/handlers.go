@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,12 +12,14 @@ import (
 	"strings"
 
 	"github.com/lodviz/lodviz/internal/core"
+	"github.com/lodviz/lodviz/internal/explore"
 	"github.com/lodviz/lodviz/internal/facet"
 	"github.com/lodviz/lodviz/internal/federation"
-	"github.com/lodviz/lodviz/internal/graph"
 	"github.com/lodviz/lodviz/internal/ntriples"
 	"github.com/lodviz/lodviz/internal/rdf"
+	"github.com/lodviz/lodviz/internal/server/cache"
 	"github.com/lodviz/lodviz/internal/sparql"
+	"github.com/lodviz/lodviz/internal/store"
 )
 
 // maxQueryBytes bounds a POSTed SPARQL query body.
@@ -227,61 +231,146 @@ type facetValueJSON struct {
 	Count int             `json:"count"`
 }
 
-// handleFacets computes facet distributions over the dataset's entity set.
-// Conjunctive restrictions arrive as repeated filter=<predicate>=<value>
-// parameters; max=<n> caps values listed per facet.
-func (s *Server) handleFacets(w http.ResponseWriter, r *http.Request) {
-	// Validate parameters before touching the store; the session itself is
-	// built inside the cache-miss path only (it scans the full entity set).
-	max := s.cfg.MaxFacetValues
+// facetParams validates the /facets and /facets/stream parameters:
+// conjunctive restrictions arrive as repeated filter=<predicate>=<value>
+// parameters (rawFilters keeps their wire form for canonical cache keys);
+// max=<n> caps values listed per facet.
+func (s *Server) facetParams(r *http.Request) (max int, filters []facet.Filter, rawFilters []string, errStatus int, errMsg string) {
+	max = s.cfg.MaxFacetValues
 	if v := r.URL.Query().Get("max"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "max must be a positive integer")
-			return
+			return 0, nil, nil, http.StatusBadRequest, "max must be a positive integer"
 		}
 		max = n
 	}
-	var filters []facet.Filter
-	for _, f := range r.URL.Query()["filter"] {
+	rawFilters = append(rawFilters, r.URL.Query()["filter"]...)
+	sort.Strings(rawFilters)
+	for _, f := range rawFilters {
 		pred, val, ok := strings.Cut(f, "=")
 		if !ok {
-			writeError(w, http.StatusBadRequest, "filter must be <predicate>=<value>: "+f)
-			return
+			return 0, nil, nil, http.StatusBadRequest, "filter must be <predicate>=<value>: " + f
 		}
 		term, err := parseTermParam(val)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "filter value: "+err.Error())
-			return
+			return 0, nil, nil, http.StatusBadRequest, "filter value: " + err.Error()
 		}
 		filters = append(filters, facet.Filter{Predicate: rdf.IRI(strings.Trim(pred, "<>")), Value: term})
 	}
-	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
-		sess := facet.NewSession(s.st)
-		sess.MaxValuesPerFacet = max
-		for _, f := range filters {
-			sess.Apply(f)
+	return max, filters, rawFilters, 0, ""
+}
+
+// facetsKey is the canonical facet cache key: defaulted max and sorted
+// filters, so /facets, /facets?max=<default>, and a completed
+// /facets/stream all land on the same entry.
+func (s *Server) facetsKey(max int, rawFilters []string, gen uint64) string {
+	return fmt.Sprintf("facets|m%d|%s|g%d", max, strings.Join(rawFilters, "\x00"), gen)
+}
+
+// buildFacetsResponse runs the ID-space facet computation; shared by the
+// buffered handler, the streaming handler's exact final batch, and warm
+// jobs, so all three produce byte-identical JSON.
+func (s *Server) buildFacetsResponse(ctx context.Context, max int, filters []facet.Filter) (facetsResponse, error) {
+	sess := facet.NewSession(s.exploreSrc())
+	sess.MaxValuesPerFacet = max
+	for _, f := range filters {
+		sess.Apply(f)
+	}
+	count, err := sess.CountCtx(ctx)
+	if err != nil {
+		return facetsResponse{}, err
+	}
+	fs, err := sess.FacetsCtx(ctx)
+	if err != nil {
+		return facetsResponse{}, err
+	}
+	return encodeFacetsResponse(count, fs), nil
+}
+
+func encodeFacetsResponse(count int, fs []facet.Facet) facetsResponse {
+	resp := facetsResponse{Count: count, Facets: []facetJSON{}}
+	for _, f := range fs {
+		fj := facetJSON{Predicate: string(f.Predicate), Total: f.Total, Values: []facetValueJSON{}}
+		for _, v := range f.Values {
+			fj.Values = append(fj.Values, facetValueJSON{Term: sparql.EncodeTerm(v.Term), Count: v.Count})
 		}
-		resp := facetsResponse{Count: sess.Count(), Facets: []facetJSON{}}
-		for _, f := range sess.Facets() {
-			fj := facetJSON{Predicate: string(f.Predicate), Total: f.Total, Values: []facetValueJSON{}}
-			for _, v := range f.Values {
-				fj.Values = append(fj.Values, facetValueJSON{Term: sparql.EncodeTerm(v.Term), Count: v.Count})
-			}
-			resp.Facets = append(resp.Facets, fj)
+		resp.Facets = append(resp.Facets, fj)
+	}
+	return resp
+}
+
+// handleFacets computes facet distributions over the dataset's entity set —
+// in dictionary-ID space, with the request context (bounded by the query
+// timeout) threaded into the scans. Serving a filtered view schedules
+// background warming of its ancestor views when Config.FacetWarming is on.
+func (s *Server) handleFacets(w http.ResponseWriter, r *http.Request) {
+	max, filters, rawFilters, errStatus, errMsg := s.facetParams(r)
+	if errStatus != 0 {
+		writeError(w, errStatus, errMsg)
+		return
+	}
+	s.serveCached(w, r, s.facetsKey(max, rawFilters, s.st.Generation()), func() ([]byte, string, int) {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		resp, err := s.buildFacetsResponse(ctx, max, filters)
+		if err != nil {
+			status, msg := queryError(err)
+			return errorJSON(msg), "application/json", status
 		}
 		return mustJSON(resp)
 	})
+	s.warmFacetAncestors(max, filters, rawFilters)
+}
+
+// warmFacetAncestors schedules background builds of the filter-prefix views
+// of a just-served facet request: a browsing session that drilled down is
+// one click from zooming back out, so those responses are built off the
+// request path and put in the response cache. Jobs are deduplicated by
+// target key (which embeds the generation), bounded by a small semaphore,
+// and re-check the generation before publishing so a stale answer is never
+// cached.
+func (s *Server) warmFacetAncestors(max int, filters []facet.Filter, rawFilters []string) {
+	if s.warmSeen == nil || len(filters) == 0 {
+		return
+	}
+	gen := s.st.Generation()
+	for i := len(filters) - 1; i >= 0; i-- {
+		key := s.facetsKey(max, rawFilters[:i], gen)
+		if s.warmSeen.Contains(key) {
+			continue
+		}
+		s.warmSeen.Put(key, struct{}{})
+		prefix := filters[:i]
+		go func(key string, prefix []facet.Filter) {
+			s.warmSem <- struct{}{}
+			defer func() { <-s.warmSem }()
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
+			defer cancel()
+			resp, err := s.buildFacetsResponse(ctx, max, prefix)
+			if err == nil && s.st.Generation() == gen {
+				if body, ct, status := mustJSON(resp); status == http.StatusOK {
+					s.cache.Put(key, cache.Entry{Body: body, ETag: etagFor(body), ContentType: ct, Status: status})
+				}
+			}
+			if s.warmHook != nil {
+				s.warmHook(key)
+			}
+		}(key, prefix)
+	}
 }
 
 // neighborhoodResponse is the /graph/neighborhood JSON shape: nodes carries
 // the induced vertex set (the start node first), edges refers to nodes by
-// index.
+// index. sampled and coverage appear when a sample= request truncated a
+// huge-fanout node: coverage is the worst per-node fraction of adjacent
+// statements actually expanded.
 type neighborhoodResponse struct {
-	Node  string            `json:"node"`
-	Hops  int               `json:"hops"`
-	Nodes []sparql.JSONTerm `json:"nodes"`
-	Edges []edgeJSON        `json:"edges"`
+	Node     string            `json:"node"`
+	Hops     int               `json:"hops"`
+	Nodes    []sparql.JSONTerm `json:"nodes"`
+	Edges    []edgeJSON        `json:"edges"`
+	Sampled  bool              `json:"sampled,omitempty"`
+	Coverage float64           `json:"coverage,omitempty"`
 }
 
 type edgeJSON struct {
@@ -292,7 +381,12 @@ type edgeJSON struct {
 
 // handleNeighborhood returns the k-hop neighborhood subgraph of one resource
 // (node=<IRI>, hops=<n>, default 1) — the incremental-exploration primitive
-// graph front-ends issue on every node expansion.
+// graph front-ends issue on every node expansion. The traversal runs
+// directly over the store's ID permutations (the old implementation rebuilt
+// the entire materialized graph per request), so the cost is proportional
+// to the neighborhood. sample=<k> bounds the expanded statements per node
+// through seed-deterministic reservoirs (seed=<n>, default 0) for
+// huge-fanout nodes; the response then reports sampled and coverage.
 func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
 	nodeParam := r.URL.Query().Get("node")
 	if nodeParam == "" {
@@ -312,32 +406,47 @@ func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	sample := 0
+	if v := r.URL.Query().Get("sample"); v != "" {
+		sample, err = strconv.Atoi(v)
+		if err != nil || sample < 1 {
+			writeError(w, http.StatusBadRequest, "sample must be a positive integer")
+			return
+		}
+	}
+	var seed int64
+	if v := r.URL.Query().Get("seed"); v != "" {
+		seed, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "seed must be an integer")
+			return
+		}
+	}
 	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
-		g := graph.FromStore(s.st)
-		start, ok := g.Lookup(term)
-		if !ok {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		nb, err := explore.FindNeighborhood(ctx, s.exploreSrc(), term, explore.NeighborhoodOptions{
+			Hops: hops, Sample: sample, Seed: seed,
+		})
+		if errors.Is(err, explore.ErrNodeNotFound) {
 			return errorJSON("node not found: " + term.String()), "application/json", http.StatusNotFound
 		}
-		ids := g.Neighborhood(start, hops)
-		// Order deterministically: start first, the rest by node id.
-		sort.Slice(ids, func(i, j int) bool {
-			if ids[i] == start || ids[j] == start {
-				return ids[i] == start
-			}
-			return ids[i] < ids[j]
-		})
-		pos := make(map[graph.NodeID]int, len(ids))
-		resp := neighborhoodResponse{Node: term.String(), Hops: hops, Edges: []edgeJSON{}}
-		for i, id := range ids {
-			pos[id] = i
-			resp.Nodes = append(resp.Nodes, sparql.EncodeTerm(g.Terms[id]))
+		if err != nil {
+			status, msg := queryError(err)
+			return errorJSON(msg), "application/json", status
 		}
-		for _, e := range g.Edges {
-			from, okF := pos[e.From]
-			to, okT := pos[e.To]
-			if okF && okT {
-				resp.Edges = append(resp.Edges, edgeJSON{From: from, To: to, Label: string(e.Label)})
-			}
+		resp := neighborhoodResponse{
+			Node: term.String(), Hops: hops, Edges: []edgeJSON{},
+			Sampled: nb.Sampled, Coverage: nb.Coverage,
+		}
+		if !nb.Sampled {
+			resp.Coverage = 0 // omitted from JSON; implied 1 for exact results
+		}
+		for _, n := range nb.Nodes {
+			resp.Nodes = append(resp.Nodes, sparql.EncodeTerm(n))
+		}
+		for _, e := range nb.Edges {
+			resp.Edges = append(resp.Edges, edgeJSON{From: e.From, To: e.To, Label: string(e.Pred)})
 		}
 		return mustJSON(resp)
 	})
@@ -383,7 +492,13 @@ func (s *Server) handleHETree(w http.ResponseWriter, r *http.Request) {
 	}
 	prop := rdf.IRI(strings.Trim(propParam, "<>"))
 	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
-		tree, err := core.NewExplorer(s.st, core.DefaultPreferences()).NumericHierarchy(prop)
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		tree, err := core.NewExplorer(s.st, core.DefaultPreferences()).NumericHierarchyCtx(ctx, prop)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status, msg := queryError(err)
+			return errorJSON(msg), "application/json", status
+		}
 		if err != nil {
 			return errorJSON(err.Error()), "application/json", http.StatusNotFound
 		}
@@ -425,35 +540,47 @@ type classStatJSON struct {
 	Count int             `json:"count"`
 }
 
+// statsKey is the canonical /stats cache key; the completed streaming
+// endpoint fills the same entry.
+func (s *Server) statsKey(gen uint64) string {
+	return fmt.Sprintf("stats|g%d", gen)
+}
+
+// encodeStatsResponse converts store.Stats to the /stats JSON shape; shared
+// by the buffered handler and the streaming handler's exact final batch so
+// both produce byte-identical JSON.
+func encodeStatsResponse(stats store.Stats) statsResponse {
+	resp := statsResponse{
+		Triples:    stats.Triples,
+		Terms:      stats.Terms,
+		Predicates: []predStatJSON{},
+		Classes:    []classStatJSON{},
+	}
+	for _, p := range stats.Predicates {
+		resp.Predicates = append(resp.Predicates, predStatJSON{
+			Predicate:        string(p.Predicate),
+			Triples:          p.Triples,
+			DistinctSubjects: p.DistinctSubjects,
+			DistinctObjects:  p.DistinctObjects,
+			LiteralObjects:   p.LiteralObjects,
+		})
+	}
+	for cls, n := range stats.Classes {
+		resp.Classes = append(resp.Classes, classStatJSON{Class: sparql.EncodeTerm(cls), Count: n})
+	}
+	sort.Slice(resp.Classes, func(i, j int) bool {
+		if resp.Classes[i].Count != resp.Classes[j].Count {
+			return resp.Classes[i].Count > resp.Classes[j].Count
+		}
+		return resp.Classes[i].Class.Value < resp.Classes[j].Class.Value
+	})
+	return resp
+}
+
 // handleStats serves the dataset summary (LODeX-style source statistics).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.serveCached(w, r, s.cacheKey(r), func() ([]byte, string, int) {
-		stats := s.st.ComputeStats()
-		resp := statsResponse{
-			Triples:    stats.Triples,
-			Terms:      stats.Terms,
-			Predicates: []predStatJSON{},
-			Classes:    []classStatJSON{},
-		}
-		for _, p := range stats.Predicates {
-			resp.Predicates = append(resp.Predicates, predStatJSON{
-				Predicate:        string(p.Predicate),
-				Triples:          p.Triples,
-				DistinctSubjects: p.DistinctSubjects,
-				DistinctObjects:  p.DistinctObjects,
-				LiteralObjects:   p.LiteralObjects,
-			})
-		}
-		for cls, n := range stats.Classes {
-			resp.Classes = append(resp.Classes, classStatJSON{Class: sparql.EncodeTerm(cls), Count: n})
-		}
-		sort.Slice(resp.Classes, func(i, j int) bool {
-			if resp.Classes[i].Count != resp.Classes[j].Count {
-				return resp.Classes[i].Count > resp.Classes[j].Count
-			}
-			return resp.Classes[i].Class.Value < resp.Classes[j].Class.Value
-		})
-		return mustJSON(resp)
+	s.serveCached(w, r, s.statsKey(s.st.Generation()), func() ([]byte, string, int) {
+		return mustJSON(encodeStatsResponse(s.st.ComputeStats()))
 	})
 }
 

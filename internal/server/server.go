@@ -38,9 +38,12 @@ import (
 	"strings"
 	"time"
 
+	"github.com/lodviz/lodviz/internal/explore"
+	"github.com/lodviz/lodviz/internal/facet"
 	"github.com/lodviz/lodviz/internal/federation"
 	"github.com/lodviz/lodviz/internal/keyword"
 	"github.com/lodviz/lodviz/internal/ledger"
+	"github.com/lodviz/lodviz/internal/prefetch"
 	"github.com/lodviz/lodviz/internal/server/cache"
 	"github.com/lodviz/lodviz/internal/sparql"
 	"github.com/lodviz/lodviz/internal/store"
@@ -81,11 +84,23 @@ type Config struct {
 	// leaves those endpoints answering 404.
 	Ledger *ledger.Ledger
 
+	// FacetWarming enables prefetch-driven warming of the facet response
+	// cache: serving a filtered /facets view schedules background builds of
+	// its ancestor views (each filter prefix), so the zoom-out steps a
+	// browsing session takes next are already cached. Off by default;
+	// lodvizd enables it unless -facet-warming=false.
+	FacetWarming bool
+
 	// querySource, when set by tests, replaces the store as the triple
 	// source SPARQL evaluation scans — the seam for wrapping the store
 	// with throttled or instrumented variants (the streaming endpoint's
 	// first-row-before-completion test gates the scan on a channel).
 	querySource sparql.Source
+	// exploreSource, when set by tests, replaces the store as the ID-space
+	// source the exploration endpoints (facets, stats, neighborhood) scan —
+	// the seam the progressive endpoints' first-batch-mid-scan tests use to
+	// gate paging.
+	exploreSource explore.Source
 }
 
 func (c Config) withDefaults() Config {
@@ -99,7 +114,7 @@ func (c Config) withDefaults() Config {
 		c.QueryTimeout = 30 * time.Second
 	}
 	if c.MaxFacetValues <= 0 {
-		c.MaxFacetValues = 25
+		c.MaxFacetValues = facet.DefaultMaxValues
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -116,12 +131,20 @@ type Server struct {
 	kw    *keyword.Lazy
 	mux   *http.ServeMux
 
+	// warmSeen dedupes facet warm jobs (keyed by target cache key, which
+	// embeds the generation); warmSem bounds concurrent warm builds.
+	warmSeen *prefetch.Cache[string, struct{}]
+	warmSem  chan struct{}
+
 	// limiterHook, when set by tests, runs while the request holds its
 	// concurrency slot — the deterministic way to saturate an endpoint.
 	limiterHook func(route string)
 	// streamRowHook, when set by tests, runs after each streamed row is
 	// written and flushed (the argument is the rows-so-far count).
 	streamRowHook func(rows int)
+	// warmHook, when set by tests, runs after a facet warm job finishes
+	// (argument: the cache key it built).
+	warmHook func(key string)
 }
 
 // New builds a Server over st.
@@ -141,13 +164,19 @@ func New(st *store.Store, cfg Config) *Server {
 	if s.kw == nil {
 		s.kw = keyword.NewLazy(st)
 	}
+	if s.cfg.FacetWarming && s.cache != nil {
+		s.warmSeen = prefetch.NewCache[string, struct{}](256, prefetch.LRU)
+		s.warmSem = make(chan struct{}, 2)
+	}
 	s.mux = http.NewServeMux()
 	s.route("/sparql", s.handleSPARQL, "GET", "POST")
 	s.route("/sparql/stream", s.handleSPARQLStream, "GET", "POST")
 	s.route("/facets", s.handleFacets, "GET")
+	s.route("/facets/stream", s.handleFacetsStream, "GET")
 	s.route("/graph/neighborhood", s.handleNeighborhood, "GET")
 	s.route("/hetree", s.handleHETree, "GET")
 	s.route("/stats", s.handleStats, "GET")
+	s.route("/stats/stream", s.handleStatsStream, "GET")
 	s.route("/search", s.handleSearch, "GET")
 	s.route("/complete", s.handleComplete, "GET")
 	s.route("/federation", s.handleFederation, "GET")

@@ -64,17 +64,7 @@ func (s *Server) handleSPARQLStream(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Cache", "BYPASS")
 	h.Set("X-Stream-Incremental", strconv.FormatBool(stm.Incremental()))
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	line := func(v any) bool {
-		if err := enc.Encode(v); err != nil {
-			return false // client gone; stop evaluating
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return true
-	}
+	line := ndjsonLiner(w)
 
 	if stm.Form() == sparql.FormAsk {
 		ans, err := stm.Ask()
@@ -109,6 +99,23 @@ func (s *Server) handleSPARQLStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	line(streamTrailer{Done: true, Rows: rows})
+}
+
+// ndjsonLiner returns the per-line NDJSON writer over w: encode, newline,
+// flush — so each line reaches the client as it is produced. It reports
+// false once the client is gone (the signal to stop evaluating).
+func ndjsonLiner(w http.ResponseWriter) func(v any) bool {
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	return func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false // client gone; stop evaluating
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
 }
 
 // queryCtx bounds one request's evaluation by the configured timeout.

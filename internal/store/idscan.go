@@ -1,6 +1,10 @@
 package store
 
-import "github.com/lodviz/lodviz/internal/rdf"
+import (
+	"sort"
+
+	"github.com/lodviz/lodviz/internal/rdf"
+)
 
 // This file is the store's dictionary-ID scan surface: everything the SPARQL
 // engine needs to run joins entirely in uint32 ID space — permutation
@@ -349,6 +353,130 @@ func (st *Store) scanIDsPaged(s, p, o ID, ord ScanOrder) (IDRun, bool) {
 			hook()
 		}
 	}
+}
+
+// ForEachIDPage streams up to max matching triples in ID space to fn,
+// starting at scan position pos (0 starts a new scan), and returns the
+// position the next page should resume from plus whether the scan is
+// exhausted — the ID-space twin of ForEachPage. The read lock is held only
+// for one page, so callers may do arbitrary work between pages. The cursor
+// is positional over the PosAny permutation for the bound mask: positions in
+// the base index are stable until a compaction, so callers must watch
+// LayoutEpoch between pages and restart when it moves (delta appends don't
+// shift the base, and the delta itself is append-only between compactions).
+// fn returning false ends the scan (done=true). max < 1 returns immediately
+// with done=false.
+func (st *Store) ForEachIDPage(s, p, o ID, pos, max int, fn func(IDTriple) bool) (next int, done bool) {
+	if max < 1 {
+		return pos, false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ord, _ := PermutationFor(s != 0, p != 0, o != 0, PosAny)
+	idx := st.indexFor(ord)
+	lo, hi := rangeIn(ord, idx, s, p, o)
+	n := hi - lo
+	emitted := 0
+	for i := lo + pos; i < hi; i++ {
+		e := idx[i]
+		if _, dead := st.deleted[e]; dead {
+			continue
+		}
+		if !fn(IDTriple{e.s, e.p, e.o}) {
+			return i - lo + 1, true
+		}
+		emitted++
+		if emitted >= max {
+			return i - lo + 1, false
+		}
+	}
+	dpos := pos - n
+	if dpos < 0 {
+		dpos = 0
+	}
+	for j := dpos; j < len(st.delta); j++ {
+		e := st.delta[j]
+		if (s != 0 && e.s != s) || (p != 0 && e.p != p) || (o != 0 && e.o != o) {
+			continue
+		}
+		if _, dead := st.deleted[e]; dead {
+			continue
+		}
+		if !fn(IDTriple{e.s, e.p, e.o}) {
+			return n + j + 1, true
+		}
+		emitted++
+		if emitted >= max {
+			return n + j + 1, false
+		}
+	}
+	return n + len(st.delta), true
+}
+
+// Less reports whether a sorts before b in the order's (first, second,
+// third) key sequence.
+func (o ScanOrder) Less(a, b IDTriple) bool {
+	ka0, ka1, ka2 := o.key(a)
+	kb0, kb1, kb2 := o.key(b)
+	if ka0 != kb0 {
+		return ka0 < kb0
+	}
+	if ka1 != kb1 {
+		return ka1 < kb1
+	}
+	return ka2 < kb2
+}
+
+func (o ScanOrder) key(t IDTriple) (ID, ID, ID) {
+	switch o {
+	case OrderPOS:
+		return t.P, t.O, t.S
+	case OrderOSP:
+		return t.O, t.S, t.P
+	case OrderPSO:
+		return t.P, t.S, t.O
+	default:
+		return t.S, t.P, t.O
+	}
+}
+
+// ForEachSorted streams the run in full Order-sorted sequence: the delta
+// tail (captured in insertion order) is sorted and merged into the sorted
+// base matches on the fly, so span-counting consumers see one globally
+// grouped sequence even before the next compaction folds the delta in.
+// Iteration stops early when fn returns false; the return value reports
+// whether the full run was visited.
+func (r IDRun) ForEachSorted(fn func(IDTriple) bool) bool {
+	tail := r.Tail
+	if len(tail) > 1 {
+		tail = append([]IDTriple(nil), tail...)
+		sort.Slice(tail, func(i, j int) bool { return r.Order.Less(tail[i], tail[j]) })
+	}
+	i, j := 0, 0
+	for i < len(r.Sorted) && j < len(tail) {
+		var t IDTriple
+		if r.Order.Less(tail[j], r.Sorted[i]) {
+			t = tail[j]
+			j++
+		} else {
+			t = r.Sorted[i]
+			i++
+		}
+		if !fn(t) {
+			return false
+		}
+	}
+	for ; i < len(r.Sorted); i++ {
+		if !fn(r.Sorted[i]) {
+			return false
+		}
+	}
+	for ; j < len(tail); j++ {
+		if !fn(tail[j]) {
+			return false
+		}
+	}
+	return true
 }
 
 // scanIDsLocked is the single-lock fallback. Caller holds mu.

@@ -31,40 +31,64 @@ type Stats struct {
 
 // ComputeStats scans the store once and produces summary statistics,
 // the kind of source summary LODeX-style tools generate (Section 3.4).
+// The aggregation runs entirely in dictionary-ID space — per-predicate
+// counters keyed by uint32 IDs instead of interface-valued terms — and
+// decodes each distinct predicate and object exactly once at the end, so
+// the scan never hashes a term it has already seen.
 func (st *Store) ComputeStats() Stats {
 	type agg struct {
 		triples int
-		subj    map[rdf.Term]struct{}
-		obj     map[rdf.Term]struct{}
-		lits    int
+		subj    map[ID]struct{}
+		// obj maps each distinct object to its occurrence count, so the
+		// literal-object tally can be recovered with one kind check per
+		// distinct object rather than one per triple.
+		obj map[ID]int
 	}
-	perPred := map[rdf.IRI]*agg{}
-	classes := map[rdf.Term]int{}
-	st.ForEach(Pattern{}, func(t rdf.Triple) bool {
-		a := perPred[t.P]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	perPred := map[ID]*agg{}
+	classIDs := map[ID]int{}
+	typeID, _ := st.lookup(rdf.RDFType)
+	visit := func(e enc) {
+		if _, dead := st.deleted[e]; dead {
+			return
+		}
+		a := perPred[e.p]
 		if a == nil {
-			a = &agg{subj: map[rdf.Term]struct{}{}, obj: map[rdf.Term]struct{}{}}
-			perPred[t.P] = a
+			a = &agg{subj: map[ID]struct{}{}, obj: map[ID]int{}}
+			perPred[e.p] = a
 		}
 		a.triples++
-		a.subj[t.S] = struct{}{}
-		a.obj[t.O] = struct{}{}
-		if t.O.Kind() == rdf.KindLiteral {
-			a.lits++
+		a.subj[e.s] = struct{}{}
+		a.obj[e.o]++
+		if typeID != 0 && e.p == typeID {
+			classIDs[e.o]++
 		}
-		if t.P == rdf.RDFType {
-			classes[t.O]++
+	}
+	for _, e := range st.pos {
+		visit(e)
+	}
+	for _, e := range st.delta {
+		visit(e)
+	}
+	classes := make(map[rdf.Term]int, len(classIDs))
+	for oid, n := range classIDs {
+		classes[st.terms[oid]] = n
+	}
+	s := Stats{Triples: st.size, Terms: len(st.terms) - 1, Classes: classes}
+	for pid, a := range perPred {
+		lits := 0
+		for oid, n := range a.obj {
+			if st.terms[oid].Kind() == rdf.KindLiteral {
+				lits += n
+			}
 		}
-		return true
-	})
-	s := Stats{Triples: st.Len(), Terms: st.NumTerms(), Classes: classes}
-	for p, a := range perPred {
 		s.Predicates = append(s.Predicates, PredicateStat{
-			Predicate:        p,
+			Predicate:        st.terms[pid].(rdf.IRI),
 			Triples:          a.triples,
 			DistinctSubjects: len(a.subj),
 			DistinctObjects:  len(a.obj),
-			LiteralObjects:   a.lits,
+			LiteralObjects:   lits,
 		})
 	}
 	sort.Slice(s.Predicates, func(i, j int) bool {

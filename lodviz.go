@@ -31,10 +31,12 @@ import (
 	"sync"
 
 	"github.com/lodviz/lodviz/internal/core"
+	"github.com/lodviz/lodviz/internal/explore"
 	"github.com/lodviz/lodviz/internal/facet"
 	"github.com/lodviz/lodviz/internal/federation"
 	"github.com/lodviz/lodviz/internal/gen"
 	"github.com/lodviz/lodviz/internal/keyword"
+	"github.com/lodviz/lodviz/internal/progressive"
 	"github.com/lodviz/lodviz/internal/rdf"
 	"github.com/lodviz/lodviz/internal/registry"
 	"github.com/lodviz/lodviz/internal/server"
@@ -79,6 +81,24 @@ type (
 	FacetSession = facet.Session
 	// FacetFilter is one conjunctive facet restriction.
 	FacetFilter = facet.Filter
+	// FacetBatch is one approximate snapshot of a progressive facet scan.
+	FacetBatch = facet.Batch
+	// FacetEstimate is one facet's progressive distribution estimate.
+	FacetEstimate = facet.FacetEstimate
+	// FacetValueEstimate is one facet value's progressive count estimate.
+	FacetValueEstimate = facet.ValueEstimate
+	// Estimate is a CLT-bounded progressive estimate (value ± CI95).
+	Estimate = progressive.Estimate
+	// Neighborhood is a bounded graph neighborhood around an entity.
+	Neighborhood = explore.Neighborhood
+	// NeighborEdge is one edge of a Neighborhood.
+	NeighborEdge = explore.NeighborEdge
+	// NeighborhoodOptions bounds a neighborhood expansion.
+	NeighborhoodOptions = explore.NeighborhoodOptions
+	// StatsBatch is one approximate snapshot of a progressive stats scan.
+	StatsBatch = explore.StatsBatch
+	// DatasetStats summarizes a dataset (per-predicate and class counts).
+	DatasetStats = store.Stats
 	// SearchHit is one keyword-search result.
 	SearchHit = keyword.Hit
 	// FederationEndpoint is one remote endpoint's health snapshot.
@@ -369,6 +389,37 @@ func (d *Dataset) Generation() uint64 { return d.st.Generation() }
 // Explore starts an exploration session.
 func (d *Dataset) Explore(p Preferences) *Explorer { return core.NewExplorer(d.st, p) }
 
+// Facets starts a faceted-browsing session over the dataset's typed
+// entities. The session computes distributions in ID space over the store's
+// permutation indexes; use its Stream method for progressive, refining
+// estimates on large datasets.
+func (d *Dataset) Facets() *FacetSession { return facet.NewSession(d.st) }
+
+// ErrNodeNotFound reports that a neighborhood start term does not occur as a
+// graph node in the dataset.
+var ErrNodeNotFound = explore.ErrNodeNotFound
+
+// Neighborhood expands the bounded graph neighborhood around start directly
+// over the ID-space indexes. With opt.Sample > 0 each node's incident edges
+// are reservoir-sampled (deterministically per opt.Seed) and the result
+// reports the coverage fraction; with Sample == 0 the expansion is exhaustive
+// and includes the induced subgraph between reached nodes.
+func (d *Dataset) Neighborhood(ctx context.Context, start Term, opt NeighborhoodOptions) (*Neighborhood, error) {
+	return explore.FindNeighborhood(ctx, d.st, start, opt)
+}
+
+// Stats computes the exact dataset summary (per-predicate triple counts and
+// distinct-subject/object counts, class histogram) in one ID-space pass.
+func (d *Dataset) Stats() DatasetStats { return d.st.ComputeStats() }
+
+// StreamStats computes the dataset summary progressively: fn receives
+// CLT-bounded approximate batches while the scan runs (return false to
+// stop), and the returned stats are exact — identical to Stats — when the
+// scan completes.
+func (d *Dataset) StreamStats(ctx context.Context, fn func(StatsBatch) bool) (DatasetStats, error) {
+	return explore.StreamStats(ctx, d.st, 0, 1, fn)
+}
+
 // Store exposes the underlying triple store for advanced use (the internal
 // API surface; subject to change).
 func (d *Dataset) Store() *store.Store { return d.st }
@@ -380,7 +431,9 @@ type ServerConfig = server.Config
 // Handler returns an http.Handler serving this dataset: the SPARQL Protocol
 // endpoint (/sparql, SERVICE clauses included), its chunked NDJSON twin
 // (/sparql/stream, first rows before evaluation finishes), the exploration
-// endpoints (/facets, /graph/neighborhood, /hetree, /stats), keyword search
+// endpoints (/facets, /graph/neighborhood, /hetree, /stats) with progressive
+// NDJSON twins (/facets/stream, /stats/stream — approximate batches that
+// converge to the exact answer), keyword search
 // (/search, /complete), federation health (/federation), N-Triples
 // ingestion (POST /triples), and /healthz. Responses are cached in a sharded LRU keyed by
 // the normalized request and the dataset generation, so writes invalidate
