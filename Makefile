@@ -16,19 +16,22 @@ test:
 # snapshot round-trip under concurrent writers and the permutation ID
 # scans with epoch restarts), snapshot format, the federation mesh
 # (parallel bind-join batches, circuit breakers, TTL cache), HTTP server,
-# and the sharded response cache; plus a focused rerun of the
-# dictionary/permutation paths under writers and the multi-node federation
-# smoke (two httptest lodvizd instances answering one SERVICE query).
+# the sharded response cache, and the metrics registry (sharded histograms
+# and vec instantiation under concurrent scrapes); plus a focused rerun of
+# the dictionary/permutation paths under writers and the multi-node
+# federation smoke (two httptest lodvizd instances answering one SERVICE
+# query).
 race:
-	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/federation/... ./internal/server/... ./internal/wal/... ./internal/ledger/... ./internal/explore/... ./internal/facet/... ./internal/hetree/... ./internal/progressive/... ./internal/sampling/... ./internal/prefetch/...
+	$(GO) test -race ./internal/store/... ./internal/snapshot/... ./internal/sparql/... ./internal/federation/... ./internal/server/... ./internal/wal/... ./internal/ledger/... ./internal/explore/... ./internal/facet/... ./internal/hetree/... ./internal/progressive/... ./internal/sampling/... ./internal/prefetch/... ./internal/obs/...
 	$(GO) test -race -count=2 -run 'ScanIDs|IDJoin|StreamConcurrentWriters' ./internal/store ./internal/sparql
 	$(GO) test -race -run 'Federated|ServiceSilent' .
 
-# Coverage gate for the HTTP server subsystem (the CI threshold).
+# Coverage gate for the HTTP server subsystem and the metrics registry it
+# exposes (the CI threshold applies to the combined profile).
 cover-server:
-	$(GO) test -covermode=atomic -coverprofile=server-cover.out ./internal/server/...
+	$(GO) test -covermode=atomic -coverprofile=server-cover.out ./internal/server/... ./internal/obs/...
 	@total=$$($(GO) tool cover -func=server-cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "internal/server coverage: $$total%"; \
+	echo "internal/server+internal/obs coverage: $$total%"; \
 	awk "BEGIN { exit !($$total >= 80) }" || { echo "FAIL: coverage $$total% < 80%"; exit 1; }
 
 # Short coverage-guided fuzz smoke over the text-format parsers and the
@@ -81,6 +84,7 @@ bench-regression:
 	$(GO) run ./cmd/benchharness -scenarios stream -out BENCH_stream.json -gate
 	$(GO) run ./cmd/benchharness -scenarios write -out BENCH_write.json -gate
 	$(GO) run ./cmd/benchharness -scenarios explore -out BENCH_explore.json -gate
+	$(GO) run ./cmd/benchharness -scenarios obs -out BENCH_obs.json -gate
 
 # Refresh the committed baseline after an intentional perf change; commit
 # the resulting bench/baseline.json diff alongside the change.
@@ -89,6 +93,7 @@ bench-baseline:
 	$(GO) run ./cmd/benchharness -scenarios stream -update-baseline
 	$(GO) run ./cmd/benchharness -scenarios write -update-baseline
 	$(GO) run ./cmd/benchharness -scenarios explore -update-baseline
+	$(GO) run ./cmd/benchharness -scenarios obs -update-baseline
 
 # go vet + gofmt always; staticcheck/gosimple/unused etc. run via
 # golangci-lint when it is installed (CI always runs it — see the lint

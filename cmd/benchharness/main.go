@@ -47,7 +47,7 @@ var quick = flag.Bool("quick", false, "smaller sweeps")
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E6)")
-	scenarios := flag.String("scenarios", "", "regression scenario set (store, stream, write, or explore); skips the experiments")
+	scenarios := flag.String("scenarios", "", "regression scenario set (store, stream, write, explore, or obs); skips the experiments")
 	out := flag.String("out", "", "write scenario results to this JSON artifact")
 	baseline := flag.String("baseline", "bench/baseline.json", "baseline file for -gate / -update-baseline")
 	updateBaseline := flag.Bool("update-baseline", false, "rewrite the baseline from this run's results")

@@ -36,6 +36,9 @@ type benchResult struct {
 	// Min is an absolute floor enforced regardless of baseline (speedup
 	// scenarios encode their acceptance bar here); 0 = no floor.
 	Min float64 `json:"min,omitempty"`
+	// Max is an absolute ceiling enforced regardless of baseline (overhead
+	// ratios encode their acceptance bar here); 0 = no ceiling.
+	Max float64 `json:"max,omitempty"`
 }
 
 // benchFile is the artifact / baseline wire format.
@@ -194,8 +197,10 @@ func runRegress(set, out, baselinePath string, updateBaseline, gate bool) int {
 		results = writeScenarios()
 	case "explore":
 		results = exploreScenarios()
+	case "obs":
+		results = obsScenarios()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -scenarios set %q (want store, stream, write, or explore)\n", set)
+		fmt.Fprintf(os.Stderr, "unknown -scenarios set %q (want store, stream, write, explore, or obs)\n", set)
 		return 2
 	}
 	for _, r := range results {
@@ -215,10 +220,14 @@ func runRegress(set, out, baselinePath string, updateBaseline, gate bool) int {
 	}
 
 	failed := false
-	// Absolute floors hold regardless of any baseline.
+	// Absolute floors and ceilings hold regardless of any baseline.
 	for _, r := range results {
 		if r.Min > 0 && r.Value < r.Min {
 			fmt.Fprintf(os.Stderr, "FAIL %s: %.3f%s below the %.1f%s floor\n", r.Name, r.Value, r.Unit, r.Min, r.Unit)
+			failed = true
+		}
+		if r.Max > 0 && r.Value > r.Max {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %.3f%s above the %.2f%s ceiling\n", r.Name, r.Value, r.Unit, r.Max, r.Unit)
 			failed = true
 		}
 	}
@@ -313,6 +322,12 @@ func gateAgainstBaseline(results []benchResult, baselinePath string) bool {
 				failed = true
 			}
 		default:
+			if r.Max > 0 {
+				// Ceiling-gated scenario (an overhead ratio): the absolute
+				// ceiling is the contract; baseline-relative ratios of
+				// ratios are noise.
+				continue
+			}
 			allowed := b.Value * ratio
 			if r.Unit == "ms" && allowed < b.Value+msSlack {
 				allowed = b.Value + msSlack

@@ -54,6 +54,18 @@
 //	                    with -peer — recommended when /sparql is exposed
 //	                    to untrusted clients, since query text can name
 //	                    arbitrary URLs (server-side request forgery)
+//	-pprof addr         serve net/http/pprof on a separate listener
+//	                    (e.g. localhost:6060); empty disables. Kept off
+//	                    the public API address deliberately
+//	-slow-query duration
+//	                    log /sparql queries at or over this duration at
+//	                    warn level, with row count and execution-plan
+//	                    summary (0 disables)
+//
+// Prometheus metrics for every layer — HTTP handlers, response cache,
+// store, WAL, federation mesh, SPARQL engine — are served on /metrics, and
+// POST /sparql?explain=1 returns a per-query execution trace alongside the
+// results (see the server package).
 //
 // With -peer, this node joins an exploration mesh: queries may span
 // endpoints with SERVICE <peer/sparql> { ... } clauses, evaluated as
@@ -90,6 +102,8 @@ import (
 	"fmt"
 	"io/fs"
 	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -100,6 +114,7 @@ import (
 	"github.com/lodviz/lodviz/internal/federation"
 	"github.com/lodviz/lodviz/internal/gen"
 	"github.com/lodviz/lodviz/internal/ledger"
+	"github.com/lodviz/lodviz/internal/obs"
 	"github.com/lodviz/lodviz/internal/server"
 	"github.com/lodviz/lodviz/internal/store"
 	"github.com/lodviz/lodviz/internal/turtle"
@@ -129,6 +144,8 @@ func main() {
 	})
 	probeInterval := flag.Duration("federation-probe", 30*time.Second, "peer health-probe interval; capabilities refresh every 10th probe (0 disables background upkeep)")
 	restrictPeers := flag.Bool("federation-restrict", false, "refuse SERVICE dispatch to endpoints not listed with -peer (SSRF hardening for exposed deployments)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
+	slowQuery := flag.Duration("slow-query", 0, "log /sparql queries at or over this duration with their execution plan (0 disables)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -139,6 +156,7 @@ func main() {
 	}
 	logger.Info("dataset loaded", "source", source, "triples", st.Len(), "terms", st.NumTerms())
 
+	registry := obs.NewRegistry()
 	var (
 		walLog *wal.Log
 		led    *ledger.Ledger
@@ -149,7 +167,7 @@ func main() {
 			logger.Error("bad -wal-sync", "err", err)
 			os.Exit(2)
 		}
-		walLog, led, err = openWAL(*walPath, policy, st, logger)
+		walLog, led, err = openWAL(*walPath, policy, wal.NewMetrics(registry), st, logger)
 		if err != nil {
 			logger.Error("opening WAL", "path", *walPath, "err", err)
 			os.Exit(1)
@@ -157,21 +175,44 @@ func main() {
 		defer walLog.Close()
 	}
 
+	// The snapshotter is built before the server so /healthz can report the
+	// snapshot age; the periodic loop starts further down, once the serving
+	// context exists.
+	var snap *snapshotter
+	if *snapshotPath != "" {
+		snap = &snapshotter{path: *snapshotPath, st: st, wal: walLog, logger: logger}
+		if source == *snapshotPath {
+			// The on-disk image already matches the store; don't rewrite
+			// it until something changes.
+			snap.savedGen = st.Generation()
+			snap.haveSaved = true
+			snap.savedAt = time.Now()
+		}
+	}
+
 	mesh := federation.NewMesh(federation.Options{RestrictToPeers: *restrictPeers})
 	for _, p := range peers {
 		mesh.AddPeer(p)
 	}
-	srv := server.New(st, server.Config{
-		Parallelism:    *parallelism,
-		CacheCapacity:  *cacheSize,
-		MaxInFlight:    *maxInFlight,
-		QueryTimeout:   *timeout,
-		MaxFacetValues: *facetValues,
-		FacetWarming:   *facetWarming,
-		Logger:         logger,
-		Mesh:           mesh,
-		Ledger:         led,
-	})
+	cfg := server.Config{
+		Parallelism:        *parallelism,
+		CacheCapacity:      *cacheSize,
+		MaxInFlight:        *maxInFlight,
+		QueryTimeout:       *timeout,
+		MaxFacetValues:     *facetValues,
+		FacetWarming:       *facetWarming,
+		Logger:             logger,
+		Mesh:               mesh,
+		Ledger:             led,
+		Metrics:            registry,
+		WAL:                walLog,
+		WALSyncDesc:        *walSync,
+		SlowQueryThreshold: *slowQuery,
+	}
+	if snap != nil {
+		cfg.SnapshotSavedAt = snap.savedAtTime
+	}
+	srv := server.New(st, cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -185,18 +226,25 @@ func main() {
 		}
 	}
 
-	var snap *snapshotter
-	if *snapshotPath != "" {
-		snap = &snapshotter{path: *snapshotPath, st: st, wal: walLog, logger: logger}
-		if source == *snapshotPath {
-			// The on-disk image already matches the store; don't rewrite
-			// it until something changes.
-			snap.savedGen = st.Generation()
-			snap.haveSaved = true
-		}
-		if *snapshotInterval > 0 {
-			go snap.run(ctx, *snapshotInterval)
-		}
+	if snap != nil && *snapshotInterval > 0 {
+		go snap.run(ctx, *snapshotInterval)
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener and an explicit mux, so the profiling
+		// surface is never reachable through the public API address.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof listening", "addr", *pprofAddr)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
 	}
 
 	start := time.Now()
@@ -240,9 +288,9 @@ func parseSyncPolicy(v string) (wal.SyncPolicy, error) {
 // triple or re-deleting an absent one is a no-op), which is what makes the
 // snapshot-plus-WAL-suffix layering safe: records the snapshot already
 // covers simply do nothing.
-func openWAL(path string, policy wal.SyncPolicy, st *store.Store, logger *slog.Logger) (*wal.Log, *ledger.Ledger, error) {
+func openWAL(path string, policy wal.SyncPolicy, met *wal.Metrics, st *store.Store, logger *slog.Logger) (*wal.Log, *ledger.Ledger, error) {
 	led := ledger.New()
-	walLog, err := wal.Open(path, wal.Options{Sync: policy, Observer: led.Append})
+	walLog, err := wal.Open(path, wal.Options{Sync: policy, Observer: led.Append, Metrics: met})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -286,6 +334,15 @@ type snapshotter struct {
 	mu        sync.Mutex
 	savedGen  uint64
 	haveSaved bool
+	savedAt   time.Time
+}
+
+// savedAtTime reports the last successful snapshot write (zero = none yet);
+// the server's /healthz derives the snapshot age from it.
+func (sn *snapshotter) savedAtTime() time.Time {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.savedAt
 }
 
 func (sn *snapshotter) run(ctx context.Context, interval time.Duration) {
@@ -327,6 +384,7 @@ func (sn *snapshotter) save(reason string) error {
 	}
 	sn.savedGen = gen
 	sn.haveSaved = true
+	sn.savedAt = time.Now()
 	if sn.wal != nil && frontier > 0 {
 		if err := sn.wal.TruncateThrough(frontier); err != nil {
 			// The snapshot itself succeeded; a fat WAL only means a longer

@@ -1,0 +1,209 @@
+// Package obs is the dependency-free observability layer: atomic counters,
+// gauges, and sharded histograms collected in a Registry and exposed in the
+// Prometheus text format (version 0.0.4).
+//
+// Every metric handle is nil-safe — calling Inc, Add, Set, or Observe on a
+// nil handle is a no-op costing one branch. Uninstrumented code paths (and
+// the NoObs benchmark variants) therefore pass nil handles instead of
+// wrapping every call site in a conditional.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count. A nil counter reads zero.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add shifts the value by d (negative to decrease). Safe on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one. Safe on a nil receiver.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the current value. A nil gauge reads zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histShards is the number of independently updated shards per histogram;
+// concurrent observers land on different cache lines most of the time.
+// Must be a power of two.
+const histShards = 8
+
+// histShard is one shard's bucket counts plus sum/count. The trailing pad
+// keeps shards on separate cache lines.
+type histShard struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	counts  []atomic.Uint64
+	_       [24]byte
+}
+
+func (s *histShard) addSum(v float64) {
+	for {
+		old := s.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets (upper-bound inclusive,
+// Prometheus "le" semantics) with an implicit +Inf bucket. Updates are
+// sharded; Snapshot merges the shards.
+type Histogram struct {
+	bounds []float64
+	next   atomic.Uint64
+	shards [histShards]histShard
+}
+
+// DefBuckets is the default latency bucket layout, in seconds: half a
+// millisecond through ten seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is a default layout for size-ish quantities (rows, bytes,
+// batch sizes): exponential from 1 to ~1M.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	h := &Histogram{bounds: b}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, len(b)+1)
+	}
+	return h
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	sh := &h.shards[h.next.Add(1)&(histShards-1)]
+	i := sort.SearchFloat64s(h.bounds, v)
+	sh.counts[i].Add(1)
+	sh.count.Add(1)
+	sh.addSum(v)
+}
+
+// ObserveSince records the seconds elapsed since start. Safe on a nil
+// receiver.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// HistSnapshot is a merged, point-in-time view of a histogram.
+type HistSnapshot struct {
+	Bounds []float64 // finite upper bounds
+	Counts []uint64  // per-bucket (len(Bounds)+1, last is +Inf), not cumulative
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot merges the shards. A nil histogram snapshots as empty.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for j := range sh.counts {
+			s.Counts[j] += sh.counts[j].Load()
+		}
+		s.Count += sh.count.Load()
+		s.Sum += math.Float64frombits(sh.sumBits.Load())
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation within
+// the bucket holding the target rank. Observations in the +Inf bucket clamp
+// to the largest finite bound. Returns 0 when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	g := r.Gauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestNilHandlesNoOp(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var gv *GaugeVec
+	var hv *HistogramVec
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Inc()
+	h.Observe(1)
+	cv.With("x").Inc()
+	gv.With("x").Set(2)
+	hv.With("x").Observe(3)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram must snapshot empty")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be zero")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for i := 1; i <= 8; i++ {
+		h.Observe(float64(i))
+	}
+	h.Observe(100) // +Inf bucket
+	s := h.Snapshot()
+	if s.Count != 9 {
+		t.Fatalf("count = %d, want 9", s.Count)
+	}
+	if s.Sum != 136 {
+		t.Fatalf("sum = %v, want 136", s.Sum)
+	}
+	// buckets: le=1:1, le=2:1, le=4:2, le=8:4, +Inf:1
+	want := []uint64{1, 1, 2, 4, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 5 {
+		t.Fatalf("p50 = %v, want within (2,5)", q)
+	}
+	if q := h.Quantile(0.99); q != 8 {
+		t.Fatalf("p99 = %v, want 8 (clamped to largest finite bound)", q)
+	}
+	if q := h.Quantile(0.01); q > 1 {
+		t.Fatalf("p1 = %v, want <= 1", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := newHistogram(nil)
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestConcurrentUpdatesAndSnapshot hammers every metric kind from many
+// goroutines while exposition snapshots run concurrently; run under -race
+// this is the data-race proof for the whole package.
+func TestConcurrentUpdatesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "concurrent counter")
+	g := r.Gauge("conc_gauge", "concurrent gauge")
+	h := r.Histogram("conc_seconds", "concurrent histogram", nil)
+	cv := r.CounterVec("conc_labeled_total", "labeled", "worker")
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lbl := string(rune('a' + id))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				cv.With(lbl).Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", g.Value(), workers*perWorker)
+	}
+	if s := h.Snapshot(); s.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if v := cv.With(string(rune('a' + w))).Value(); v != perWorker {
+			t.Fatalf("labeled counter %d = %d, want %d", w, v, perWorker)
+		}
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	mustPanic(t, "duplicate", func() { r.Gauge("dup_total", "") })
+	mustPanic(t, "invalid name", func() { r.Counter("9starts_with_digit", "") })
+	mustPanic(t, "invalid label", func() { r.CounterVec("v_total", "", "bad-label") })
+	cv := r.CounterVec("arity_total", "", "a", "b")
+	mustPanic(t, "arity", func() { cv.With("only-one") })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic: %s", what)
+		}
+	}()
+	fn()
+}
+
+func TestFuncCollectors(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("fn_gauge", "scrape-time gauge", func() float64 { return 42.5 })
+	r.CounterFunc("fn_total", "scrape-time counter", func() float64 { return 7 })
+	r.GaugeVecFunc("fn_vec", "scrape-time labeled", []string{"ep"}, func() []Sample {
+		return []Sample{
+			{Labels: []string{"b"}, Value: 2},
+			{Labels: []string{"a"}, Value: 1},
+			{Labels: nil, Value: 9}, // wrong arity: dropped at exposition
+		}
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE fn_gauge gauge",
+		"fn_gauge 42.5",
+		"# TYPE fn_total counter",
+		"fn_total 7",
+		`fn_vec{ep="a"} 1`,
+		`fn_vec{ep="b"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// samples must be sorted by label signature
+	if strings.Index(out, `fn_vec{ep="a"}`) > strings.Index(out, `fn_vec{ep="b"}`) {
+		t.Fatal("func vec samples not sorted")
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total", "requests\nwith newline in help")
+	c.Add(3)
+	hv := r.HistogramVec("lat_seconds", "latency", []float64{0.1, 1}, "route")
+	hv.With("/sparql").Observe(0.05)
+	hv.With("/sparql").Observe(0.5)
+	hv.With("/sparql").Observe(5)
+	gv := r.GaugeVec("inflight", "in-flight", "route")
+	gv.With(`we"ird\la𝔟el` + "\n").Set(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP req_total requests with newline in help\n",
+		"# TYPE req_total counter\nreq_total 3\n",
+		`lat_seconds_bucket{route="/sparql",le="0.1"} 1`,
+		`lat_seconds_bucket{route="/sparql",le="1"} 2`,
+		`lat_seconds_bucket{route="/sparql",le="+Inf"} 3`,
+		`lat_seconds_sum{route="/sparql"} 5.55`,
+		`lat_seconds_count{route="/sparql"} 3`,
+		`inflight{route="we\"ird\\la𝔟el\n"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if len(r.Families()) != 3 {
+		t.Fatalf("families = %v", r.Families())
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if s := h.Snapshot(); s.Count != 1 || s.Sum <= 0 {
+		t.Fatalf("ObserveSince snapshot = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{10, 20})
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	q := h.Quantile(0.5)
+	if q < 10 || q > 20 {
+		t.Fatalf("p50 = %v, want in [10,20]", q)
+	}
+	if math.IsNaN(q) {
+		t.Fatal("NaN quantile")
+	}
+}

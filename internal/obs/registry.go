@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A Sample is one labeled value emitted by a func-backed family at scrape
+// time. Labels are positional, matching the family's declared label names.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// familyKind distinguishes exposition TYPE lines and layout.
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name: its metadata plus either materialized children
+// (one per label combination) or a scrape-time function.
+type family struct {
+	name   string
+	help   string
+	kind   familyKind
+	labels []string
+	bounds []float64 // histogram families
+
+	mu       sync.Mutex
+	children map[string]any // label signature -> *Counter | *Gauge | *Histogram
+	order    []string
+	fn       func() []Sample // func-backed families (children nil)
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Registration methods panic on invalid or duplicate names —
+// families are registered once at startup, so a clash is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, kind familyKind, labels []string, bounds []float64) *family {
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic("obs: invalid label name " + strconv.Quote(l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.fams[name]; ok {
+		panic("obs: duplicate metric family " + name)
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   labels,
+		bounds:   bounds,
+		children: make(map[string]any),
+	}
+	r.fams[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// sigSep joins label values into a child key; 0xFF cannot appear in UTF-8
+// label values' byte encoding as a separator ambiguity in practice.
+const sigSep = "\xff"
+
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, sigSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var c any
+	switch f.kind {
+	case kindCounter:
+		c = new(Counter)
+	case kindGauge:
+		c = new(Gauge)
+	default:
+		c = newHistogram(f.bounds)
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// Counter registers (and returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).child(nil).(*Counter)
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// Histogram registers an unlabeled histogram with the given finite bucket
+// bounds (nil for DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, kindHistogram, nil, bounds).child(nil).(*Histogram)
+}
+
+// CounterVec is a counter family with labels; With materializes one child
+// per label combination.
+type CounterVec struct{ f *family }
+
+// With returns the child for the given label values, creating it on first
+// use. Safe on a nil receiver (returns a nil, no-op counter).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).(*Counter)
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the child for the given label values. Safe on nil.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).(*Gauge)
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the child for the given label values. Safe on nil.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).(*Histogram)
+}
+
+// HistogramVec registers a labeled histogram family with the given bounds
+// (nil for DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for subsystems that already keep their own atomic totals.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounter, nil, nil)
+	f.fn = func() []Sample { return []Sample{{Value: fn()}} }
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge, nil, nil)
+	f.fn = func() []Sample { return []Sample{{Value: fn()}} }
+}
+
+// CounterVecFunc registers a labeled counter family whose samples are
+// produced by fn at scrape time — for per-endpoint totals held elsewhere.
+func (r *Registry) CounterVecFunc(name, help string, labels []string, fn func() []Sample) {
+	f := r.register(name, help, kindCounter, labels, nil)
+	f.fn = fn
+}
+
+// GaugeVecFunc registers a labeled gauge family produced by fn at scrape
+// time.
+func (r *Registry) GaugeVecFunc(name, help string, labels []string, fn func() []Sample) {
+	f := r.register(name, help, kindGauge, labels, nil)
+	f.fn = fn
+}
+
+// Families returns the registered family names in registration order.
+func (r *Registry) Families() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="x",b="y"}; extra appends one more pair (used for
+// histogram le). Empty input renders as "".
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(`"`)
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in Prometheus text exposition format
+// (families in registration order, children in creation order).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if f.fn != nil {
+			samples := f.fn()
+			sort.SliceStable(samples, func(i, j int) bool {
+				return strings.Join(samples[i].Labels, sigSep) < strings.Join(samples[j].Labels, sigSep)
+			})
+			for _, s := range samples {
+				if len(s.Labels) != len(f.labels) {
+					continue // malformed sample; drop rather than corrupt exposition
+				}
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.Labels, "", ""), formatValue(s.Value)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		f.mu.Lock()
+		keys := make([]string, len(f.order))
+		copy(keys, f.order)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		for i, key := range keys {
+			var values []string
+			if key != "" || len(f.labels) > 0 {
+				values = strings.Split(key, sigSep)
+			}
+			switch c := children[i].(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value()); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value()); err != nil {
+					return err
+				}
+			case *Histogram:
+				s := c.Snapshot()
+				var cum uint64
+				for bi, bound := range s.Bounds {
+					cum += s.Counts[bi]
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", formatValue(bound)), cum); err != nil {
+						return err
+					}
+				}
+				cum += s.Counts[len(s.Bounds)]
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", "+Inf"), cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatValue(s.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), s.Count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as a Prometheus scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

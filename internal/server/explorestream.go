@@ -96,6 +96,7 @@ func (s *Server) handleFacetsStream(w http.ResponseWriter, r *http.Request) {
 	for _, f := range filters {
 		sess.Apply(f)
 	}
+	lines := 0
 	count, fs, err := sess.Stream(ctx, 0, 1, func(b facet.Batch) bool {
 		out := facetsStreamBatch{
 			Fraction: b.Fraction,
@@ -117,19 +118,28 @@ func (s *Server) handleFacetsStream(w http.ResponseWriter, r *http.Request) {
 			}
 			out.Facets = append(out.Facets, fj)
 		}
-		return line(out)
+		if !line(out) {
+			return false
+		}
+		lines++
+		return true
 	})
 	if errors.Is(err, explore.ErrStopped) {
-		return // client gone mid-stream
+		// Client gone mid-stream: the batches delivered so far still count.
+		markStream(w, lines, false)
+		return
 	}
 	if err != nil {
 		_, msg := queryError(err)
-		line(exploreStreamFinal{Error: msg})
+		markStream(w, lines, line(exploreStreamFinal{Error: msg}))
 		return
 	}
 	resp := encodeFacetsResponse(count, fs)
 	if line(exploreStreamFinal{Done: true, Fraction: 1, Result: resp}) {
+		markStream(w, lines+1, true)
 		s.fillCache(s.facetsKey(max, rawFilters, gen), gen, resp)
+	} else {
+		markStream(w, lines, false)
 	}
 }
 
@@ -163,6 +173,7 @@ func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
 	gen := s.st.Generation()
 	line := streamLiner(w)
 
+	lines := 0
 	stats, err := explore.StreamStats(ctx, s.exploreSrc(), 0, 1, func(b explore.StatsBatch) bool {
 		out := statsStreamBatch{
 			Fraction:   b.Fraction,
@@ -184,19 +195,28 @@ func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
 				Count: encodeEstimate(c.Count),
 			})
 		}
-		return line(out)
+		if !line(out) {
+			return false
+		}
+		lines++
+		return true
 	})
 	if errors.Is(err, explore.ErrStopped) {
-		return // client gone mid-stream
+		// Client gone mid-stream: the batches delivered so far still count.
+		markStream(w, lines, false)
+		return
 	}
 	if err != nil {
 		_, msg := queryError(err)
-		line(exploreStreamFinal{Error: msg})
+		markStream(w, lines, line(exploreStreamFinal{Error: msg}))
 		return
 	}
 	resp := encodeStatsResponse(stats)
 	if line(exploreStreamFinal{Done: true, Fraction: 1, Result: resp}) {
+		markStream(w, lines+1, true)
 		s.fillCache(s.statsKey(gen), gen, resp)
+	} else {
+		markStream(w, lines, false)
 	}
 }
 
@@ -211,5 +231,6 @@ func (s *Server) fillCache(key string, gen uint64, resp any) {
 	body, ct, status := mustJSON(resp)
 	if status == http.StatusOK {
 		s.cache.Put(key, cache.Entry{Body: body, ETag: etagFor(body), ContentType: ct, Status: status})
+		s.met.cacheFills.Inc()
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,8 +11,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/lodviz/lodviz/internal/core"
+	"github.com/lodviz/lodviz/internal/explain"
 	"github.com/lodviz/lodviz/internal/explore"
 	"github.com/lodviz/lodviz/internal/facet"
 	"github.com/lodviz/lodviz/internal/federation"
@@ -49,27 +52,87 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		s.handleUpdate(w, r, q)
 		return
 	}
+	// ?explain=1 attaches the per-query execution trace to the response.
+	// Explained responses always bypass the cache: the trace describes the
+	// evaluation that just ran, and a cached body would carry none.
+	explainReq := r.URL.Query().Get("explain") == "1"
 	norm := NormalizeQuery(q)
 	build := func() ([]byte, string, int) {
 		ctx, cancel := s.queryCtx(r)
 		defer cancel()
-		res, err := sparql.ExecCtx(ctx, s.querySource(), q, sparql.Options{Parallelism: s.cfg.Parallelism, Service: s.mesh})
+		var tr *explain.Trace
+		if explainReq || s.cfg.SlowQueryThreshold > 0 {
+			tr = explain.NewTrace()
+		}
+		start := time.Now()
+		res, err := sparql.ExecCtx(ctx, s.querySource(), q, sparql.Options{
+			Parallelism: s.cfg.Parallelism, Service: s.mesh,
+			Metrics: s.engineMet, Trace: tr,
+		})
+		tr.Finish()
 		if err != nil {
+			s.noteSlowQuery(q, time.Since(start), 0, tr)
 			status, msg := queryError(err)
 			return errorJSON(msg), "application/json", status
 		}
+		s.noteSlowQuery(q, time.Since(start), len(res.Rows), tr)
 		body, err := res.JSON()
 		if err != nil {
 			return errorJSON("encoding results: " + err.Error()), "application/json", http.StatusInternalServerError
 		}
+		if explainReq {
+			if body, err = spliceExplain(body, tr); err != nil {
+				return errorJSON("encoding trace: " + err.Error()), "application/json", http.StatusInternalServerError
+			}
+		}
 		return body, sparql.JSONContentType, http.StatusOK
 	}
-	if queryUsesService(norm, q) {
+	if explainReq || queryUsesService(norm, q) {
 		s.serveUncached(w, r, build)
 		return
 	}
 	key := fmt.Sprintf("sparql|%s|g%d", norm, s.st.Generation())
 	s.serveCached(w, r, key, build)
+}
+
+// spliceExplain adds an "explain" member carrying the trace to a SPARQL
+// JSON results body. HTML escaping stays off end to end so the pattern
+// details' IRI angle brackets survive readable.
+func spliceExplain(body []byte, tr *explain.Trace) ([]byte, error) {
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, err
+	}
+	tb, err := tr.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	doc["explain"] = tb
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(doc); err != nil {
+		return nil, err
+	}
+	return bytes.TrimSuffix(buf.Bytes(), []byte("\n")), nil
+}
+
+// noteSlowQuery counts and logs a query at or over the slow-query
+// threshold, with the execution-plan summary from its trace.
+func (s *Server) noteSlowQuery(q string, dur time.Duration, rows int, tr *explain.Trace) {
+	if s.cfg.SlowQueryThreshold <= 0 || dur < s.cfg.SlowQueryThreshold {
+		return
+	}
+	s.met.slowQueries.Inc()
+	if len(q) > 400 {
+		q = q[:400] + "…"
+	}
+	s.cfg.Logger.Warn("slow query",
+		"dur", dur.Round(time.Microsecond).String(),
+		"rows", rows,
+		"query", q,
+		"plan", tr.Summary(),
+	)
 }
 
 // queryUsesService detects a SERVICE clause exactly. The substring check
@@ -164,7 +227,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, text strin
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	res, err := sparql.ExecUpdateCtx(ctx, s.st, text, sparql.Options{Parallelism: s.cfg.Parallelism})
+	res, err := sparql.ExecUpdateCtx(ctx, s.st, text, sparql.Options{Parallelism: s.cfg.Parallelism, Metrics: s.engineMet})
 	if err != nil {
 		status, msg := queryError(err)
 		writeError(w, status, msg)
@@ -725,13 +788,21 @@ func (s *Server) handleFederation(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// healthzResponse is the /healthz JSON shape.
+// healthzResponse is the /healthz JSON shape: liveness plus the store,
+// cache, durability, and ledger state an operator checks first.
 type healthzResponse struct {
-	Status     string       `json:"status"`
-	Triples    int          `json:"triples"`
-	Terms      int          `json:"terms"`
-	Generation uint64       `json:"generation"`
-	Cache      *cacheHealth `json:"cache,omitempty"`
+	Status        string           `json:"status"`
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Triples       int              `json:"triples"`
+	Terms         int              `json:"terms"`
+	Generation    uint64           `json:"generation"`
+	LayoutEpoch   uint64           `json:"layoutEpoch"`
+	DeltaTriples  int              `json:"deltaTriples"`
+	Tombstones    int              `json:"tombstones"`
+	Cache         *cacheHealth     `json:"cache,omitempty"`
+	WAL           *walHealth       `json:"wal,omitempty"`
+	Snapshot      *snapshotHealth  `json:"snapshot,omitempty"`
+	Ledger        *ledgerRootBrief `json:"ledger,omitempty"`
 }
 
 type cacheHealth struct {
@@ -742,14 +813,39 @@ type cacheHealth struct {
 	Capacity  int    `json:"capacity"`
 }
 
+type walHealth struct {
+	// FrontierSeq is the highest sequence written (not necessarily
+	// fsynced); SyncPolicy describes when writes become durable.
+	FrontierSeq uint64 `json:"frontierSeq"`
+	SyncPolicy  string `json:"syncPolicy,omitempty"`
+}
+
+type snapshotHealth struct {
+	// SavedAt is the last successful snapshot write in RFC 3339;
+	// AgeSeconds is how stale it is now. Both absent until the first save.
+	SavedAt    string  `json:"savedAt,omitempty"`
+	AgeSeconds float64 `json:"ageSeconds,omitempty"`
+}
+
+type ledgerRootBrief struct {
+	Root    string `json:"root"`
+	Leaves  uint64 `json:"leaves"`
+	LastSeq uint64 `json:"lastSeq,omitempty"`
+}
+
 // handleHealthz reports liveness plus the serving counters operators watch.
 // Never cached: it must reflect the instant it is asked.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ob := s.st.Observe()
 	resp := healthzResponse{
-		Status:     "ok",
-		Triples:    s.st.Len(),
-		Terms:      s.st.NumTerms(),
-		Generation: s.st.Generation(),
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Triples:       ob.Triples,
+		Terms:         ob.Terms,
+		Generation:    ob.Generation,
+		LayoutEpoch:   ob.LayoutEpoch,
+		DeltaTriples:  ob.Delta,
+		Tombstones:    ob.Tombstones,
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -757,6 +853,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
 			Entries: cs.Entries, Capacity: cs.Capacity,
 		}
+	}
+	if s.cfg.WAL != nil {
+		resp.WAL = &walHealth{FrontierSeq: s.cfg.WAL.LastSeq(), SyncPolicy: s.cfg.WALSyncDesc}
+	}
+	if s.cfg.SnapshotSavedAt != nil {
+		sh := &snapshotHealth{}
+		if at := s.cfg.SnapshotSavedAt(); !at.IsZero() {
+			sh.SavedAt = at.UTC().Format(time.RFC3339)
+			sh.AgeSeconds = time.Since(at).Seconds()
+		}
+		resp.Snapshot = sh
+	}
+	if s.cfg.Ledger != nil {
+		info := s.cfg.Ledger.Root()
+		resp.Ledger = &ledgerRootBrief{Root: info.Root, Leaves: info.Count, LastSeq: info.LastSeq}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

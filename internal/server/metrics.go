@@ -1,0 +1,138 @@
+package server
+
+import (
+	"strconv"
+
+	"github.com/lodviz/lodviz/internal/obs"
+)
+
+// serverMetrics holds the HTTP layer's instrumentation handles. Every
+// server has one — over the registry Config.Metrics supplies, or a private
+// one — so handlers never branch on "metrics enabled".
+type serverMetrics struct {
+	// requests counts finished requests by route, method, and status class
+	// ("2xx"…); latency and bytes are per route.
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	bytes    *obs.CounterVec
+	// inFlight gauges requests currently holding a concurrency slot; shed
+	// counts requests refused with 429 when an endpoint's slots ran out.
+	inFlight *obs.Gauge
+	shed     *obs.CounterVec
+	// streams counts NDJSON streams by route and outcome ("completed" or
+	// "aborted" — the client disconnected mid-stream); streamRows counts
+	// the lines they delivered either way.
+	streams    *obs.CounterVec
+	streamRows *obs.CounterVec
+	// cacheFills counts buffered-endpoint cache entries filled by a
+	// completed stream (the fill-from-stream path); slowQueries counts
+	// queries over Config.SlowQueryThreshold.
+	cacheFills  *obs.Counter
+	slowQueries *obs.Counter
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests:    r.CounterVec("lodviz_http_requests_total", "Finished HTTP requests.", "route", "method", "class"),
+		latency:     r.HistogramVec("lodviz_http_request_seconds", "HTTP request latency in seconds.", obs.DefBuckets, "route"),
+		bytes:       r.CounterVec("lodviz_http_response_bytes_total", "HTTP response body bytes written.", "route"),
+		inFlight:    r.Gauge("lodviz_http_in_flight_requests", "Requests currently holding a concurrency slot."),
+		shed:        r.CounterVec("lodviz_http_shed_total", "Requests shed with 429 at the concurrency limiter.", "route"),
+		streams:     r.CounterVec("lodviz_http_streams_total", "NDJSON streams by outcome (completed or aborted).", "route", "outcome"),
+		streamRows:  r.CounterVec("lodviz_http_stream_rows_total", "NDJSON lines delivered by streaming endpoints.", "route"),
+		cacheFills:  r.Counter("lodviz_cache_fill_from_stream_total", "Response-cache entries filled by completed streams."),
+		slowQueries: r.Counter("lodviz_slow_queries_total", "Queries slower than the slow-query threshold."),
+	}
+}
+
+// registerCollectors wires the obs-free subsystems (store, response cache,
+// ledger, WAL frontier, federation mesh) into the registry as func-backed
+// collectors sampled at scrape time.
+func (s *Server) registerCollectors(r *obs.Registry) {
+	st := s.st
+	r.GaugeFunc("lodviz_store_triples", "Live triples in the store.",
+		func() float64 { return float64(st.Observe().Triples) })
+	r.GaugeFunc("lodviz_store_terms", "Dictionary terms in the store.",
+		func() float64 { return float64(st.Observe().Terms) })
+	r.GaugeFunc("lodviz_store_delta_triples", "Inserted triples awaiting merge into the sorted indexes.",
+		func() float64 { return float64(st.Observe().Delta) })
+	r.GaugeFunc("lodviz_store_tombstones", "Deleted triples awaiting physical removal.",
+		func() float64 { return float64(st.Observe().Tombstones) })
+	r.CounterFunc("lodviz_store_generation", "Store content generation (bumps on every effective write).",
+		func() float64 { return float64(st.Observe().Generation) })
+	r.CounterFunc("lodviz_store_layout_epoch", "Store layout epoch (bumps on every physical index reshuffle).",
+		func() float64 { return float64(st.Observe().LayoutEpoch) })
+	r.CounterFunc("lodviz_store_scan_pages_total", "Paged-scan pages served by the store.",
+		func() float64 { return float64(st.Observe().ScanPages) })
+
+	if c := s.cache; c != nil {
+		r.CounterFunc("lodviz_cache_hits_total", "Response-cache hits.",
+			func() float64 { return float64(c.Stats().Hits) })
+		r.CounterFunc("lodviz_cache_misses_total", "Response-cache misses.",
+			func() float64 { return float64(c.Stats().Misses) })
+		r.CounterFunc("lodviz_cache_evictions_total", "Response-cache LRU evictions.",
+			func() float64 { return float64(c.Stats().Evictions) })
+		r.GaugeFunc("lodviz_cache_entries", "Response-cache entries resident.",
+			func() float64 { return float64(c.Stats().Entries) })
+		r.GaugeFunc("lodviz_cache_capacity", "Response-cache entry capacity.",
+			func() float64 { return float64(c.Stats().Capacity) })
+	}
+
+	if led := s.cfg.Ledger; led != nil {
+		r.GaugeFunc("lodviz_ledger_leaves", "Mutation-ledger leaves covered by the current root.",
+			func() float64 { return float64(led.Root().Count) })
+		r.GaugeFunc("lodviz_ledger_sealed_batches", "Sealed Merkle batches in the mutation ledger.",
+			func() float64 { return float64(led.Root().SealedBatches) })
+	}
+
+	if w := s.cfg.WAL; w != nil {
+		r.GaugeFunc("lodviz_wal_frontier_seq", "Highest WAL sequence written (not necessarily fsynced).",
+			func() float64 { return float64(w.LastSeq()) })
+	}
+
+	mesh := s.mesh
+	r.GaugeVecFunc("lodviz_federation_endpoint_state", "Circuit state per federated endpoint (1 = current state).",
+		[]string{"endpoint", "state"}, func() []obs.Sample {
+			var out []obs.Sample
+			for _, ep := range mesh.Status() {
+				out = append(out, obs.Sample{Labels: []string{ep.URL, ep.State}, Value: 1})
+			}
+			return out
+		})
+	r.GaugeVecFunc("lodviz_federation_endpoint_latency_ms", "Request-latency EWMA per federated endpoint.",
+		[]string{"endpoint"}, func() []obs.Sample {
+			var out []obs.Sample
+			for _, ep := range mesh.Status() {
+				out = append(out, obs.Sample{Labels: []string{ep.URL}, Value: ep.LatencyMs})
+			}
+			return out
+		})
+	r.CounterVecFunc("lodviz_federation_endpoint_requests_total", "Requests dispatched per federated endpoint.",
+		[]string{"endpoint"}, func() []obs.Sample {
+			var out []obs.Sample
+			for _, ep := range mesh.Status() {
+				out = append(out, obs.Sample{Labels: []string{ep.URL}, Value: float64(ep.Requests)})
+			}
+			return out
+		})
+	r.CounterVecFunc("lodviz_federation_endpoint_failures_total", "Failed requests per federated endpoint.",
+		[]string{"endpoint"}, func() []obs.Sample {
+			var out []obs.Sample
+			for _, ep := range mesh.Status() {
+				out = append(out, obs.Sample{Labels: []string{ep.URL}, Value: float64(ep.Failures)})
+			}
+			return out
+		})
+	if _, ok := mesh.CacheStats(); ok {
+		r.CounterFunc("lodviz_federation_cache_hits_total", "Federation remote-result cache hits.",
+			func() float64 { cs, _ := mesh.CacheStats(); return float64(cs.Hits) })
+		r.CounterFunc("lodviz_federation_cache_misses_total", "Federation remote-result cache misses.",
+			func() float64 { cs, _ := mesh.CacheStats(); return float64(cs.Misses) })
+	}
+}
+
+// statusClass buckets an HTTP status for the requests metric ("2xx", "4xx",
+// …).
+func statusClass(status int) string {
+	return strconv.Itoa(status/100) + "xx"
+}

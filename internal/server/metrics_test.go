@@ -1,0 +1,300 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lodviz/lodviz/internal/explain"
+)
+
+// TestMetricsEndpoint drives traffic through several layers, then asserts
+// /metrics is valid Prometheus text exposition carrying every registered
+// family.
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+
+	// One engine query (cached on the repeat), one facet request, one
+	// streamed query, one shed-free healthz.
+	q := url.QueryEscape(`SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 3`)
+	for _, u := range []string{
+		ts.URL + "/sparql?query=" + q,
+		ts.URL + "/sparql?query=" + q,
+		ts.URL + "/facets",
+		ts.URL + "/sparql/stream?query=" + q,
+		ts.URL + "/healthz",
+	} {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Every registered family must be present as a TYPE line, and every
+	// non-comment line must parse as `name value` or `name{labels} value`.
+	for _, fam := range s.reg.Families() {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Errorf("line %q: value %q is not a float", line, line[sp+1:])
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("line %q: malformed label block", line)
+			}
+			name = name[:i]
+		}
+		if name == "" {
+			t.Errorf("line %q: empty metric name", line)
+		}
+	}
+
+	// Spot-check families from each instrumented layer actually carry
+	// samples.
+	for _, want := range []string{
+		`lodviz_http_requests_total{route="/sparql",method="GET",class="2xx"} 2`,
+		`lodviz_http_streams_total{route="/sparql/stream",outcome="completed"} 1`,
+		"lodviz_store_triples ",
+		"lodviz_cache_hits_total 1",
+		"lodviz_engine_queries_materialized_total",
+		"lodviz_http_request_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestExplainEndpoint asserts ?explain=1 attaches a span tree matching the
+// executed plan and bypasses the response cache.
+func TestExplainEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	q := `SELECT ?city ?pop WHERE { ?city <` + exNS + `country> <` + exNS + `greece> . ?city <` + exNS + `population> ?pop }`
+
+	resp, err := http.Post(ts.URL+"/sparql?explain=1", "application/sparql-query", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "BYPASS" {
+		t.Fatalf("X-Cache = %q, want BYPASS (explained responses are uncacheable)", got)
+	}
+	var doc struct {
+		Results *struct {
+			Bindings []json.RawMessage `json:"bindings"`
+		} `json:"results"`
+		Explain *struct {
+			Root *explain.Span `json:"root"`
+		} `json:"explain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Results == nil || len(doc.Results.Bindings) == 0 {
+		t.Fatal("explained response lost its results")
+	}
+	if doc.Explain == nil || doc.Explain.Root == nil || doc.Explain.Root.Name != "query" {
+		t.Fatalf("explain member missing or malformed: %+v", doc.Explain)
+	}
+	var pats []*explain.Span
+	var walk func(s *explain.Span)
+	walk = func(s *explain.Span) {
+		if s.Name == "pattern" {
+			pats = append(pats, s)
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(doc.Explain.Root)
+	if len(pats) != 2 {
+		t.Fatalf("pattern spans = %d, want 2", len(pats))
+	}
+	if last := pats[len(pats)-1]; last.RowsOut != len(doc.Results.Bindings) {
+		t.Errorf("final span rowsOut %d != result rows %d", last.RowsOut, len(doc.Results.Bindings))
+	}
+	for _, p := range pats {
+		if p.Strategy == "" {
+			t.Errorf("pattern span %q missing strategy", p.Detail)
+		}
+	}
+
+	// Without explain=1 the same query has no explain member and caches.
+	resp2, err := http.Post(ts.URL+"/sparql", "application/sparql-query", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if strings.Contains(string(body), `"explain"`) {
+		t.Error("unexplained response carries an explain member")
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("X-Cache = %q, want MISS (explain must not have filled the cache)", got)
+	}
+}
+
+// TestSlowQueryLog asserts queries over the threshold are logged with a
+// plan summary and counted.
+func TestSlowQueryLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	s, ts, _ := newTestServer(t, Config{
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		Logger:             slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	q := url.QueryEscape(`SELECT ?city ?pop WHERE { ?city <` + exNS + `country> <` + exNS + `greece> . ?city <` + exNS + `population> ?pop }`)
+	resp, err := http.Get(ts.URL + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	out := logBuf.String()
+	if !strings.Contains(out, "slow query") {
+		t.Fatalf("no slow-query log line in:\n%s", out)
+	}
+	if !strings.Contains(out, "pattern[") {
+		t.Errorf("slow-query line missing plan summary:\n%s", out)
+	}
+	if got := s.met.slowQueries.Value(); got != 1 {
+		t.Errorf("slowQueries = %d, want 1", got)
+	}
+}
+
+// failAfterWriter fails every Write after the first n, simulating a client
+// that disconnected mid-stream.
+type failAfterWriter struct {
+	hdr    http.Header
+	writes int
+	limit  int
+}
+
+func (f *failAfterWriter) Header() http.Header { return f.hdr }
+func (f *failAfterWriter) WriteHeader(int)     {}
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.limit {
+		return 0, errors.New("client gone")
+	}
+	return len(p), nil
+}
+
+// TestStreamAbortAccounting asserts a mid-stream disconnect still records
+// the delivered rows and an "aborted" outcome on the request recorder.
+func TestStreamAbortAccounting(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{})
+	// head line + 2 rows succeed, then the client vanishes.
+	fw := &failAfterWriter{hdr: make(http.Header), limit: 3}
+	rec := &statusRecorder{ResponseWriter: fw, status: http.StatusOK}
+	r := httptest.NewRequest("GET", "/sparql/stream?query="+url.QueryEscape(`SELECT ?s WHERE { ?s ?p ?o }`), nil)
+
+	s.handleSPARQLStream(rec, r)
+
+	if rec.streamOutcome != "aborted" {
+		t.Fatalf("streamOutcome = %q, want aborted", rec.streamOutcome)
+	}
+	if rec.streamRows != 2 {
+		t.Errorf("streamRows = %d, want 2 (rows delivered before the disconnect)", rec.streamRows)
+	}
+	if rec.bytes == 0 {
+		t.Error("bytes = 0; delivered lines must still be accounted")
+	}
+
+	// A completed stream on the same server records the other outcome.
+	okRec := httptest.NewRecorder()
+	rec2 := &statusRecorder{ResponseWriter: okRec, status: http.StatusOK}
+	s.handleSPARQLStream(rec2, httptest.NewRequest("GET", "/sparql/stream?query="+url.QueryEscape(`SELECT ?s WHERE { ?s ?p ?o } LIMIT 2`), nil))
+	if rec2.streamOutcome != "completed" || rec2.streamRows != 2 {
+		t.Fatalf("completed stream: outcome=%q rows=%d, want completed/2", rec2.streamOutcome, rec2.streamRows)
+	}
+}
+
+// TestFacetsStreamAbortAccounting drives the explore-stream abort path via
+// a writer that dies after the first batch line.
+func TestFacetsStreamAbortAccounting(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{})
+	// The demo dataset is small enough that the scan may emit no
+	// intermediate batch, so fail from the very first write.
+	fw := &failAfterWriter{hdr: make(http.Header), limit: 0}
+	rec := &statusRecorder{ResponseWriter: fw, status: http.StatusOK}
+	s.handleFacetsStream(rec, httptest.NewRequest("GET", "/facets/stream", nil))
+	if rec.streamOutcome != "aborted" {
+		t.Fatalf("streamOutcome = %q, want aborted", rec.streamOutcome)
+	}
+
+	// The completed run fills the buffered endpoint's cache entry and
+	// counts the fill.
+	fillsBefore := s.met.cacheFills.Value()
+	rec2 := &statusRecorder{ResponseWriter: httptest.NewRecorder(), status: http.StatusOK}
+	s.handleFacetsStream(rec2, httptest.NewRequest("GET", "/facets/stream", nil))
+	if rec2.streamOutcome != "completed" {
+		t.Fatalf("streamOutcome = %q, want completed", rec2.streamOutcome)
+	}
+	if got := s.met.cacheFills.Value(); got != fillsBefore+1 {
+		t.Errorf("cacheFills = %d, want %d", got, fillsBefore+1)
+	}
+}
+
+// TestHealthzEnriched asserts the enriched status document carries the
+// uptime and store sections (WAL/snapshot/ledger sections are exercised in
+// the lodvizd wiring).
+func TestHealthzEnriched(t *testing.T) {
+	_, ts, st := newTestServer(t, Config{})
+	var resp healthzResponse
+	r := getJSON(t, ts.URL+"/healthz", &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if resp.UptimeSeconds <= 0 {
+		t.Errorf("uptimeSeconds = %v, want > 0", resp.UptimeSeconds)
+	}
+	if resp.Triples != st.Len() || resp.Terms != st.NumTerms() {
+		t.Errorf("triples/terms = %d/%d, want %d/%d", resp.Triples, resp.Terms, st.Len(), st.NumTerms())
+	}
+	if resp.WAL != nil || resp.Snapshot != nil || resp.Ledger != nil {
+		t.Errorf("sections for unconfigured subsystems must be omitted: %+v", resp)
+	}
+}

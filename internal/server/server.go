@@ -43,10 +43,12 @@ import (
 	"github.com/lodviz/lodviz/internal/federation"
 	"github.com/lodviz/lodviz/internal/keyword"
 	"github.com/lodviz/lodviz/internal/ledger"
+	"github.com/lodviz/lodviz/internal/obs"
 	"github.com/lodviz/lodviz/internal/prefetch"
 	"github.com/lodviz/lodviz/internal/server/cache"
 	"github.com/lodviz/lodviz/internal/sparql"
 	"github.com/lodviz/lodviz/internal/store"
+	"github.com/lodviz/lodviz/internal/wal"
 )
 
 // Config tunes a Server. The zero value is production-usable: NumCPU query
@@ -83,6 +85,23 @@ type Config struct {
 	// enables /ledger/root and /ledger/proof. Nil (no WAL configured)
 	// leaves those endpoints answering 404.
 	Ledger *ledger.Ledger
+	// Metrics is the registry /metrics exposes; nil builds a private one,
+	// so the endpoint always works. lodvizd shares one registry between
+	// the server and the WAL.
+	Metrics *obs.Registry
+	// WAL, when set, feeds the WAL frontier metric and /healthz's wal
+	// section; WALSyncDesc describes the fsync policy there ("always" or
+	// "none").
+	WAL         *wal.Log
+	WALSyncDesc string
+	// SnapshotSavedAt, when set, reports the last successful snapshot
+	// write (zero time = none yet); /healthz derives the snapshot age
+	// from it.
+	SnapshotSavedAt func() time.Time
+	// SlowQueryThreshold, when positive, turns on the slow-query log:
+	// /sparql queries at or over it are logged at warn level with their
+	// duration, row count, and execution-plan summary.
+	SlowQueryThreshold time.Duration
 
 	// FacetWarming enables prefetch-driven warming of the facet response
 	// cache: serving a filtered /facets view schedules background builds of
@@ -131,6 +150,14 @@ type Server struct {
 	kw    *keyword.Lazy
 	mux   *http.ServeMux
 
+	// reg is the metrics registry /metrics serves; met and engineMet are
+	// the HTTP-layer and SPARQL-engine handles registered on it. started
+	// anchors /healthz's uptime.
+	reg       *obs.Registry
+	met       *serverMetrics
+	engineMet *sparql.Metrics
+	started   time.Time
+
 	// warmSeen dedupes facet warm jobs (keyed by target cache key, which
 	// embeds the generation); warmSem bounds concurrent warm builds.
 	warmSeen *prefetch.Cache[string, struct{}]
@@ -149,7 +176,7 @@ type Server struct {
 
 // New builds a Server over st.
 func New(st *store.Store, cfg Config) *Server {
-	s := &Server{st: st, cfg: cfg.withDefaults()}
+	s := &Server{st: st, cfg: cfg.withDefaults(), started: time.Now()}
 	if cfg.CacheCapacity >= 0 {
 		s.cache = cache.New(cfg.CacheCapacity)
 	}
@@ -168,6 +195,13 @@ func New(st *store.Store, cfg Config) *Server {
 		s.warmSeen = prefetch.NewCache[string, struct{}](256, prefetch.LRU)
 		s.warmSem = make(chan struct{}, 2)
 	}
+	s.reg = s.cfg.Metrics
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.met = newServerMetrics(s.reg)
+	s.engineMet = sparql.NewMetrics(s.reg)
+	s.registerCollectors(s.reg)
 	s.mux = http.NewServeMux()
 	s.route("/sparql", s.handleSPARQL, "GET", "POST")
 	s.route("/sparql/stream", s.handleSPARQLStream, "GET", "POST")
@@ -184,7 +218,14 @@ func New(st *store.Store, cfg Config) *Server {
 	s.route("/ledger/proof", s.handleLedgerProof, "GET")
 	s.writeRoute("/triples", s.handleIngest, "POST")
 	s.route("/healthz", s.handleHealthz, "GET")
+	s.route("/metrics", s.handleMetrics, "GET")
 	return s
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+// Never cached: a scrape must see the live counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Handler().ServeHTTP(w, r)
 }
 
 // Handler returns the root http.Handler.
@@ -231,14 +272,26 @@ func (s *Server) routeWithCORS(path string, h http.HandlerFunc, cors bool, metho
 		default:
 			s.serveLimited(rec, r, path, limiter, h, methods)
 		}
-		s.cfg.Logger.Info("request",
+		dur := time.Since(startedAt)
+		s.met.requests.With(path, r.Method, statusClass(rec.status)).Inc()
+		s.met.latency.With(path).Observe(dur.Seconds())
+		s.met.bytes.With(path).Add(uint64(rec.bytes))
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
 			"bytes", rec.bytes,
-			"dur", time.Since(startedAt).Round(time.Microsecond).String(),
+			"dur", dur.Round(time.Microsecond).String(),
 			"cache", rec.Header().Get("X-Cache"),
-		)
+		}
+		if rec.streamOutcome != "" {
+			// A stream that lost its client mid-flight still logs and
+			// counts what it delivered; the outcome distinguishes the two.
+			s.met.streams.With(path, rec.streamOutcome).Inc()
+			s.met.streamRows.With(path).Add(uint64(rec.streamRows))
+			attrs = append(attrs, "rows", rec.streamRows, "stream", rec.streamOutcome)
+		}
+		s.cfg.Logger.Info("request", attrs...)
 	})
 }
 
@@ -258,10 +311,13 @@ func (s *Server) serveLimited(w http.ResponseWriter, r *http.Request, path strin
 	case limiter <- struct{}{}:
 		defer func() { <-limiter }()
 	default:
+		s.met.shed.With(path).Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "endpoint concurrency limit reached, retry shortly")
 		return
 	}
+	s.met.inFlight.Inc()
+	defer s.met.inFlight.Dec()
 	if s.limiterHook != nil {
 		s.limiterHook(path)
 	}
@@ -269,10 +325,31 @@ func (s *Server) serveLimited(w http.ResponseWriter, r *http.Request, path strin
 }
 
 // statusRecorder captures the status and byte count for the access log.
+// Streaming handlers additionally report their delivered row count and
+// outcome through markStream, so a mid-stream client disconnect is still
+// fully accounted for in the log and the metrics.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
-	bytes  int
+	status        int
+	bytes         int
+	streamRows    int
+	streamOutcome string // "" for non-streamed responses
+}
+
+// markStream records a streaming handler's delivered rows and outcome on
+// the request's recorder; a no-op when w is not the middleware's recorder
+// (direct handler tests).
+func markStream(w http.ResponseWriter, rows int, completed bool) {
+	rec, ok := w.(*statusRecorder)
+	if !ok {
+		return
+	}
+	rec.streamRows = rows
+	if completed {
+		rec.streamOutcome = "completed"
+	} else {
+		rec.streamOutcome = "aborted"
+	}
 }
 
 func (r *statusRecorder) WriteHeader(code int) {

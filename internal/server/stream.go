@@ -52,7 +52,7 @@ func (s *Server) handleSPARQLStream(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	stm, err := sparql.PrepareStream(ctx, s.querySource(), q, sparql.Options{Parallelism: s.cfg.Parallelism, Service: s.mesh})
+	stm, err := sparql.PrepareStream(ctx, s.querySource(), q, sparql.Options{Parallelism: s.cfg.Parallelism, Service: s.mesh, Metrics: s.engineMet})
 	if err != nil {
 		status, msg := queryError(err)
 		writeError(w, status, msg)
@@ -70,21 +70,26 @@ func (s *Server) handleSPARQLStream(w http.ResponseWriter, r *http.Request) {
 		ans, err := stm.Ask()
 		if err != nil {
 			_, msg := queryError(err)
-			line(streamTrailer{Error: msg})
+			markStream(w, 0, line(streamTrailer{Error: msg}))
 			return
 		}
 		if line(streamAsk{Boolean: ans}) {
-			line(streamTrailer{Done: true})
+			markStream(w, 1, line(streamTrailer{Done: true}))
+		} else {
+			markStream(w, 0, false)
 		}
 		return
 	}
 
 	if !line(streamHead{Vars: stm.Vars()}) {
+		markStream(w, 0, false)
 		return
 	}
 	rows := 0
+	clientGone := false
 	runErr := stm.Run(func(row sparql.Binding) bool {
 		if !line(sparql.EncodeBinding(row)) {
+			clientGone = true
 			return false
 		}
 		rows++
@@ -95,10 +100,16 @@ func (s *Server) handleSPARQLStream(w http.ResponseWriter, r *http.Request) {
 	})
 	if runErr != nil {
 		_, msg := queryError(runErr)
-		line(streamTrailer{Rows: rows, Error: msg})
+		markStream(w, rows, line(streamTrailer{Rows: rows, Error: msg}))
 		return
 	}
-	line(streamTrailer{Done: true, Rows: rows})
+	if clientGone {
+		// The rows delivered before the disconnect still count — the
+		// access log and metrics must not lose them.
+		markStream(w, rows, false)
+		return
+	}
+	markStream(w, rows, line(streamTrailer{Done: true, Rows: rows}))
 }
 
 // ndjsonLiner returns the per-line NDJSON writer over w: encode, newline,

@@ -3,8 +3,11 @@ package sparql
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
+	"github.com/lodviz/lodviz/internal/explain"
 	"github.com/lodviz/lodviz/internal/rdf"
 	"github.com/lodviz/lodviz/internal/store"
 )
@@ -34,6 +37,13 @@ type engine struct {
 	noIDJoin bool
 	// svc evaluates SERVICE clauses; nil means federation is not wired.
 	svc ServiceEvaluator
+	// met receives aggregate counters; nil (the common case) costs one
+	// pointer check per flush site.
+	met *Metrics
+	// trace receives the execution span tree; nil disables tracing. exec is
+	// the "execute" span pattern stages attach under (nil = trace root).
+	trace *explain.Trace
+	exec  *explain.Span
 	// cards lazily caches the store's per-predicate cardinality table for
 	// the duration of one query; cardsOnce makes the fetch safe from
 	// concurrent worker goroutines.
@@ -46,8 +56,44 @@ func (e *engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
 	elems := g.Elems
 	if !e.noReorder {
 		elems = e.reorderTriplePatterns(elems)
+		e.tracePlan(elems)
 	}
 	return e.evalElems(elems, g.Filters, input)
+}
+
+// tracePlan records the planned pattern order as a "plan" span. Only groups
+// containing at least two patterns are recorded — a single pattern has no
+// join order worth explaining, and OPTIONAL's per-binding inner groups
+// would otherwise flood the trace.
+func (e *engine) tracePlan(elems []GroupElem) {
+	if e.trace == nil {
+		return
+	}
+	var pats []string
+	for _, el := range elems {
+		if tp, ok := el.(TriplePattern); ok {
+			pats = append(pats, patternString(tp))
+		}
+	}
+	if len(pats) < 2 {
+		return
+	}
+	sp := e.trace.Add(e.exec, "plan")
+	sp.Set(strings.Join(pats, " . "), "", 0, 0, time.Time{})
+}
+
+// nodeString renders a pattern position: "?v" for variables, the term's
+// lexical form for constants.
+func nodeString(n Node) string {
+	if n.IsVar() {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// patternString renders a triple pattern for trace details.
+func patternString(tp TriplePattern) string {
+	return nodeString(tp.S) + " " + nodeString(tp.P) + " " + nodeString(tp.O)
 }
 
 // evalElems evaluates an already-planned element sequence plus the group's
@@ -349,6 +395,7 @@ func (e *engine) evalTriplePatternChunk(tp TriplePattern, input []Binding, cap i
 			return nil, stop
 		}
 	}
+	e.met.addScan(scanned, len(out))
 	return out, nil
 }
 

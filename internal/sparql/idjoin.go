@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"slices"
+	"time"
 
 	"github.com/lodviz/lodviz/internal/rdf"
 	"github.com/lodviz/lodviz/internal/store"
@@ -56,7 +57,13 @@ type idPos struct {
 func (e *engine) evalPatternRun(run []TriplePattern, input []Binding) ([]Binding, error) {
 	src, ok := e.st.(IDSource)
 	if !ok || e.noIDJoin {
+		if e.met != nil {
+			e.met.RunsHash.Inc()
+		}
 		return e.evalPatternRunHash(run, input)
+	}
+	if e.met != nil {
+		e.met.RunsIDJoin.Inc()
 	}
 	return e.evalPatternRunIDs(src, run, input)
 }
@@ -69,10 +76,18 @@ func (e *engine) evalPatternRunHash(run []TriplePattern, input []Binding) ([]Bin
 		if err := e.cancelled(); err != nil {
 			return nil, err
 		}
+		var start time.Time
+		if e.trace != nil {
+			start = time.Now()
+		}
+		before := len(cur)
 		var err error
 		cur, err = e.evalTriplePattern(tp, cur)
 		if err != nil {
 			return nil, err
+		}
+		if e.trace != nil {
+			e.trace.Add(e.exec, "pattern").Set(patternString(tp), "hash", before, len(cur), start)
 		}
 		if len(cur) == 0 {
 			break
@@ -168,10 +183,22 @@ func (e *engine) evalPatternRunIDs(src IDSource, run []TriplePattern, input []Bi
 		if rows.n() == 0 {
 			break
 		}
+		var start time.Time
+		if e.trace != nil {
+			start = time.Now()
+		}
+		before := rows.n()
+		var strat string
 		var err error
-		rows, err = e.evalOnePatternIDs(src, tp, rows, slotOf, boundAll, boundAny, lookup)
+		rows, strat, err = e.evalOnePatternIDs(src, tp, rows, slotOf, boundAll, boundAny, lookup)
 		if err != nil {
 			return nil, err
+		}
+		if e.trace != nil {
+			e.trace.Add(e.exec, "pattern").Set(patternString(tp), strat, before, rows.n(), start)
+		}
+		if e.met != nil {
+			e.met.RowsOut.Add(uint64(rows.n()))
 		}
 		for _, n := range [3]Node{tp.S, tp.P, tp.O} {
 			if n.IsVar() && rows.n() > 0 {
@@ -184,8 +211,10 @@ func (e *engine) evalPatternRunIDs(src IDSource, run []TriplePattern, input []Bi
 }
 
 // evalOnePatternIDs extends rows by one pattern, picking the cheapest
-// order-preserving strategy.
-func (e *engine) evalOnePatternIDs(src IDSource, tp TriplePattern, rows idRows, slotOf map[string]int, boundAll, boundAny []bool, lookup func(rdf.Term) (store.ID, bool)) (idRows, error) {
+// order-preserving strategy; the strategy chosen is returned for traces
+// ("id-merge", "id-cross", "id-probe", or "id-empty" when a constant is
+// absent from the dictionary).
+func (e *engine) evalOnePatternIDs(src IDSource, tp TriplePattern, rows idRows, slotOf map[string]int, boundAll, boundAny []bool, lookup func(rdf.Term) (store.ID, bool)) (idRows, string, error) {
 	var ps [3]idPos
 	for i, n := range [3]Node{tp.S, tp.P, tp.O} {
 		if n.IsVar() {
@@ -193,7 +222,7 @@ func (e *engine) evalOnePatternIDs(src IDSource, tp TriplePattern, rows idRows, 
 		} else {
 			id, ok := lookup(n.Term)
 			if !ok {
-				return idRows{stride: rows.stride}, nil // constant not in dictionary: no triple matches
+				return idRows{stride: rows.stride}, "id-empty", nil // constant not in dictionary: no triple matches
 			}
 			ps[i] = idPos{slot: -1, id: id}
 		}
@@ -247,7 +276,8 @@ func (e *engine) evalOnePatternIDs(src IDSource, tp TriplePattern, rows idRows, 
 	if allFresh {
 		// No position constrains the rows: one shared scan crossed with
 		// every row (repeated fresh variables filter inside idUnify).
-		return e.idScanCross(src, ps, cs, cp, co, rows)
+		out, err := e.idScanCross(src, ps, cs, cp, co, rows)
+		return out, "id-cross", err
 	}
 	if !mixed && !repeated && nBound >= 1 && freshPositions == 0 {
 		// Existence merge: every variable slot is bound, so the pattern is
@@ -263,7 +293,7 @@ func (e *engine) evalOnePatternIDs(src IDSource, tp TriplePattern, rows idRows, 
 				}
 				out, ok, err := e.idMergeJoin(src, ps, cs, cp, co, p.slot, positionOf[i], rows)
 				if err != nil || ok {
-					return out, err
+					return out, "id-merge", err
 				}
 			}
 		}
@@ -277,11 +307,12 @@ func (e *engine) evalOnePatternIDs(src IDSource, tp TriplePattern, rows idRows, 
 		if est := src.EstimateCountIDs(cs, cp, co); est <= rows.n()*mergeScanFactor {
 			out, ok, err := e.idMergeJoin(src, ps, cs, cp, co, boundSlot, lead, rows)
 			if err != nil || ok {
-				return out, err
+				return out, "id-merge", err
 			}
 		}
 	}
-	return e.idProbe(src, ps, rows)
+	out, err := e.idProbe(src, ps, rows)
+	return out, "id-probe", err
 }
 
 // idMergeJoin answers a single-join-variable pattern with one sorted range
@@ -372,6 +403,9 @@ func (e *engine) idMergeJoin(src IDSource, ps [3]idPos, cs, cp, co store.ID, bou
 			}
 		}
 	}
+	if e.met != nil {
+		e.met.MatchesScanned.Add(uint64(steps))
+	}
 	return out, true, nil
 }
 
@@ -396,6 +430,9 @@ func (e *engine) idScanCross(src IDSource, ps [3]idPos, cs, cp, co store.ID, row
 	})
 	if stop != nil {
 		return idRows{}, stop
+	}
+	if e.met != nil {
+		e.met.MatchesScanned.Add(uint64(scanned))
 	}
 	out := idRows{stride: rows.stride}
 	scratch := make([]store.ID, rows.stride)
@@ -455,6 +492,9 @@ func (e *engine) idProbe(src IDSource, ps [3]idPos, rows idRows) (idRows, error)
 			if stop != nil {
 				return idRows{}, stop
 			}
+		}
+		if e.met != nil {
+			e.met.MatchesScanned.Add(uint64(scanned))
 		}
 		return out, nil
 	})

@@ -7,6 +7,14 @@
 // The survey's Web-of-Data systems are all SPARQL-driven (endpoints are the
 // access path the "dynamic data" challenge assumes), so the engine is the
 // substrate every exploration feature in lodviz queries through.
+//
+// Observability: Options.Metrics attaches engine-wide counters (see
+// Metrics), and Options.Trace attaches a per-query execution trace — an
+// explain.Trace span tree with one span per plan stage recording the
+// chosen strategy (idjoin/hash/stream), rows in/out, matches scanned, and
+// wall time. Both are nil-safe and amortized per chunk/page, so the
+// uninstrumented path pays nothing; internal/explain documents the trace
+// format.
 package sparql
 
 import (

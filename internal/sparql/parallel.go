@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync/atomic"
+
+	"github.com/lodviz/lodviz/internal/explain"
 )
 
 // The parallel BGP pipeline: intermediate binding sets are partitioned into
@@ -53,6 +55,14 @@ type Options struct {
 	// benchmarks and differential tests use it to compare the two
 	// executors.
 	NoIDJoin bool
+	// Metrics, when set, receives aggregate engine counters (pattern runs
+	// by executor, rows, scanned matches/pages, pushdown hits). Nil costs
+	// one pointer check per flush site.
+	Metrics *Metrics
+	// Trace, when set, receives the query's execution span tree:
+	// parse/plan/execute spans plus one child per pattern stage with the
+	// join strategy and row counts. Nil disables tracing entirely.
+	Trace *explain.Trace
 }
 
 // workers resolves the option to an effective worker count.
@@ -68,7 +78,7 @@ func (o Options) workers() int {
 
 // newEngine builds an engine for one query evaluation.
 func newEngine(ctx context.Context, st Source, opt Options) *engine {
-	e := &engine{ctx: ctx, st: st, par: opt.workers(), svc: opt.Service, noIDJoin: opt.NoIDJoin}
+	e := &engine{ctx: ctx, st: st, par: opt.workers(), svc: opt.Service, noIDJoin: opt.NoIDJoin, met: opt.Metrics, trace: opt.Trace}
 	if e.par > 1 {
 		e.sem = make(chan struct{}, e.par-1)
 	}

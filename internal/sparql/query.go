@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/lodviz/lodviz/internal/rdf"
 )
@@ -38,7 +39,14 @@ func ExecOpts(st Source, query string, opt Options) (*Results, error) {
 // when the context is cancelled or its deadline expires. Parse failures match
 // ErrParse; every other failure matches ErrEval.
 func ExecCtx(ctx context.Context, st Source, query string, opt Options) (*Results, error) {
+	var start time.Time
+	if opt.Trace != nil {
+		start = time.Now()
+	}
 	q, err := Parse(query)
+	if opt.Trace != nil {
+		opt.Trace.Add(nil, "parse").Set("", "", 0, 0, start)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -70,14 +78,29 @@ func evalCtx(ctx context.Context, st Source, q *Query, opt Options) (*Results, e
 	return evalWithEngine(newEngine(ctx, st, opt), q, opt)
 }
 
-func evalWithEngine(e *engine, q *Query, opt Options) (*Results, error) {
+func evalWithEngine(e *engine, q *Query, opt Options) (res *Results, err error) {
+	execStrategy := "materialized"
+	if e.trace != nil {
+		execStart := time.Now()
+		e.exec = e.trace.Add(nil, "execute")
+		defer func() {
+			e.exec.Set("", execStrategy, 0, resultRows(res), execStart)
+		}()
+	}
 	// Early-termination fast paths: LIMIT-pushdown scans, the bounded
 	// ORDER BY top-k heap, and first-solution ASK. They return exactly the
 	// rows the materializing pipeline below would; see stream.go.
 	if !opt.NoStream {
-		if res, ok, err := e.evalStreamFast(q); ok {
-			return res, err
+		if r, ok, ferr := e.evalStreamFast(q); ok {
+			if e.met != nil {
+				e.met.QueriesStreamed.Inc()
+			}
+			execStrategy = "streamed"
+			return r, ferr
 		}
+	}
+	if e.met != nil {
+		e.met.QueriesMaterialized.Inc()
 	}
 	sols, err := e.evalGroup(q.Where, []Binding{{}})
 	if err != nil {
@@ -113,6 +136,21 @@ func evalWithEngine(e *engine, q *Query, opt Options) (*Results, error) {
 	}
 	rows = sliceOffsetLimit(rows, q.Offset, q.Limit)
 	return &Results{Form: FormSelect, Vars: vars, Rows: rows}, nil
+}
+
+// resultRows counts a result's rows for the execute span (ASK counts its
+// answer as 0/1).
+func resultRows(r *Results) int {
+	if r == nil {
+		return 0
+	}
+	if r.Form == FormAsk {
+		if r.Ask {
+			return 1
+		}
+		return 0
+	}
+	return len(r.Rows)
 }
 
 // sliceOffsetLimit applies the OFFSET/LIMIT window (limit < 0 = no limit).

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/lodviz/lodviz/internal/rdf"
 )
@@ -189,6 +190,7 @@ func (e *engine) streamSolutions(g *Group, budget int, emit func(Binding) bool) 
 	elems := g.Elems
 	if !e.noReorder {
 		elems = e.reorderTriplePatterns(elems)
+		e.tracePlan(elems)
 	}
 	first := -1
 	for i, el := range elems {
@@ -223,6 +225,26 @@ func (e *engine) streamSolutions(g *Group, budget int, emit func(Binding) bool) 
 	rest := elems[first+1:]
 	// With no tail and no filters every scan match is a final solution.
 	direct := len(rest) == 0 && len(g.Filters) == 0
+
+	// Driver accounting: pages pulled and scan matches produced, flushed
+	// once on the way out (every return path) to metrics and — as one
+	// "paged-scan" pattern span — to the trace.
+	var pages, driverRows int
+	var driverStart time.Time
+	if e.trace != nil {
+		driverStart = time.Now()
+	}
+	defer func() {
+		if e.met != nil {
+			e.met.PagesScanned.Add(uint64(pages))
+			e.met.RowsOut.Add(uint64(driverRows))
+		}
+		if e.trace != nil {
+			sp := e.trace.Add(e.exec, "pattern")
+			sp.Set(patternString(tp), "paged-scan", len(input), driverRows, driverStart)
+			sp.SetPages(pages)
+		}
+	}()
 
 	emitted := 0
 	deliver := func(rows []Binding) bool {
@@ -266,6 +288,8 @@ func (e *engine) streamSolutions(g *Group, budget int, emit func(Binding) bool) 
 				return true
 			})
 			pos = next
+			pages++
+			driverRows += len(batch)
 			// A compaction between pages reshuffles positions: the page
 			// just read may duplicate or skip triples, so discard it and
 			// let the caller restart or abort.
@@ -408,6 +432,9 @@ func (e *engine) runDirect(q *Query, vars []string, emit func(Binding) bool) err
 	budget := -1
 	if q.Limit > 0 {
 		budget = addBudget(q.Offset, q.Limit)
+		if budget >= 0 && e.met != nil {
+			e.met.PushdownHits.Inc()
+		}
 	}
 	skipped, emitted := 0, 0
 	return e.streamSolutions(q.Where, budget, func(sol Binding) bool {
@@ -597,6 +624,9 @@ func (s *Stream) Run(emit func(Binding) bool) error {
 	}
 	switch s.mode {
 	case streamDirect:
+		if s.e.met != nil {
+			s.e.met.QueriesStreamed.Inc()
+		}
 		for attempt := 0; attempt < scanRestartAttempts; attempt++ {
 			delivered := false
 			err := s.e.runDirect(s.q, s.vars, func(r Binding) bool {

@@ -236,6 +236,9 @@ func ExecUpdateCtx(ctx context.Context, st UpdateStore, src string, opt Options)
 // but a multi-operation request is not transactional across operations: an
 // error leaves earlier operations applied, and the result counts them.
 func EvalUpdateCtx(ctx context.Context, st UpdateStore, u *Update, opt Options) (*UpdateResult, error) {
+	if opt.Metrics != nil {
+		opt.Metrics.Updates.Inc()
+	}
 	res := &UpdateResult{}
 	for _, op := range u.Ops {
 		if err := ctx.Err(); err != nil {

@@ -370,6 +370,7 @@ func (st *Store) ForEachIDPage(s, p, o ID, pos, max int, fn func(IDTriple) bool)
 	if max < 1 {
 		return pos, false
 	}
+	st.scanPages.Add(1)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	ord, _ := PermutationFor(s != 0, p != 0, o != 0, PosAny)

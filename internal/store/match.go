@@ -66,6 +66,7 @@ func (st *Store) ForEachPage(p Pattern, pos, max int, fn func(rdf.Triple) bool) 
 	if max < 1 {
 		return pos, false
 	}
+	st.scanPages.Add(1)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 

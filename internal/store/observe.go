@@ -1,0 +1,39 @@
+package store
+
+// Instrumentation snapshot. The store keeps no metric handles of its own —
+// it stays dependency-free — and instead exposes one cheap snapshot the
+// observability layer polls at scrape time (obs.GaugeFunc/CounterFunc in
+// the server wire the fields to metric families).
+
+// Observed is a point-in-time instrumentation view of the store.
+type Observed struct {
+	// Triples is the live triple count; Terms the dictionary size.
+	Triples int
+	Terms   int
+	// Delta counts inserted triples not yet merged into the sorted
+	// indexes; Tombstones counts deletes awaiting physical removal.
+	Delta      int
+	Tombstones int
+	// Generation counts content mutations, LayoutEpoch physical index
+	// reshuffles (see the Store fields of the same names).
+	Generation  uint64
+	LayoutEpoch uint64
+	// ScanPages counts ForEachPage/ForEachIDPage calls since startup —
+	// each call pulls one page under the read lock.
+	ScanPages uint64
+}
+
+// Observe returns the store's instrumentation snapshot.
+func (st *Store) Observe() Observed {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return Observed{
+		Triples:     st.size,
+		Terms:       len(st.terms) - 1,
+		Delta:       len(st.delta),
+		Tombstones:  len(st.deleted),
+		Generation:  st.gen,
+		LayoutEpoch: st.layout,
+		ScanPages:   st.scanPages.Load(),
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/lodviz/lodviz/internal/ntriples"
 	"github.com/lodviz/lodviz/internal/rdf"
@@ -68,6 +69,11 @@ type Store struct {
 	// wal, when set via SetWAL, receives every effective mutation before it
 	// is applied (see walsink.go for the ordering contract).
 	wal WALSink
+
+	// scanPages counts paged-scan calls (ForEachPage/ForEachIDPage) for
+	// the observability snapshot; atomic so page scans don't write under
+	// the read lock's shared hold.
+	scanPages atomic.Uint64
 }
 
 // New returns an empty store.

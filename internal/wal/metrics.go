@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"time"
+
+	"github.com/lodviz/lodviz/internal/obs"
+)
+
+// Metrics holds the log's instrumentation handles. A nil *Metrics (or the
+// zero value's nil handles) disables everything at the cost of one branch
+// per event — benchmarks run the log bare.
+type Metrics struct {
+	// Appends counts Append calls that reached the file; AppendedTriples
+	// counts the triples inside them.
+	Appends         *obs.Counter
+	AppendedTriples *obs.Counter
+	// Fsyncs counts leader fsync syscalls; FsyncSeconds is their latency.
+	// Under group commit one fsync acknowledges many records, so Fsyncs
+	// grows slower than Appends under concurrent load.
+	Fsyncs       *obs.Counter
+	FsyncSeconds *obs.Histogram
+	// GroupCommitSize observes, per leader fsync, how many records that
+	// single syscall made durable.
+	GroupCommitSize *obs.Histogram
+}
+
+// NewMetrics registers the log's metric families on r and returns the
+// handles to pass in Options.Metrics.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Appends:         r.Counter("lodviz_wal_appends_total", "WAL records appended."),
+		AppendedTriples: r.Counter("lodviz_wal_appended_triples_total", "Triples carried by appended WAL records."),
+		Fsyncs:          r.Counter("lodviz_wal_fsyncs_total", "Leader fsync syscalls issued by group commit."),
+		FsyncSeconds:    r.Histogram("lodviz_wal_fsync_seconds", "WAL fsync latency in seconds.", obs.DefBuckets),
+		GroupCommitSize: r.Histogram("lodviz_wal_group_commit_records", "Records made durable per leader fsync.", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
+	}
+}
+
+// observeAppend records one successful append of n triples.
+func (m *Metrics) observeAppend(n int) {
+	if m == nil {
+		return
+	}
+	m.Appends.Inc()
+	m.AppendedTriples.Add(uint64(n))
+}
+
+// observeFsync records one leader fsync: its latency and how many records
+// (target − syncedBefore) it made durable.
+func (m *Metrics) observeFsync(start time.Time, syncedBefore, target uint64) {
+	if m == nil {
+		return
+	}
+	m.Fsyncs.Inc()
+	m.FsyncSeconds.ObserveSince(start)
+	if target > syncedBefore {
+		m.GroupCommitSize.Observe(float64(target - syncedBefore))
+	}
+}

@@ -1,0 +1,62 @@
+package wal
+
+import (
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/obs"
+)
+
+func TestMetricsCountAppendsAndFsyncs(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	l, err := Open(tmpLog(t), Options{Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if _, err := l.AppendAdd(mkTriples(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.AppendAdd(mkTriples(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(seq); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := met.Appends.Value(); got != 2 {
+		t.Errorf("Appends = %d, want 2", got)
+	}
+	if got := met.AppendedTriples.Value(); got != 5 {
+		t.Errorf("AppendedTriples = %d, want 5", got)
+	}
+	if got := met.Fsyncs.Value(); got != 1 {
+		t.Errorf("Fsyncs = %d, want 1", got)
+	}
+	lat := met.FsyncSeconds.Snapshot()
+	if lat.Count != 1 {
+		t.Errorf("FsyncSeconds count = %d, want 1", lat.Count)
+	}
+	// One leader fsync covered both records.
+	size := met.GroupCommitSize.Snapshot()
+	if size.Count != 1 || size.Sum != 2 {
+		t.Errorf("GroupCommitSize count=%d sum=%g, want 1 / 2", size.Count, size.Sum)
+	}
+}
+
+func TestNilMetricsIsNoOp(t *testing.T) {
+	l, err := Open(tmpLog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	seq, err := l.AppendAdd(mkTriples(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(seq); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"github.com/lodviz/lodviz/internal/rdf"
 )
@@ -110,12 +111,16 @@ type Options struct {
 	// mutation ledger hangs off this. The callback runs under the append
 	// lock: keep it fast and never call back into the log.
 	Observer func(seq uint64, payload []byte)
+	// Metrics, when set, receives append/fsync instrumentation (see
+	// metrics.go); nil disables it.
+	Metrics *Metrics
 }
 
 // Log is an open write-ahead log. All methods are safe for concurrent use.
 type Log struct {
 	policy   SyncPolicy
 	observer func(seq uint64, payload []byte)
+	met      *Metrics
 	path     string
 
 	mu      sync.Mutex // serializes appends and fd swaps
@@ -156,6 +161,7 @@ func Open(path string, opt Options) (*Log, error) {
 	l := &Log{
 		policy:   opt.Sync,
 		observer: opt.Observer,
+		met:      opt.Metrics,
 		path:     path,
 		f:        f,
 		nextSeq:  lastSeq + 1,
@@ -203,6 +209,7 @@ func (l *Log) Append(op Op, triples []rdf.Triple) (uint64, error) {
 	}
 	l.nextSeq++
 	l.written = seq
+	l.met.observeAppend(len(triples))
 	if l.observer != nil {
 		l.observer(seq, payload)
 	}
@@ -229,6 +236,7 @@ func (l *Log) Sync(seq uint64) error {
 		return nil
 	}
 	l.syncMu.Lock()
+	var syncedBefore uint64
 	for {
 		if l.synced >= seq {
 			l.syncMu.Unlock()
@@ -236,6 +244,7 @@ func (l *Log) Sync(seq uint64) error {
 		}
 		if !l.syncing {
 			l.syncing = true
+			syncedBefore = l.synced
 			break
 		}
 		// A leader's fsync is in flight; it may already cover seq. Wait for
@@ -254,7 +263,11 @@ func (l *Log) Sync(seq uint64) error {
 	if closed {
 		err = ErrClosed
 	} else {
+		start := time.Now()
 		err = f.Sync()
+		if err == nil {
+			l.met.observeFsync(start, syncedBefore, target)
+		}
 	}
 
 	l.syncMu.Lock()
