@@ -71,7 +71,9 @@ func benchWALSession(policy wal.SyncPolicy) func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			st, log := newWALStore(b, dir, policy)
 			commitSession(b, st)
-			log.Close()
+			if err := log.Close(); err != nil {
+				b.Fatal(err)
+			}
 			os.Remove(filepath.Join(dir, "bench.wal"))
 		}
 	}
@@ -119,7 +121,9 @@ func writeScenarios() []benchResult {
 			}
 			commitSession(b, st)
 			wg.Wait()
-			log.Close()
+			if err := log.Close(); err != nil {
+				b.Fatal(err)
+			}
 			os.Remove(filepath.Join(dir, "bench.wal"))
 		}
 	})

@@ -172,7 +172,13 @@ func main() {
 			logger.Error("opening WAL", "path", *walPath, "err", err)
 			os.Exit(1)
 		}
-		defer walLog.Close()
+		defer func() {
+			// A close error at shutdown can mean the tail of the log never
+			// reached disk; it must at least be visible in the exit logs.
+			if cerr := walLog.Close(); cerr != nil {
+				logger.Error("closing WAL", "err", cerr)
+			}
+		}()
 	}
 
 	// The snapshotter is built before the server so /healthz can report the
@@ -311,7 +317,9 @@ func openWAL(path string, policy wal.SyncPolicy, met *wal.Metrics, st *store.Sto
 		}
 	})
 	if err != nil {
-		walLog.Close()
+		if cerr := walLog.Close(); cerr != nil {
+			logger.Warn("closing WAL after failed replay", "err", cerr)
+		}
 		return nil, nil, fmt.Errorf("replaying: %w", err)
 	}
 	st.SetWAL(walLog)
@@ -437,7 +445,8 @@ func loadStore(path string) (*store.Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		// Read-only fd: close errors cannot lose data, discard explicitly.
+		defer func() { _ = f.Close() }()
 		return store.LoadNTriples(f)
 	case ".ttl", ".turtle":
 		raw, err := os.ReadFile(path)

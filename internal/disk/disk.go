@@ -53,11 +53,13 @@ func OpenExisting(path string) (*PageStore, error) {
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
+		// Abandoning the fd; the stat error wins.
+		_ = f.Close()
 		return nil, fmt.Errorf("disk: stat %s: %w", path, err)
 	}
 	if fi.Size()%PageSize != 0 {
-		f.Close()
+		// Abandoning the fd; the store was never usable.
+		_ = f.Close()
 		return nil, fmt.Errorf("disk: %s: size %d is not a multiple of the %d-byte page size", path, fi.Size(), PageSize)
 	}
 	return &PageStore{f: f, pages: int(fi.Size() / PageSize)}, nil

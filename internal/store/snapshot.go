@@ -202,6 +202,7 @@ func ReadSnapshotFile(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	// Read-only fd: close errors cannot lose data, discard explicitly.
+	defer func() { _ = f.Close() }()
 	return ReadSnapshot(f)
 }

@@ -38,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/lodviz/lodviz/internal/rdf"
@@ -145,17 +146,17 @@ func Open(path string, opt Options) (*Log, error) {
 	}
 	lastSeq, valid, err := scanLog(f, nil)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // abandoning the fd; the scan error wins
 		return nil, err
 	}
 	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
 		if err := f.Truncate(valid); err != nil {
-			f.Close()
+			_ = f.Close() // abandoning the fd; the truncate error wins
 			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
+		_ = f.Close() // abandoning the fd; the seek error wins
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
 	l := &Log{
@@ -302,13 +303,15 @@ func (l *Log) TruncateThrough(seq uint64) error {
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(l.path), filepath.Base(l.path)+".truncate-*")
 	if err != nil {
-		src.Close()
+		_ = src.Close() // abandoning the read fd; the temp error wins
 		return fmt.Errorf("wal: truncate temp: %w", err)
 	}
 	tmpPath := tmp.Name()
 	fail := func(err error) error {
-		src.Close()
-		tmp.Close()
+		// Abandoning both files; the caller's error wins and the temp
+		// file is removed, so neither close can lose data.
+		_ = src.Close()
+		_ = tmp.Close()
 		os.Remove(tmpPath)
 		return err
 	}
@@ -323,7 +326,9 @@ func (l *Log) TruncateThrough(seq uint64) error {
 		_, werr := tmp.Write(frame)
 		return werr
 	})
-	src.Close()
+	// Read-side close: every byte that matters already flowed through
+	// scanLog, whose error is checked next.
+	_ = src.Close()
 	if err != nil {
 		return fail(fmt.Errorf("wal: truncate rewrite: %w", err))
 	}
@@ -337,17 +342,25 @@ func (l *Log) TruncateThrough(seq uint64) error {
 		os.Remove(tmpPath)
 		return fmt.Errorf("wal: truncate rename: %w", err)
 	}
-	syncDir(filepath.Dir(l.path))
+	if err := syncDir(filepath.Dir(l.path)); err != nil {
+		// The rename happened but its directory entry may not be durable:
+		// a crash could resurrect the pre-truncation log. Replay is
+		// idempotent, so that is not data loss — but an I/O error on the
+		// directory is the disk telling us something; surface it.
+		return err
+	}
 
 	nf, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: truncate reopen: %w", err)
 	}
 	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
-		nf.Close()
+		_ = nf.Close() // abandoning the fresh fd; the seek error wins
 		return fmt.Errorf("wal: truncate seek: %w", err)
 	}
-	l.f.Close()
+	// The old fd's name was renamed away; nothing further can be written
+	// through it and its close result is meaningless.
+	_ = l.f.Close()
 	l.f = nf
 	// Everything in the rewritten file went through the temp file's fsync.
 	l.syncMu.Lock()
@@ -396,7 +409,7 @@ func Replay(path string, fn func(Record) error) (uint64, error) {
 		}
 		return 0, fmt.Errorf("wal: replay open: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; scanLog reports read errors
 	lastSeq, _, err := scanLog(f, fn)
 	return lastSeq, err
 }
@@ -615,13 +628,24 @@ func (d *payloadDecoder) term() (rdf.Term, error) {
 }
 
 // syncDir fsyncs a directory so a just-renamed file's directory entry is
-// durable. Errors are ignored: some filesystems reject directory fsync, and
-// the rename itself already happened.
-func syncDir(dir string) {
+// durable. Filesystems that reject directory fsync (EINVAL) are treated as
+// clean — the rename itself already happened and nothing more can be done —
+// but a real I/O error on the directory surfaces to the caller.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return nil // directory unreadable here; the rename still happened
 	}
-	d.Sync()
-	d.Close()
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) {
+			return nil
+		}
+		return fmt.Errorf("wal: directory sync: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: directory close: %w", cerr)
+	}
+	return nil
 }
