@@ -82,7 +82,7 @@ func (s *Session) Stream(ctx context.Context, pageSize, batchPages int, emit fun
 				}
 				a := per.get(t.P)
 				a.counts[t.O]++
-				pair := uint64(t.S)<<32 | uint64(t.P)
+				pair := store.PackPair(t.S, t.P)
 				if _, seen := pairs[pair]; !seen {
 					pairs[pair] = struct{}{}
 					a.total++

@@ -27,6 +27,18 @@ import (
 // 0 is reserved as "no term".
 type ID uint32
 
+// Bits exposes the ID's raw dictionary slot as a plain integer for hashing
+// and map-key material. Outside this package an ID is a name, not a number
+// (the idspace analyzer rejects raw conversions and arithmetic); Bits and
+// PackPair are the sanctioned escape hatches, and they carry no ordering or
+// density guarantees beyond "equal IDs produce equal bits".
+func (id ID) Bits() uint64 { return uint64(id) }
+
+// PackPair packs two IDs into a single comparable value, for pair-keyed
+// maps and sets. The packing is injective but otherwise opaque: callers
+// must not unpack or compare packed values for order.
+func PackPair(a, b ID) uint64 { return uint64(a)<<32 | uint64(b) }
+
 type enc struct{ s, p, o ID }
 
 // Store is an in-memory, concurrency-safe triple store.
