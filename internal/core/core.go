@@ -193,6 +193,7 @@ func (e *Explorer) Details(entity rdf.Term) Details {
 // NumericHierarchy returns (building on first use, incrementally) the HETree
 // over a numeric or temporal property — the SynopsViz-style multilevel view.
 func (e *Explorer) NumericHierarchy(prop rdf.IRI) (*hetree.Tree, error) {
+	//lint:allow ctxflow compat wrapper: NumericHierarchyCtx is the cancellable form
 	return e.NumericHierarchyCtx(context.Background(), prop)
 }
 

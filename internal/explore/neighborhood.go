@@ -85,7 +85,7 @@ func (kc *kindCache) resource(id store.ID) bool { return kc.kind[id] }
 // nodeSeed mixes the traversal seed with the node ID (splitmix64-style odd
 // constant) so each node's reservoir is deterministic under any visit order.
 func nodeSeed(seed int64, n store.ID) int64 {
-	return seed ^ int64(uint64(n)*0x9E3779B97F4A7C15)
+	return seed ^ int64(n.Bits()*0x9E3779B97F4A7C15)
 }
 
 // FindNeighborhood BFS-expands the k-hop neighborhood of start directly over
@@ -125,7 +125,7 @@ func FindNeighborhood(ctx context.Context, src Source, start rdf.Term, opt Neigh
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			recs, cov := expandNode(src, kc, n, opt)
+			recs, cov := expandNode(ctx, src, kc, n, opt)
 			if cov < coverage {
 				coverage = cov
 			}
@@ -220,19 +220,21 @@ func FindNeighborhood(ctx context.Context, src Source, start rdf.Term, opt Neigh
 // directions) and the fraction of its adjacency that was expanded. When the
 // fan-out exceeds opt.Sample (> 0), a seed-deterministic reservoir picks
 // which statements to follow; otherwise the expansion is exhaustive.
-func expandNode(src Source, kc *kindCache, n store.ID, opt NeighborhoodOptions) ([]edgeRec, float64) {
+// Cancelling ctx stops the underlying runs early; the caller's own ctx
+// check then discards the truncated result.
+func expandNode(ctx context.Context, src Source, kc *kindCache, n store.ID, opt NeighborhoodOptions) ([]edgeRec, float64) {
 	total := src.EstimateCountIDs(n, 0, 0) + src.EstimateCountIDs(0, 0, n)
 	if opt.Sample > 0 && total > opt.Sample {
 		res, _ := sampling.NewReservoir[edgeRec](opt.Sample, nodeSeed(opt.Seed, n))
 		src.ForEachID(n, 0, 0, func(t store.IDTriple) bool {
 			res.Add(edgeRec{from: t.S, to: t.O, pred: t.P})
-			return true
+			return ctx.Err() == nil
 		})
 		src.ForEachID(0, 0, n, func(t store.IDTriple) bool {
 			if t.S != n { // self-loops already seen in the out direction
 				res.Add(edgeRec{from: t.S, to: t.O, pred: t.P})
 			}
-			return true
+			return ctx.Err() == nil
 		})
 		recs := filterResource(kc, res.Sample(), n)
 		cov := float64(opt.Sample) / float64(res.Seen())
@@ -244,13 +246,13 @@ func expandNode(src Source, kc *kindCache, n store.ID, opt NeighborhoodOptions) 
 	var recs []edgeRec
 	src.ForEachID(n, 0, 0, func(t store.IDTriple) bool {
 		recs = append(recs, edgeRec{from: t.S, to: t.O, pred: t.P})
-		return true
+		return ctx.Err() == nil
 	})
 	src.ForEachID(0, 0, n, func(t store.IDTriple) bool {
 		if t.S != n {
 			recs = append(recs, edgeRec{from: t.S, to: t.O, pred: t.P})
 		}
-		return true
+		return ctx.Err() == nil
 	})
 	return filterResource(kc, recs, n), 1
 }

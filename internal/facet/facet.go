@@ -65,17 +65,34 @@ type Session struct {
 	MaxValuesPerFacet int
 }
 
-// NewSession starts a session over all entities with an rdf:type; when the
-// dataset declares no types, all subjects become the base set.
-func NewSession(src explore.Source) *Session {
+// NewSessionCtx starts a session over all entities with an rdf:type; when
+// the dataset declares no types, all subjects become the base set. The base
+// collection scan honors ctx; a cancelled context aborts with its error.
+func NewSessionCtx(ctx context.Context, src explore.Source) (*Session, error) {
 	var base []store.ID
 	if typeID, ok := src.LookupTermID(rdf.RDFType); ok {
-		base = distinctSubjects(src, typeID)
+		b, err := distinctSubjects(ctx, src, typeID)
+		if err != nil {
+			return nil, err
+		}
+		base = b
 	}
 	if len(base) == 0 {
-		base = distinctSubjects(src, 0)
+		b, err := distinctSubjects(ctx, src, 0)
+		if err != nil {
+			return nil, err
+		}
+		base = b
 	}
-	return &Session{src: src, base: base}
+	return &Session{src: src, base: base}, nil
+}
+
+// NewSession is NewSessionCtx without cancellation, for callers with no
+// request scope (CLI, tests).
+func NewSession(src explore.Source) *Session {
+	//lint:allow ctxflow compat wrapper: NewSessionCtx is the cancellable form
+	s, _ := NewSessionCtx(context.Background(), src)
+	return s
 }
 
 // NewSessionOver starts a session over an explicit entity set (the pivot
@@ -106,25 +123,36 @@ func NewSessionOver(src explore.Source, entities []rdf.Term) *Session {
 // with predicate pid (0 = any). Both the PSO run (pid bound) and the SPO run
 // (unbound) yield subjects in ascending order, so deduplication is one
 // consecutive comparison per statement.
-func distinctSubjects(src explore.Source, pid store.ID) []store.ID {
+func distinctSubjects(ctx context.Context, src explore.Source, pid store.ID) ([]store.ID, error) {
 	lead := store.PosS
 	if pid == 0 {
 		lead = store.PosAny
 	}
 	run, ok := src.ScanIDs(0, pid, 0, lead)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	var out []store.ID
 	var last store.ID
+	scanned := 0
+	var stop error
 	run.ForEachSorted(func(t store.IDTriple) bool {
+		if scanned++; scanned%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				stop = err
+				return false
+			}
+		}
 		if t.S != last || len(out) == 0 {
 			out = append(out, t.S)
 			last = t.S
 		}
 		return true
 	})
-	return out
+	if stop != nil {
+		return nil, stop
+	}
+	return out, nil
 }
 
 func sortTerms(ts []rdf.Term) {
@@ -218,6 +246,7 @@ func (s *Session) MatchesCtx(ctx context.Context) ([]rdf.Term, error) {
 
 // Matches returns the current entity set under all filters.
 func (s *Session) Matches() []rdf.Term {
+	//lint:allow ctxflow compat wrapper: MatchesCtx is the cancellable form
 	m, _ := s.MatchesCtx(context.Background())
 	return m
 }
@@ -237,6 +266,7 @@ func (s *Session) CountCtx(ctx context.Context) (int, error) {
 
 // Count returns the size of the current entity set.
 func (s *Session) Count() int {
+	//lint:allow ctxflow compat wrapper: CountCtx is the cancellable form
 	n, _ := s.CountCtx(context.Background())
 	return n
 }
@@ -286,6 +316,7 @@ func (s *Session) FacetsCtx(ctx context.Context) ([]Facet, error) {
 
 // Facets computes the facet distributions over the current entity set.
 func (s *Session) Facets() []Facet {
+	//lint:allow ctxflow compat wrapper: FacetsCtx is the cancellable form
 	f, _ := s.FacetsCtx(context.Background())
 	return f
 }
@@ -406,29 +437,41 @@ func (s *Session) assemble(per distribution) []Facet {
 	return out
 }
 
-// Pivot re-roots the session on the values of a predicate across the current
-// matches — Visor/Humboldt's "connect points of interest" operation. E.g.
-// from films filtered to comedies, pivot on "director" to browse directors.
-// The PSO run delivers (match, object) pairs with one two-pointer merge;
-// literal objects are filtered after a single batch decode.
-func (s *Session) Pivot(pred rdf.IRI) *Session {
+// PivotCtx re-roots the session on the values of a predicate across the
+// current matches — Visor/Humboldt's "connect points of interest" operation.
+// E.g. from films filtered to comedies, pivot on "director" to browse
+// directors. The PSO run delivers (match, object) pairs with one two-pointer
+// merge; literal objects are filtered after a single batch decode. The merge
+// scan honors ctx; a cancelled context aborts with its error.
+func (s *Session) PivotCtx(ctx context.Context, pred rdf.IRI) (*Session, error) {
 	next := &Session{src: s.src}
-	matches, err := s.matchIDs(context.Background())
-	if err != nil || len(matches) == 0 {
-		return next
+	matches, err := s.matchIDs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return next, nil
 	}
 	pid, ok := s.src.LookupTermID(pred)
 	if !ok {
-		return next
+		return next, nil
 	}
 	run, ok := s.src.ScanIDs(0, pid, 0, store.PosS)
 	if !ok {
-		return next
+		return next, nil
 	}
 	objSet := map[store.ID]struct{}{}
 	var objs []store.ID
 	mi := 0
+	scanned := 0
+	var stop error
 	run.ForEachSorted(func(t store.IDTriple) bool {
+		if scanned++; scanned%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				stop = err
+				return false
+			}
+		}
 		for mi < len(matches) && matches[mi] < t.S {
 			mi++
 		}
@@ -444,6 +487,9 @@ func (s *Session) Pivot(pred rdf.IRI) *Session {
 		}
 		return true
 	})
+	if stop != nil {
+		return nil, stop
+	}
 	terms := s.src.Terms(objs)
 	for i, oid := range objs {
 		if terms[i] != nil && terms[i].Kind() != rdf.KindLiteral {
@@ -451,5 +497,15 @@ func (s *Session) Pivot(pred rdf.IRI) *Session {
 		}
 	}
 	sort.Slice(next.base, func(i, j int) bool { return next.base[i] < next.base[j] })
+	return next, nil
+}
+
+// Pivot is PivotCtx without cancellation, for callers with no request scope.
+func (s *Session) Pivot(pred rdf.IRI) *Session {
+	//lint:allow ctxflow compat wrapper: PivotCtx is the cancellable form
+	next, err := s.PivotCtx(context.Background(), pred)
+	if err != nil {
+		return &Session{src: s.src}
+	}
 	return next
 }

@@ -83,11 +83,12 @@ func Run(ctx context.Context, values []float64, agg Agg, batch int, seed int64, 
 }
 
 // Collect runs the progressive computation synchronously and returns every
-// emitted estimate — the convenient form for experiments.
-func Collect(values []float64, agg Agg, batch int, seed int64) ([]Estimate, error) {
+// emitted estimate — the convenient form for experiments. Cancelling ctx
+// stops the underlying Run between batches.
+func Collect(ctx context.Context, values []float64, agg Agg, batch int, seed int64) ([]Estimate, error) {
 	out := make(chan Estimate, 16)
 	errCh := make(chan error, 1)
-	go func() { errCh <- Run(context.Background(), values, agg, batch, seed, out) }()
+	go func() { errCh <- Run(ctx, values, agg, batch, seed, out) }()
 	var ests []Estimate
 	for e := range out {
 		ests = append(ests, e)

@@ -24,7 +24,7 @@ func TestCollectConvergesToExactMean(t *testing.T) {
 	}
 	exact /= float64(len(vals))
 
-	ests, err := Collect(vals, Mean, 500, 42)
+	ests, err := Collect(context.Background(), vals, Mean, 500, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestConfidenceIntervalCoverage(t *testing.T) {
 
 	covered, total := 0, 0
 	for trial := 0; trial < 100; trial++ {
-		ests, err := Collect(vals, Mean, 500, int64(trial))
+		ests, err := Collect(context.Background(), vals, Mean, 500, int64(trial))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func TestSumAndCountScaling(t *testing.T) {
 	for i := range vals {
 		vals[i] = 2
 	}
-	ests, err := Collect(vals, Sum, 100, 1)
+	ests, err := Collect(context.Background(), vals, Sum, 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestSumAndCountScaling(t *testing.T) {
 	for i := 0; i < 250; i++ {
 		ind[i] = 1
 	}
-	ests, _ = Collect(ind, Count, 100, 1)
+	ests, _ = Collect(context.Background(), ind, Count, 100, 1)
 	final = ests[len(ests)-1]
 	if math.Abs(final.Value-250) > 1e-6 {
 		t.Errorf("count = %g, want 250", final.Value)
@@ -124,7 +124,7 @@ func TestRunCancellation(t *testing.T) {
 }
 
 func TestRunEmptyInput(t *testing.T) {
-	ests, err := Collect(nil, Mean, 10, 1)
+	ests, err := Collect(context.Background(), nil, Mean, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestRunEmptyInput(t *testing.T) {
 }
 
 func TestBadBatch(t *testing.T) {
-	if _, err := Collect([]float64{1}, Mean, 0, 1); err != ErrBadBatch {
+	if _, err := Collect(context.Background(), []float64{1}, Mean, 0, 1); err != ErrBadBatch {
 		t.Errorf("err = %v, want ErrBadBatch", err)
 	}
 }
@@ -182,7 +182,7 @@ func TestSamplerEmpty(t *testing.T) {
 
 func TestFractionMonotone(t *testing.T) {
 	vals := normalValues(11, 2000, 0, 1)
-	ests, _ := Collect(vals, Mean, 250, 3)
+	ests, _ := Collect(context.Background(), vals, Mean, 250, 3)
 	for i := 1; i < len(ests); i++ {
 		if ests[i].Fraction <= ests[i-1].Fraction {
 			t.Errorf("fraction not increasing at %d: %g <= %g", i, ests[i].Fraction, ests[i-1].Fraction)

@@ -91,7 +91,11 @@ func (s *Server) handleFacetsStream(w http.ResponseWriter, r *http.Request) {
 	gen := s.st.Generation()
 	line := streamLiner(w)
 
-	sess := facet.NewSession(s.exploreSrc())
+	sess, err := facet.NewSessionCtx(ctx, s.exploreSrc())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
 	sess.MaxValuesPerFacet = max
 	for _, f := range filters {
 		sess.Apply(f)

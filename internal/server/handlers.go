@@ -334,7 +334,10 @@ func (s *Server) facetsKey(max int, rawFilters []string, gen uint64) string {
 // buffered handler, the streaming handler's exact final batch, and warm
 // jobs, so all three produce byte-identical JSON.
 func (s *Server) buildFacetsResponse(ctx context.Context, max int, filters []facet.Filter) (facetsResponse, error) {
-	sess := facet.NewSession(s.exploreSrc())
+	sess, err := facet.NewSessionCtx(ctx, s.exploreSrc())
+	if err != nil {
+		return facetsResponse{}, err
+	}
 	sess.MaxValuesPerFacet = max
 	for _, f := range filters {
 		sess.Apply(f)
@@ -407,6 +410,9 @@ func (s *Server) warmFacetAncestors(max int, filters []facet.Filter, rawFilters 
 		go func(key string, prefix []facet.Filter) {
 			s.warmSem <- struct{}{}
 			defer func() { <-s.warmSem }()
+			// Warm jobs deliberately outlive the request that spawned
+			// them; their lifetime is the query timeout, not the request.
+			//lint:allow ctxflow detached cache-warm job: bounded by QueryTimeout, must survive the originating request
 			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
 			defer cancel()
 			resp, err := s.buildFacetsResponse(ctx, max, prefix)

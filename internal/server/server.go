@@ -490,6 +490,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 		s.cfg.Logger.Info("shutting down", "addr", ln.Addr().String())
+		// The serving ctx is already cancelled here; the graceful drain
+		// needs a fresh root bounded by its own deadline.
+		//lint:allow ctxflow shutdown drain runs after the serving context is cancelled
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return hs.Shutdown(sctx)

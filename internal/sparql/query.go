@@ -31,6 +31,7 @@ func Exec(st Source, query string) (*Results, error) {
 
 // ExecOpts parses and evaluates a SPARQL query with explicit options.
 func ExecOpts(st Source, query string, opt Options) (*Results, error) {
+	//lint:allow ctxflow compat wrapper: ExecCtx is the cancellable form
 	return ExecCtx(context.Background(), st, query, opt)
 }
 
@@ -61,6 +62,7 @@ func Eval(st Source, q *Query) (*Results, error) {
 // EvalOpts evaluates a parsed query against the store. Evaluation order and
 // results are identical at every parallelism setting; see Options.
 func EvalOpts(st Source, q *Query, opt Options) (*Results, error) {
+	//lint:allow ctxflow compat wrapper: EvalCtx is the cancellable form
 	return EvalCtx(context.Background(), st, q, opt)
 }
 

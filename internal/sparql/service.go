@@ -47,6 +47,7 @@ func (e *engine) evalService(svc Service, input []Binding) ([]Binding, error) {
 	}
 	ctx := e.ctx
 	if ctx == nil {
+		//lint:allow ctxflow fallback for engines built via Eval (no caller ctx); EvalCtx threads one
 		ctx = context.Background()
 	}
 	out, err := e.svc.EvalService(ctx, &ServiceCall{

@@ -218,6 +218,7 @@ func (p *parser) parseGroundData(allowBlank bool) ([]rdf.Triple, error) {
 
 // ExecUpdate parses and executes an update with default options.
 func ExecUpdate(st UpdateStore, src string) (*UpdateResult, error) {
+	//lint:allow ctxflow compat wrapper: ExecUpdateCtx is the cancellable form
 	return ExecUpdateCtx(context.Background(), st, src, Options{})
 }
 
