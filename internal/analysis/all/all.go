@@ -1,0 +1,24 @@
+// Package all enumerates the lodvizvet analyzer suite in one place, so
+// the multichecker binary, the standalone driver, and the integration
+// tests agree on what "all five" means.
+package all
+
+import (
+	"github.com/lodviz/lodviz/internal/analysis"
+	"github.com/lodviz/lodviz/internal/analysis/ctxflow"
+	"github.com/lodviz/lodviz/internal/analysis/idspace"
+	"github.com/lodviz/lodviz/internal/analysis/obshandle"
+	"github.com/lodviz/lodviz/internal/analysis/pagelock"
+	"github.com/lodviz/lodviz/internal/analysis/syncerr"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		idspace.Analyzer,
+		obshandle.Analyzer,
+		pagelock.Analyzer,
+		syncerr.Analyzer,
+	}
+}

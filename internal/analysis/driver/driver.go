@@ -1,0 +1,202 @@
+// Package driver loads Go packages for analysis without the x/tools
+// module: it shells out to `go list -deps -export -json` for package
+// metadata and compiled export data (both come from the local build
+// cache, so loading works fully offline), parses the target packages'
+// sources, and type-checks them with go/importer's gc-export-data mode.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"github.com/lodviz/lodviz/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Load resolves patterns (./..., package paths) to type-checked packages.
+// Dependencies are imported from compiled export data; only the matched
+// packages themselves are parsed from source.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Standard,DepOnly,Export,GoFiles,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			pc := p
+			targets = append(targets, &pc)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	imp := newExportImporter(exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typecheck(t, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typecheck(lp *listPackage, imp types.Importer) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer: &mapImporter{imp: imp, importMap: lp.ImportMap},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+	}
+	return &Package{ImportPath: lp.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Run loads the patterns, applies the analyzers to every target package,
+// and writes findings to w. It returns the number of findings.
+func Run(analyzers []*analysis.Analyzer, dir string, patterns []string, w io.Writer) (int, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			return total, err
+		}
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+			total++
+		}
+	}
+	return total, nil
+}
+
+// exportImporter satisfies types.Importer by reading compiled export data
+// located by `go list -export`.
+type exportImporter struct {
+	gc   types.Importer
+	seen map[string]string
+}
+
+func newExportImporter(exports map[string]string) *exportImporter {
+	e := &exportImporter{seen: exports}
+	e.gc = importer.ForCompiler(token.NewFileSet(), "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := e.seen[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}
+
+// mapImporter applies one package's ImportMap (vendoring aliases) before
+// delegating; for this module the map is empty and paths pass through.
+type mapImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.imp.Import(path)
+}
+
+// ModuleRoot locates the enclosing module root for dir (where go.mod
+// lives), falling back to dir itself.
+func ModuleRoot(dir string) string {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return dir
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return dir
+	}
+	return filepath.Dir(gomod)
+}

@@ -1,0 +1,109 @@
+// Package idspace keeps dictionary IDs and plain integers apart outside
+// the store.
+//
+// PR 6 rebuilt execution around dictionary-encoded store.ID values. An ID
+// is a name, not a number: converting one to an int to use as a count or
+// slice position, minting one from a loop index, or doing arithmetic on
+// one is a category error that type-checks fine and corrupts joins
+// quietly (IDs survive compaction; positions don't). Inside
+// internal/store the representation is the point; everywhere else this
+// analyzer flags:
+//
+//   - store.ID(x) where x is not a constant — minting an ID from a raw
+//     integer (constant conversions like the store.ID(0) wildcard are
+//     the documented sentinel and stay legal);
+//   - integer(x) where x is a store.ID — using an ID as a number;
+//   - arithmetic (+ - * / % << >> & | ^ &^, ++ --, op=) on store.ID
+//     operands. Comparisons are legal: sorted-run merging is built on ID
+//     order.
+package idspace
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/lodviz/lodviz/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "idspace",
+	Doc:        "flag raw uint32<->store.ID conversions and ID arithmetic outside internal/store",
+	Invariant:  "dictionary IDs are names, not numbers: outside internal/store they are compared, never converted or computed with",
+	DocSection: "internal/analysis/README.md#idspace",
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgIs(pass.Pkg, "internal/store") {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+			case *ast.BinaryExpr:
+				if arithOp(n.Op) && (isID(info.TypeOf(n.X)) || isID(info.TypeOf(n.Y))) {
+					pass.Reportf(n.OpPos, "arithmetic (%s) on store.ID outside internal/store: IDs are dictionary names, not numbers", n.Op)
+				}
+			case *ast.IncDecStmt:
+				if isID(info.TypeOf(n.X)) {
+					pass.Reportf(n.Pos(), "%s on store.ID outside internal/store: IDs are dictionary names, not numbers", n.Tok)
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					for _, lhs := range n.Lhs {
+						if isID(info.TypeOf(lhs)) {
+							pass.Reportf(n.TokPos, "%s on store.ID outside internal/store: IDs are dictionary names, not numbers", n.Tok)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isID(t types.Type) bool {
+	return analysis.IsNamed(t, "internal/store", "ID")
+}
+
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	argTV := info.Types[arg]
+	target := tv.Type
+	switch {
+	case isID(target):
+		if argTV.Value != nil {
+			return // constant: store.ID(0) wildcard etc.
+		}
+		if isID(argTV.Type) {
+			return // identity conversion through an alias
+		}
+		pass.Reportf(call.Pos(), "raw integer converted to store.ID outside internal/store: only the dictionary mints IDs (thread the ID, or look the term up)")
+	case isID(argTV.Type) && isInteger(target):
+		pass.Reportf(call.Pos(), "store.ID converted to %s outside internal/store: an ID is not a count or a position", target)
+	}
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func arithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.SHL, token.SHR, token.AND, token.OR, token.XOR, token.AND_NOT:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,200 @@
+// Package obshandle protects the "NoObs = nil costs nothing" contract.
+//
+// PR 9's observability layer hands out metric handles from the
+// internal/obs registry constructors, and every handle method is
+// nil-receiver-safe, so uninstrumented code paths pass nil instead of
+// wrapping call sites in conditionals. Two ways to quietly break that:
+//
+//   - constructing a metric handle as a struct literal outside
+//     internal/obs: the handle bypasses registration (it will never be
+//     scraped) and, for histograms, skips required initialization;
+//   - adding a metric-bearing type (internal/obs handles, and any struct
+//     named Metrics holding handle pointers — the repo's convention for
+//     per-subsystem instrumentation passed as nil when disabled) whose
+//     pointer-receiver methods dereference the receiver with no nil
+//     check: the first NoObs benchmark run panics.
+package obshandle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/lodviz/lodviz/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "obshandle",
+	Doc:        "flag obs handles built outside the registry and metric-bearing methods that are not nil-receiver-safe",
+	Invariant:  "metric handles come from the obs registry, and every handle method tolerates a nil receiver (NoObs = nil costs nothing)",
+	DocSection: "internal/analysis/README.md#obshandle",
+	Run:        run,
+}
+
+// handleTypes are the nil-safe metric handles the registry hands out.
+var handleTypes = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+// constructTypes are the internal/obs types that only internal/obs may
+// construct: the handles plus the Registry itself (NewRegistry allocates
+// the family map a zero Registry lacks).
+var constructTypes = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+	"Registry": true,
+}
+
+func run(pass *analysis.Pass) error {
+	inObs := analysis.PkgIs(pass.Pkg, "internal/obs")
+	for _, file := range pass.Files {
+		if !inObs {
+			checkConstruction(pass, file)
+		}
+		checkNilSafety(pass, file, inObs)
+	}
+	return nil
+}
+
+// checkConstruction flags obs.T{} composite literals and new(obs.T).
+func checkConstruction(pass *analysis.Pass, file *ast.File) {
+	info := pass.TypesInfo
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if t := analysis.NamedType(info.TypeOf(n)); t != nil && isObsConstruct(t) {
+				pass.Reportf(n.Pos(), "obs.%s constructed as a literal outside internal/obs: unregistered handles are never scraped — use the Registry constructors (obs.NewRegistry, Registry.%s, ...)", t.Obj().Name(), t.Obj().Name())
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if t := analysis.NamedType(info.TypeOf(n.Args[0])); t != nil && isObsConstruct(t) {
+						pass.Reportf(n.Pos(), "new(obs.%s) outside internal/obs: unregistered handles are never scraped — use the Registry constructors", t.Obj().Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isHandle(t *types.Named) bool {
+	return handleTypes[t.Obj().Name()] && t.Obj().Pkg() != nil && analysis.PkgIs(t.Obj().Pkg(), "internal/obs")
+}
+
+func isObsConstruct(t *types.Named) bool {
+	return constructTypes[t.Obj().Name()] && t.Obj().Pkg() != nil && analysis.PkgIs(t.Obj().Pkg(), "internal/obs")
+}
+
+// checkNilSafety verifies pointer-receiver methods on metric-bearing
+// types: a method that reads or writes through the receiver must contain
+// a nil comparison of the receiver somewhere in its body (both idioms —
+// `if m == nil { return }` and `if m != nil { ... }` — satisfy this).
+// Pure delegation (calling other methods on the receiver without touching
+// fields) is nil-safe by induction and passes without a check.
+func checkNilSafety(pass *analysis.Pass, file *ast.File, inObs bool) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		recvField := fd.Recv.List[0]
+		recvType := pass.TypesInfo.TypeOf(recvField.Type)
+		if _, isPtr := recvType.(*types.Pointer); !isPtr {
+			continue // value receivers cannot be nil
+		}
+		named := analysis.NamedType(recvType)
+		if named == nil || !metricBearing(named, inObs) {
+			continue
+		}
+		if len(recvField.Names) == 0 {
+			continue // anonymous receiver: body cannot dereference it
+		}
+		recvObj := pass.TypesInfo.Defs[recvField.Names[0]]
+		if recvObj == nil {
+			continue
+		}
+		if derefsReceiver(pass.TypesInfo, fd.Body, recvObj) && !checksReceiverNil(pass.TypesInfo, fd.Body, recvObj) {
+			pass.Reportf(fd.Name.Pos(), "(*%s).%s dereferences its receiver without a nil check: metric-bearing handles are passed as nil when observability is off", named.Obj().Name(), fd.Name.Name)
+		}
+	}
+}
+
+// metricBearing reports whether the named struct participates in the
+// nil-handle contract: the obs handles themselves, and structs named
+// Metrics whose fields include a pointer to an obs handle.
+func metricBearing(named *types.Named, inObs bool) bool {
+	if inObs && handleTypes[named.Obj().Name()] {
+		return true
+	}
+	if named.Obj().Name() != "Metrics" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if p, ok := st.Field(i).Type().(*types.Pointer); ok {
+			if t := analysis.NamedType(p); t != nil && isHandle(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// derefsReceiver reports whether the body selects a field through the
+// receiver (method calls don't count: they re-enter the contract).
+func derefsReceiver(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || info.Uses[id] != recv {
+			return true
+		}
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checksReceiverNil reports whether the body compares the receiver with
+// nil anywhere.
+func checksReceiverNil(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if isRecvNilCmp(info, be.X, be.Y, recv) || isRecvNilCmp(info, be.Y, be.X, recv) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isRecvNilCmp(info *types.Info, a, b ast.Expr, recv types.Object) bool {
+	id, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok || info.Uses[id] != recv {
+		return false
+	}
+	nb, ok := ast.Unparen(b).(*ast.Ident)
+	return ok && nb.Name == "nil"
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+	line     int    // line the comment ends on
+	file     string // filename the comment lives in
+	used     bool
+}
+
+const allowPrefix = "//lint:allow "
+
+// parseAllows collects every //lint:allow directive in the files.
+// The directive form is
+//
+//	//lint:allow <analyzer> <justification>
+//
+// and it waives that analyzer's diagnostics on the directive's own line
+// and on the line directly below it (so it works both as a trailing
+// comment and as a standalone comment above the statement).
+func parseAllows(fset *token.FileSet, files []*ast.File) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, strings.TrimSpace(allowPrefix)) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, strings.TrimSpace(allowPrefix)))
+				name, reason, _ := strings.Cut(rest, " ")
+				end := fset.Position(c.End())
+				out = append(out, &allowDirective{
+					pos:      c.Pos(),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					line:     end.Line,
+					file:     end.Filename,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic by analyzer a at position pos is
+// waived by one of the directives, marking the directive used.
+func suppressed(dirs []*allowDirective, a string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.analyzer != a || d.file != pos.Filename || d.reason == "" {
+			continue
+		}
+		if pos.Line == d.line || pos.Line == d.line+1 {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
