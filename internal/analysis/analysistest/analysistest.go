@@ -1,0 +1,239 @@
+// Package analysistest runs one analyzer over a stub package tree and
+// checks its findings against // want comments, mirroring the
+// golang.org/x/tools analysistest contract on the standard library.
+//
+// Each analyzer keeps its fixtures under testdata/src/<path>/: the target
+// package plus any stub dependencies (a fake internal/store, internal/obs,
+// ...) it imports. Stubs are type-checked from source; standard-library
+// imports resolve through `go list -export` build-cache export data, so the
+// whole load works offline. Expected findings are written as trailing
+// comments holding backquoted regexps:
+//
+//	st.Add(t) // want `store mutation Add inside a ForEachPage page callback`
+//
+// Every finding must match a want on its line, every want must be matched
+// exactly once, and a want-less line with a finding fails the test — which
+// is also how suppression fixtures work: a violation wearing a justified
+// //lint:allow and no want comment asserts the waiver held.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	return p
+}
+
+// Run loads the package at testdata/src/<path>, applies the analyzer, and
+// compares the surviving findings against the package's // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	info := analysis.NewInfo()
+	pkg, files, err := l.loadFrom(path, info)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", path, err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, l.fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
+	}
+
+	wants := collectWants(t, l.fset, files)
+	for _, f := range findings {
+		if !wants.consume(f.Pos.Filename, f.Pos.Line, f.Message) {
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+// want is one expected-diagnostic regexp at a (file, line).
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+type wantSet []*want
+
+func (ws wantSet) consume(file string, line int, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.file == file && w.line == line && w.rx.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, w := range ws {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matching %q", filepath.Base(w.file), w.line, w.rx)
+		}
+	}
+}
+
+var wantRx = regexp.MustCompile("`([^`]*)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) wantSet {
+	t.Helper()
+	var ws wantSet
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				specs := wantRx.FindAllStringSubmatch(text, -1)
+				if len(specs) == 0 {
+					t.Fatalf("%s:%d: want comment without a backquoted regexp", pos.Filename, pos.Line)
+				}
+				for _, m := range specs {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					ws = append(ws, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// loader type-checks packages under a testdata/src tree from source,
+// resolving standard-library imports from build-cache export data.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+	std  types.Importer
+	exp  map[string]string // std import path -> export-data file
+}
+
+func newLoader(root string) *loader {
+	l := &loader{
+		root: root,
+		fset: token.NewFileSet(),
+		pkgs: map[string]*types.Package{},
+		exp:  map[string]string{},
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exp[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return l
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		pkg, _, err := l.loadFrom(path, nil)
+		return pkg, err
+	}
+	if err := l.resolveStd(path); err != nil {
+		return nil, err
+	}
+	return l.std.Import(path)
+}
+
+// loadFrom parses and type-checks the package at root/<path> from source.
+func (l *loader) loadFrom(path string, info *types.Info) (*types.Package, []*ast.File, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, nil
+}
+
+// resolveStd locates export data for a standard-library package and its
+// dependencies via one `go list` call, memoized across imports.
+func (l *loader) resolveStd(path string) error {
+	if _, ok := l.exp[path]; ok {
+		return nil
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %s: %w\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			l.exp[p.ImportPath] = p.Export
+		}
+	}
+	if _, ok := l.exp[path]; !ok {
+		return fmt.Errorf("no export data produced for %q", path)
+	}
+	return nil
+}

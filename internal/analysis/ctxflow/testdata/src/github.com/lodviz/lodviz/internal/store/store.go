@@ -1,0 +1,16 @@
+// Stub of internal/store: just enough surface for the ctxflow fixtures.
+package store
+
+type ID uint32
+
+type IDTriple struct{ S, P, O ID }
+
+type Store struct{}
+
+func (s *Store) LayoutEpoch() uint64 { return 0 }
+
+func (s *Store) ScanIDs(sub, pred, obj ID, lead int) (int, bool) { return 0, false }
+
+func (s *Store) ForEachID(sub, pred, obj ID, fn func(IDTriple) bool) {}
+
+func (s *Store) ForEachPage(sub, pred, obj ID, fn func(IDTriple) bool) {}

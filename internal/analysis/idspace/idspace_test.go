@@ -1,0 +1,12 @@
+package idspace_test
+
+import (
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/analysis/analysistest"
+	"github.com/lodviz/lodviz/internal/analysis/idspace"
+)
+
+func TestIdspace(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), idspace.Analyzer, "idspacetest")
+}

@@ -1,0 +1,39 @@
+package idspacetest
+
+import "github.com/lodviz/lodviz/internal/store"
+
+func conversions(id store.ID, raw uint32) {
+	_ = store.ID(raw) // want `raw integer converted to store.ID outside internal/store`
+	_ = uint32(id)    // want `store.ID converted to uint32 outside internal/store`
+	_ = uint64(id)    // want `store.ID converted to uint64 outside internal/store`
+	_ = int(id)       // want `store.ID converted to int outside internal/store`
+
+	_ = store.ID(0)  // the documented wildcard sentinel: constant, legal
+	_ = store.ID(42) // constants are legal
+	var alias store.ID = id
+	_ = store.ID(alias) // identity conversion: legal
+}
+
+func arithmetic(id, other store.ID) {
+	_ = id + 1     // want `arithmetic \(\+\) on store.ID outside internal/store`
+	_ = id - other // want `arithmetic \(-\) on store.ID outside internal/store`
+	_ = id << 2    // want `arithmetic \(<<\) on store.ID outside internal/store`
+	id++           // want `\+\+ on store.ID outside internal/store`
+	id |= other    // want `\|= on store.ID outside internal/store`
+
+	// Comparison is the sanctioned use: sorted-run merging is built on it.
+	_ = id == other
+	_ = id < other
+	_ = id >= other
+}
+
+func sanctioned(id, other store.ID) uint64 {
+	// The store's own escape hatches keep call sites conversion-free.
+	_ = store.PackPair(id, other)
+	return id.Bits()
+}
+
+func suppressedConversion(id store.ID) uint64 {
+	//lint:allow idspace fixture: hashing wants the raw bits, not the ordinal
+	return uint64(id)
+}

@@ -1,0 +1,89 @@
+package analysis_test
+
+// Integration coverage for the two lodvizvet entry points: the standalone
+// driver and the `go vet -vettool` protocol, both run as a real child
+// process over the fixture module in testdata/fixture.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLodvizvet compiles the multichecker once per test binary.
+func buildLodvizvet(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "lodvizvet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/lodvizvet")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building lodvizvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestStandaloneDriverOnFixtureModule(t *testing.T) {
+	bin := buildLodvizvet(t)
+	fixture := fixtureDir(t)
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = fixture
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 on the violating fixture, got %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, frag := range []string{
+		"store.ID converted to int",
+		"arithmetic (+) on store.ID",
+		"Drive drives a paged store scan (ScanIDs)",
+		"[idspace:",
+		"[ctxflow:",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("driver output missing %q:\n%s", frag, text)
+		}
+	}
+
+	clean := exec.Command(bin, "./clean")
+	clean.Dir = fixture
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("want exit 0 on the clean fixture package, got %v\n%s", err, out)
+	}
+}
+
+func TestVettoolProtocolOnFixtureModule(t *testing.T) {
+	bin := buildLodvizvet(t)
+	fixture := fixtureDir(t)
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = fixture
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("want go vet to fail on the violating fixture\n%s", out)
+	}
+	if !strings.Contains(string(out), "store.ID converted to int") {
+		t.Errorf("vet output missing the idspace diagnostic:\n%s", out)
+	}
+
+	clean := exec.Command("go", "vet", "-vettool="+bin, "./clean")
+	clean.Dir = fixture
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("want go vet to pass on the clean fixture package, got %v\n%s", err, out)
+	}
+}

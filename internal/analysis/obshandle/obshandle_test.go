@@ -1,0 +1,12 @@
+package obshandle_test
+
+import (
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/analysis/analysistest"
+	"github.com/lodviz/lodviz/internal/analysis/obshandle"
+)
+
+func TestObshandle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), obshandle.Analyzer, "obshandletest")
+}

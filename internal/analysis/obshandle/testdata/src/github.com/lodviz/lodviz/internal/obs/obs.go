@@ -1,0 +1,24 @@
+// Stub of internal/obs: just enough surface for the obshandle fixtures.
+package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+type Gauge struct{ v int64 }
+
+type Histogram struct{ n uint64 }
+
+type CounterVec struct{ m map[string]*Counter }
+
+type Registry struct{ families map[string]any }
+
+func NewRegistry() *Registry { return &Registry{families: map[string]any{}} }
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge     { return &Gauge{} }

@@ -1,0 +1,58 @@
+package obshandletest
+
+import "github.com/lodviz/lodviz/internal/obs"
+
+func construction(r *obs.Registry) {
+	_ = &obs.Counter{} // want `obs.Counter constructed as a literal outside internal/obs`
+	_ = obs.Registry{} // want `obs.Registry constructed as a literal outside internal/obs`
+	_ = new(obs.Gauge) // want `new\(obs.Gauge\) outside internal/obs`
+
+	// The registry constructors are the sanctioned path.
+	_ = obs.NewRegistry()
+	_ = r.Counter("requests_total")
+}
+
+// Metrics follows the repo convention: per-subsystem instrumentation
+// passed as nil when observability is off.
+type Metrics struct {
+	Requests *obs.Counter
+	queued   int
+}
+
+func (m *Metrics) Observe() { // want `\(\*Metrics\).Observe dereferences its receiver without a nil check`
+	m.queued++
+	m.Requests.Inc()
+}
+
+func (m *Metrics) ObserveSafe() {
+	if m == nil {
+		return
+	}
+	m.queued++
+	m.Requests.Inc()
+}
+
+func (m *Metrics) ObservePositive() {
+	if m != nil {
+		m.Requests.Inc()
+	}
+}
+
+// Pure delegation is nil-safe by induction: no field access, no check
+// needed.
+func (m *Metrics) Delegate() {
+	m.ObserveSafe()
+}
+
+// Value receivers cannot be nil.
+func (m Metrics) Snapshot() int { return m.queued }
+
+// notMetrics is outside the convention: plain structs owe no nil-safety.
+type notMetrics struct{ hits int }
+
+func (n *notMetrics) bump() { n.hits++ }
+
+func suppressedLiteral() {
+	//lint:allow obshandle fixture: prototype literal is compared, never scraped
+	_ = &obs.Counter{}
+}

@@ -1,0 +1,12 @@
+package pagelock_test
+
+import (
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/analysis/analysistest"
+	"github.com/lodviz/lodviz/internal/analysis/pagelock"
+)
+
+func TestPagelock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), pagelock.Analyzer, "pagelocktest")
+}

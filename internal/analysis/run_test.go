@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkPkg typechecks one in-memory file and runs the analyzers on it.
+func checkPkg(t *testing.T, name, src string, analyzers []*Analyzer) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	findings, err := Run(analyzers, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return findings
+}
+
+// flagInts is a toy analyzer: it reports every integer literal.
+var flagInts = &Analyzer{
+	Name:       "flagints",
+	Doc:        "reports integer literals",
+	Invariant:  "no integer literals",
+	DocSection: "nowhere",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT {
+					pass.Reportf(lit.Pos(), "integer literal %s", lit.Value)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestJustifiedAllowWaives(t *testing.T) {
+	findings := checkPkg(t, "a.go", `package p
+
+//lint:allow flagints fixture: the literal is the point
+var x = 1
+`, []*Analyzer{flagInts})
+	if len(findings) != 0 {
+		t.Fatalf("justified allow did not waive: %v", findings)
+	}
+}
+
+func TestUnjustifiedAllowIsAFindingAndWaivesNothing(t *testing.T) {
+	findings := checkPkg(t, "a.go", `package p
+
+//lint:allow flagints
+var x = 1
+`, []*Analyzer{flagInts})
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings (the literal and the bare directive), got %v", findings)
+	}
+	var sawLiteral, sawDirective bool
+	for _, f := range findings {
+		if strings.Contains(f.Message, "integer literal") {
+			sawLiteral = true
+		}
+		if strings.Contains(f.Message, "has no justification") {
+			sawDirective = true
+		}
+	}
+	if !sawLiteral || !sawDirective {
+		t.Fatalf("missing expected findings: %v", findings)
+	}
+}
+
+func TestAllowForOtherAnalyzerWaivesNothing(t *testing.T) {
+	findings := checkPkg(t, "a.go", `package p
+
+//lint:allow someotherlint the wrong analyzer name
+var x = 1
+`, []*Analyzer{flagInts})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "integer literal") {
+		t.Fatalf("allow for another analyzer should not waive: %v", findings)
+	}
+}
+
+func TestTestFileFindingsDropped(t *testing.T) {
+	findings := checkPkg(t, "a_test.go", `package p
+
+var x = 1
+`, []*Analyzer{flagInts})
+	if len(findings) != 0 {
+		t.Fatalf("findings in _test.go files must be dropped: %v", findings)
+	}
+}
+
+func TestFindingStringNamesInvariantAndDocs(t *testing.T) {
+	findings := checkPkg(t, "a.go", "package p\n\nvar x = 1\n", []*Analyzer{flagInts})
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	s := findings[0].String()
+	for _, part := range []string{"flagints", "no integer literals", "nowhere", "integer literal 1"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("finding %q missing %q", s, part)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"github.com/lodviz/lodviz/internal/analysis/analysistest"
+	"github.com/lodviz/lodviz/internal/analysis/syncerr"
+)
+
+func TestSyncerrDurabilityPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), syncerr.Analyzer, "syncerrtest/wal")
+}
+
+func TestSyncerrOrdinaryPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), syncerr.Analyzer, "syncerrtest/other")
+}

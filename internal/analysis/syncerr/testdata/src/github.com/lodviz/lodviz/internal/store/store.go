@@ -1,0 +1,9 @@
+// Stub of internal/store: just enough surface for the syncerr fixtures.
+package store
+
+import "io"
+
+type Store struct{}
+
+func (s *Store) WriteSnapshot(w io.Writer) error     { return nil }
+func (s *Store) WriteSnapshotFile(path string) error { return nil }

@@ -1,0 +1,9 @@
+// Stub of internal/wal: just enough surface for the syncerr fixtures.
+package wal
+
+type Log struct{}
+
+func (l *Log) Append(op int) error { return nil }
+func (l *Log) Sync() error         { return nil }
+func (l *Log) Close() error        { return nil }
+func (l *Log) LastSeq() uint64     { return 0 }

@@ -1,0 +1,10 @@
+// A package outside the durability set: file closes may be dropped
+// silently, fsync still may not.
+package other
+
+import "os"
+
+func closes(f *os.File) {
+	f.Close() // not a durability package: bare close is legal here
+	f.Sync()  // want `error from \(\*os.File\).Sync discarded`
+}

@@ -1,0 +1,50 @@
+// The package path ends in "wal", so tier 2's strict file-close rule
+// applies here alongside the tier-1 acknowledgement-bearing calls.
+package waldriver
+
+import (
+	"io"
+	"os"
+
+	"github.com/lodviz/lodviz/internal/snapshot"
+	"github.com/lodviz/lodviz/internal/store"
+	"github.com/lodviz/lodviz/internal/wal"
+)
+
+func tier1Dropped(l *wal.Log) {
+	l.Append(1)     // want `error from \(\*wal.Log\).Append discarded`
+	_ = l.Sync()    // want `error from \(\*wal.Log\).Sync discarded`
+	defer l.Close() // want `error from \(\*wal.Log\).Close discarded`
+	go l.Sync()     // want `error from \(\*wal.Log\).Sync discarded`
+}
+
+func tier1Snapshot(w *snapshot.Writer, st *store.Store, out io.Writer) {
+	w.Triple("t")         // want `error from \(\*snapshot.Writer\).Triple discarded`
+	_ = w.Close()         // want `error from \(\*snapshot.Writer\).Close discarded`
+	st.WriteSnapshot(out) // want `error from \(\*store.Store\).WriteSnapshot discarded`
+}
+
+func tier2Files(f *os.File) {
+	f.Sync()  // want `error from \(\*os.File\).Sync discarded`
+	f.Close() // want `error from \(\*os.File\).Close discarded on a durability path`
+
+	// Explicit blank assignment is the visible record of a deliberate
+	// discard; tier 2 accepts it.
+	_ = f.Sync()
+	_ = f.Close()
+}
+
+func handled(l *wal.Log, f *os.File) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return l.Close()
+}
+
+func suppressedTier1(l *wal.Log) {
+	//lint:allow syncerr fixture: the log is scratch-scoped, loss cannot outlive this call
+	l.Sync()
+}

@@ -1,0 +1,22 @@
+// Package badid carries one violation per analyzer rule the integration
+// test asserts on.
+package badid
+
+import "example.org/fixturemod/internal/store"
+
+// Position reinterprets a dictionary ID as an offset — the idspace
+// category error.
+func Position(id store.ID) int {
+	return int(id)
+}
+
+// NextID mints an ID by arithmetic.
+func NextID(id store.ID) store.ID {
+	return id + 1
+}
+
+// Drive runs a paged scan with no context in reach — the ctxflow
+// violation.
+func Drive(st *store.Store) {
+	_, _ = st.ScanIDs(0, 0, 0, 0)
+}

@@ -1,0 +1,14 @@
+// Package clean violates nothing; the integration test asserts the suite
+// exits zero on it.
+package clean
+
+import (
+	"context"
+
+	"example.org/fixturemod/internal/store"
+)
+
+func Drive(ctx context.Context, st *store.Store) {
+	_, _ = st.ScanIDs(0, 0, 0, 0)
+	_ = ctx
+}

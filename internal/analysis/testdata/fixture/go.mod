@@ -1,0 +1,3 @@
+module example.org/fixturemod
+
+go 1.22
