@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-regression bench-baseline lint fmt check cover-server fuzz-smoke serve serve-cluster
+.PHONY: build test race bench bench-smoke bench-regression bench-baseline lint analyze fmt check cover-server fuzz-smoke serve serve-cluster
 
 build:
 	$(GO) build ./...
@@ -110,4 +110,12 @@ lint:
 fmt:
 	gofmt -w .
 
-check: build lint test race bench-smoke bench-regression cover-server
+# lodvizvet: the engine's own analyzer suite (pagelock, ctxflow, syncerr,
+# idspace, obshandle — see internal/analysis/README.md). Runs through
+# `go vet -vettool` so results integrate with cmd/go's caching and cover
+# test variants of every package.
+analyze:
+	$(GO) build -o bin/lodvizvet ./cmd/lodvizvet
+	$(GO) vet -vettool=$(CURDIR)/bin/lodvizvet ./...
+
+check: build lint analyze test race bench-smoke bench-regression cover-server
